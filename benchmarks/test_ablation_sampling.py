@@ -1,0 +1,68 @@
+"""Sensitivity of lambda-Tune to its sampling hyper-parameters.
+
+Sweeps the number of LLM samples k and the sampling temperature --
+the two knobs Algorithm 1 exposes beyond the paper's fixed k=5 /
+temperature defaults.  Expected shapes: more samples never hurt final
+quality but cost evaluation time; temperature 0 removes both outliers
+and diversity.
+"""
+
+import math
+
+from repro.bench.runner import run_lambda_tune
+from repro.bench.scenarios import Scenario
+from repro.core.tuner import LambdaTuneOptions
+from repro.workloads import load_workload
+
+BASE = LambdaTuneOptions(token_budget=400, initial_timeout=0.5, alpha=2.0)
+
+
+def test_num_configs_sweep(benchmark):
+    scenario = Scenario("tpch-sf1", "postgres", False)
+    workload = load_workload("tpch-sf1")
+
+    def run():
+        results = {}
+        for k in (1, 3, 5, 8):
+            result = run_lambda_tune(
+                scenario, workload, options=BASE.ablated(num_configs=k)
+            )
+            results[k] = (result.best_time, result.tuning_seconds)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nk -> (best time, tuning time)")
+    for k, (best, tuning) in results.items():
+        print(f"  k={k}: best={best:.1f}s tuning={tuning:.0f}s")
+
+    best_times = {k: best for k, (best, _) in results.items()}
+    assert all(math.isfinite(t) for t in best_times.values())
+    # More samples never degrade final quality materially.
+    assert best_times[8] <= best_times[1] * 1.05
+    # But evaluation cost grows with k.
+    assert results[8][1] > results[1][1]
+
+
+def test_temperature_sweep(benchmark):
+    scenario = Scenario("tpch-sf1", "postgres", False)
+    workload = load_workload("tpch-sf1")
+
+    def run():
+        results = {}
+        for temperature in (0.0, 0.4, 0.7, 1.0):
+            result = run_lambda_tune(
+                scenario,
+                workload,
+                options=BASE.ablated(temperature=temperature),
+            )
+            results[temperature] = result.best_time
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\ntemperature -> best time")
+    for temperature, best in results.items():
+        print(f"  T={temperature}: best={best:.1f}s")
+    assert all(math.isfinite(t) for t in results.values())
+    # Zero temperature collapses the k samples to one deterministic
+    # (balanced) configuration -- still a valid result.
+    assert results[0.0] > 0

@@ -1,0 +1,44 @@
+"""Regenerates Figure 3: convergence under pure parameter tuning
+(default PK/FK indexes present).
+
+Paper shape: lambda-Tune's curve starts early and sits at or near the
+bottom; sampled-search baselines need longer to reach comparable quality.
+"""
+
+import math
+
+from repro.bench.figures import convergence_figure
+from repro.bench.scenarios import Scenario
+
+
+def test_figure3(benchmark, quick_budget, quick_options):
+    scenarios = [
+        Scenario("tpch-sf1", "postgres", True),
+        Scenario("tpch-sf1", "mysql", True),
+    ]
+
+    def run():
+        from repro.bench.runner import run_scenario
+
+        runs = {
+            scenario.key: run_scenario(
+                scenario,
+                budget_seconds=quick_budget,
+                seed=0,
+                lambda_options=quick_options,
+            )
+            for scenario in scenarios
+        }
+        return convergence_figure(scenarios, runs=runs), runs
+
+    figure, runs = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n== Figure 3 (parameter tuning convergence) ==")
+    print(figure.to_text())
+
+    for scenario in scenarios:
+        run = runs[scenario.key]
+        lt = run.results["lambda-tune"]
+        assert lt.trace, scenario.key
+        assert math.isfinite(lt.best_time)
+        # Near-optimal at the end: within 1.5x of the scenario best.
+        assert lt.best_time <= run.best_overall() * 1.5

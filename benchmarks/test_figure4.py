@@ -1,0 +1,43 @@
+"""Regenerates Figure 4: convergence with index creation allowed
+(no initial indexes).
+
+Paper shape: systems that create indexes (lambda-Tune, UDO) or receive
+Dexter's indexes reach far lower execution times than the no-index
+defaults; lambda-Tune converges fastest.
+"""
+
+import math
+
+from repro.bench.figures import convergence_figure
+from repro.bench.runner import run_scenario
+from repro.bench.scenarios import Scenario
+
+
+def test_figure4(benchmark, quick_budget, quick_options):
+    scenarios = [
+        Scenario("tpch-sf1", "postgres", False),
+        Scenario("tpcds-sf1", "postgres", False),
+    ]
+
+    def run():
+        runs = {
+            scenario.key: run_scenario(
+                scenario,
+                budget_seconds=quick_budget,
+                seed=0,
+                lambda_options=quick_options,
+            )
+            for scenario in scenarios
+        }
+        return convergence_figure(scenarios, runs=runs), runs
+
+    figure, runs = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n== Figure 4 (index creation scope convergence) ==")
+    print(figure.to_text())
+
+    for scenario in scenarios:
+        run = runs[scenario.key]
+        lt = run.results["lambda-tune"]
+        assert math.isfinite(lt.best_time)
+        # Index-capable tuning beats the bare default workload time.
+        assert lt.best_time < run.default_time

@@ -1,0 +1,40 @@
+"""Regenerates Figure 6: the ablation study (JOB, Postgres, no indexes).
+
+Paper shapes:
+- disabling the adaptive timeout slows convergence without degrading
+  final quality (§6.4.1),
+- disabling the query scheduler delays the first fully-evaluated
+  configuration without degrading quality (§6.4.2),
+- obfuscating identifiers changes virtually nothing (§6.4.3),
+- disabling the compressor (raw SQL prompts) hurts both convergence and
+  final quality (§6.4.4).
+"""
+
+import pytest
+
+from repro.bench.figures import figure6
+
+
+def test_figure6(benchmark):
+    figure = benchmark.pedantic(
+        lambda: figure6(seed=0, workload_name="job"), rounds=1, iterations=1
+    )
+    print("\n== Figure 6 (ablation study, JOB PG) ==")
+    print(figure.to_text())
+
+    first = figure.time_to_first_config
+    best = figure.best_time
+
+    # 6.4.1 adaptive timeout: slower convergence, equal quality.
+    assert first["no-adaptive-timeout"] > first["default"] * 1.5
+    assert best["no-adaptive-timeout"] == pytest.approx(best["default"], rel=0.25)
+
+    # 6.4.2 scheduler: slower first completion, equal quality.
+    assert first["no-scheduler"] > first["default"] * 1.5
+    assert best["no-scheduler"] == pytest.approx(best["default"], rel=0.25)
+
+    # 6.4.3 obfuscation: virtually equivalent.
+    assert best["obfuscated"] == pytest.approx(best["default"], rel=0.20)
+
+    # 6.4.4 compressor: raw SQL is clearly worse.
+    assert best["no-compressor"] > best["default"] * 1.5

@@ -1,0 +1,29 @@
+"""Regenerates Figure 7: the compressor token-budget sweep (JOB, PG).
+
+Paper shapes: only an extremely low budget (196 tokens) degrades
+quality noticeably; moderate budgets are near-optimal; pasting full SQL
+costs >10x the tokens and performs worse.
+"""
+
+from repro.bench.figures import figure7
+
+
+def test_figure7(benchmark):
+    figure = benchmark.pedantic(
+        lambda: figure7(seed=0, workload_name="job"), rounds=1, iterations=1
+    )
+    print("\n== Figure 7 (token budget sweep, JOB PG) ==")
+    print(figure.to_text())
+
+    by_variant = {point["variant"]: point for point in figure.points}
+    starved = by_variant["compressed-196"]
+    moderate = by_variant["compressed-400"]
+    full_sql = by_variant["full-sql"]
+
+    # Extremely low budgets degrade performance (paper: 196 tokens).
+    assert starved["best_time"] > moderate["best_time"]
+
+    # Full SQL: >10x the tokens of the compressed representation and a
+    # worse resulting configuration.
+    assert full_sql["tokens"] > moderate["tokens"] * 10
+    assert full_sql["best_time"] > moderate["best_time"]

@@ -1,0 +1,28 @@
+"""Regenerates Figure 8: index recommendation tools compared.
+
+Paper shapes: lambda-Tune's indexes clearly beat the no-index default;
+the specialized advisors (Dexter, DB2) are at least as good as
+lambda-Tune on most benchmarks.
+"""
+
+from repro.bench.figures import figure8
+
+
+def test_figure8(benchmark):
+    figure = benchmark.pedantic(
+        lambda: figure8(seed=0, workload_names=("tpch-sf1", "tpcds-sf1", "job")),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n== Figure 8 (index recommendation comparison) ==")
+    print(figure.to_text())
+
+    for row in figure.rows:
+        assert row["lambda-tune"] < row["no_indexes"]
+        assert row["dexter"] <= row["no_indexes"]
+        assert row["db2advis"] <= row["no_indexes"]
+
+    # On the join-heavy benchmarks the specialized tools keep up with or
+    # beat lambda-Tune (paper: lambda-Tune wins only on TPC-DS).
+    tpch_row = next(r for r in figure.rows if r["benchmark"] == "tpch-sf1")
+    assert min(tpch_row["dexter"], tpch_row["db2advis"]) <= tpch_row["lambda-tune"] * 1.3

@@ -1,0 +1,31 @@
+"""Regenerates Table 3: scaled cost of the best configuration per tuner.
+
+Paper shape to verify: lambda-Tune has the lowest (or tied-lowest)
+average scaled cost and never degenerates badly; ParamTree is worst.
+"""
+
+from repro.bench.scenarios import Scenario
+from repro.bench.tables import table3
+
+SCENARIOS = [
+    Scenario("tpch-sf1", "postgres", True),
+    Scenario("tpch-sf1", "mysql", True),
+    Scenario("tpch-sf1", "postgres", False),
+    Scenario("tpcds-sf1", "postgres", False),
+]
+
+
+def test_table3(benchmark, quick_budget):
+    def run():
+        return table3(SCENARIOS, budget_seconds=quick_budget, seed=0)
+
+    table, _runs = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n== Table 3 (scaled best-configuration cost) ==")
+    print(table.to_text())
+
+    averages = table.averages
+    # Robustness shape: lambda-Tune competitive everywhere, ParamTree worst.
+    assert averages["lambda-tune"] <= averages["paramtree"]
+    assert averages["paramtree"] == max(averages.values())
+    for row in table.rows:
+        assert row["lambda-tune"] < 2.0

@@ -1,0 +1,46 @@
+"""Regenerates Table 4: configurations evaluated per baseline (Postgres).
+
+Paper shape: lambda-Tune evaluates exactly the k=5 LLM configurations;
+ParamTree 1; the search-based baselines one to two orders of magnitude
+more at SF1.
+"""
+
+from repro.bench.runner import run_scenario
+from repro.bench.scenarios import Scenario
+from repro.bench.tables import Table4
+
+
+def test_table4(benchmark, quick_budget, quick_options):
+    scenarios = [
+        Scenario("tpch-sf1", "postgres", True),
+        Scenario("tpch-sf1", "postgres", False),
+    ]
+
+    def run():
+        table = Table4()
+        for scenario in scenarios:
+            result = run_scenario(
+                scenario,
+                budget_seconds=quick_budget,
+                seed=0,
+                lambda_options=quick_options,
+            )
+            row = {
+                "scenario": scenario.label,
+                "indexes": "Yes" if scenario.initial_indexes else "No",
+            }
+            for name, tuning_result in result.results.items():
+                row[name] = tuning_result.configs_evaluated
+            table.rows.append(row)
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n== Table 4 (configurations evaluated) ==")
+    print(table.to_text())
+
+    for row in table.rows:
+        assert row["lambda-tune"] == 5
+        assert row["paramtree"] == 1
+        assert row["udo"] > 5 * row["lambda-tune"]
+        assert row["db-bert"] > row["lambda-tune"]
+        assert row["gptuner"] > row["lambda-tune"]

@@ -1,0 +1,55 @@
+"""Compare lambda-Tune against every baseline on one scenario.
+
+Run with::
+
+    python examples/compare_tuners.py [workload] [system]
+
+e.g. ``python examples/compare_tuners.py tpch-sf1 postgres``.  This is
+one row of the paper's Table 3, printed with trace summaries.
+"""
+
+import sys
+
+from repro.bench.reporting import format_table
+from repro.bench.runner import run_scenario
+from repro.bench.scenarios import Scenario
+from repro.core.tuner import LambdaTuneOptions
+
+
+def main() -> None:
+    workload_name = sys.argv[1] if len(sys.argv) > 1 else "tpch-sf1"
+    system = sys.argv[2] if len(sys.argv) > 2 else "postgres"
+
+    scenario = Scenario(workload_name, system, initial_indexes=False)
+    print(f"Scenario: {scenario.label}, tuning scope: parameters + indexes")
+
+    run = run_scenario(
+        scenario,
+        budget_seconds=800.0,
+        lambda_options=LambdaTuneOptions(initial_timeout=1.0, alpha=2.0),
+    )
+    print(f"Default workload time: {run.default_time:.1f}s\n")
+
+    scaled = run.scaled_costs()
+    rows = []
+    for name, result in sorted(
+        run.results.items(), key=lambda item: item[1].best_time
+    ):
+        first_done = result.trace[0].time if result.trace else float("inf")
+        rows.append([
+            name,
+            result.best_time,
+            scaled[name],
+            result.configs_evaluated,
+            first_done,
+        ])
+    print(
+        format_table(
+            ["tuner", "best time (s)", "scaled", "configs", "first result (s)"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""Tune a user-defined schema and workload.
+
+Shows the full public API surface for bringing your own database:
+catalog construction, SQL analysis, hardware description, prompt
+inspection, and tuning -- the path a downstream user follows to apply
+lambda-Tune to their own (simulated) system.
+
+Run with::
+
+    python examples/custom_workload.py
+"""
+
+from repro.core import LambdaTune, LambdaTuneOptions
+from repro.db import Catalog, Column, HardwareSpec, PostgresEngine
+from repro.llm import SimulatedLLM
+from repro.workloads.base import Query, Workload
+
+
+def build_catalog() -> Catalog:
+    """A small web-analytics star schema."""
+    catalog = Catalog("webshop")
+    catalog.add_table("customers", 2_000_000, [
+        Column("customer_id", 4, is_primary_key=True),
+        Column("signup_date", 4, 1_500),
+        Column("segment", 8, 12),
+        Column("region", 8, 40),
+    ])
+    catalog.add_table("products", 80_000, [
+        Column("product_id", 4, is_primary_key=True),
+        Column("category", 12, 60),
+        Column("price", 8, 20_000),
+    ])
+    catalog.add_table("orders2", 30_000_000, [
+        Column("order_id", 4, is_primary_key=True),
+        Column("customer_ref", 4, 2_000_000),
+        Column("product_ref", 4, 80_000),
+        Column("order_date", 4, 1_500),
+        Column("quantity", 4, 20),
+        Column("amount", 8, 500_000),
+    ])
+    return catalog
+
+
+QUERIES = [
+    ("revenue_by_segment", """
+        SELECT c.segment, sum(o.amount)
+        FROM customers c, orders2 o
+        WHERE c.customer_id = o.customer_ref
+          AND o.order_date > 1200
+        GROUP BY c.segment
+        ORDER BY c.segment
+    """),
+    ("category_performance", """
+        SELECT p.category, count(*), avg(o.amount)
+        FROM products p, orders2 o
+        WHERE p.product_id = o.product_ref AND p.price > 100
+        GROUP BY p.category
+    """),
+    ("regional_top_products", """
+        SELECT c.region, p.category, sum(o.quantity) AS units
+        FROM customers c, orders2 o, products p
+        WHERE c.customer_id = o.customer_ref
+          AND p.product_id = o.product_ref
+          AND c.segment = 'premium'
+        GROUP BY c.region, p.category
+        ORDER BY units DESC
+        LIMIT 50
+    """),
+]
+
+
+def main() -> None:
+    catalog = build_catalog()
+    queries = [Query.from_sql(name, sql, catalog) for name, sql in QUERIES]
+    workload = Workload(name="webshop", catalog=catalog, queries=queries)
+
+    hardware = HardwareSpec(memory_gb=32, cores=16)
+    engine = PostgresEngine(catalog, hardware)
+
+    default_time = sum(engine.estimate_seconds(q) for q in workload.queries)
+    print(f"Default workload time: {default_time:.2f}s")
+
+    tuner = LambdaTune(
+        engine,
+        SimulatedLLM(),
+        LambdaTuneOptions(token_budget=256, initial_timeout=1.0, alpha=2.0),
+    )
+
+    # Inspect the generated prompt before tuning.
+    prompt = tuner.generate_prompt(list(workload.queries))
+    print("\n--- prompt sent to the LLM " + "-" * 30)
+    print(prompt.text)
+    print("-" * 57)
+    print(f"prompt tokens: {prompt.tokens}, join-cost coverage: "
+          f"{prompt.compression.coverage:.0%}\n")
+
+    result = tuner.tune(list(workload.queries))
+    print(f"Best configuration: {result.best_time:.2f}s "
+          f"({default_time / result.best_time:.1f}x speedup)")
+    for name, value in sorted(result.best_config.settings.items()):
+        print(f"  {name} = {value}")
+    for index in result.best_config.indexes:
+        print(f"  CREATE INDEX ON {index.table} ({', '.join(index.columns)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,140 @@
+"""Run the paper's complete evaluation and save all artifacts.
+
+Regenerates Table 3, Table 4, Figures 3/4 (from the same scenario runs,
+so nothing is computed twice), Table 5, and Figures 5-8, writing both
+text summaries and JSON payloads to ``results/``.
+
+Run with::
+
+    python examples/full_evaluation.py [--quick]
+
+``--quick`` restricts to four scenarios with small budgets (minutes);
+the default runs all 14 scenarios of Table 3.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.bench import figures, tables
+from repro.bench.reporting import save_json
+from repro.bench.runner import run_scenario
+from repro.bench.scenarios import SCENARIOS, Scenario
+
+QUICK_SCENARIOS = [
+    Scenario("tpch-sf1", "postgres", True),
+    Scenario("tpch-sf1", "mysql", True),
+    Scenario("tpch-sf1", "postgres", False),
+    Scenario("tpcds-sf1", "postgres", False),
+]
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    out = Path("results")
+    scenarios = QUICK_SCENARIOS if quick else SCENARIOS
+    budget = 600.0 if quick else None
+
+    started = time.perf_counter()
+
+    # -- Table 3 + Figures 3/4 share scenario runs ---------------------------
+    print(f"Running {len(scenarios)} scenarios ...", flush=True)
+    runs = {}
+    table = tables.Table3()
+    sums: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for scenario in scenarios:
+        t0 = time.perf_counter()
+        run = run_scenario(scenario, budget_seconds=budget)
+        runs[scenario.key] = run
+        scaled = run.scaled_costs()
+        row = {
+            "benchmark": scenario.label.rsplit(" ", 1)[0],
+            "dbms": "PG" if scenario.system == "postgres" else "MS",
+            "indexes": "Yes" if scenario.initial_indexes else "No",
+        }
+        for name, value in scaled.items():
+            row[name] = value
+            import math
+
+            if math.isfinite(value):
+                sums[name] = sums.get(name, 0.0) + value
+                counts[name] = counts.get(name, 0) + 1
+        table.rows.append(row)
+        print(f"  {scenario.key}: done in {time.perf_counter() - t0:.0f}s "
+              f"(default {run.default_time:.0f}s virtual)", flush=True)
+    table.averages = {
+        name: sums[name] / counts[name] for name in sums if counts.get(name)
+    }
+
+    print("\n== Table 3 ==")
+    print(table.to_text())
+    save_json(out / "table3.json",
+              {"rows": table.rows, "averages": table.averages})
+
+    figure3 = figures.convergence_figure(
+        [s for s in scenarios if s.initial_indexes], runs=runs
+    )
+    figure4 = figures.convergence_figure(
+        [s for s in scenarios if not s.initial_indexes], runs=runs
+    )
+    save_json(out / "figure3.json", figure3.panels)
+    save_json(out / "figure4.json", figure4.panels)
+    print("\n== Figure 3 ==")
+    print(figure3.to_text())
+    print("\n== Figure 4 ==")
+    print(figure4.to_text())
+
+    # -- Table 4 (reuses Postgres TPC-H runs where available) ----------------
+    table4 = tables.table4(runs=runs, budget_seconds=budget)
+    print("\n== Table 4 ==")
+    print(table4.to_text())
+    save_json(out / "table4.json", {"rows": table4.rows})
+
+    # -- Table 5 ---------------------------------------------------------------
+    table5 = tables.table5()
+    print("\n== Table 5 ==")
+    print(table5.to_text())
+    save_json(out / "table5.json", {
+        "parameters": table5.parameters,
+        "indexes": table5.indexed_columns,
+        "best_time": table5.best_time,
+    })
+
+    # -- Figures 5-8 --------------------------------------------------------------
+    figure5 = figures.figure5()
+    print("\n== Figure 5 ==")
+    print(figure5.to_text())
+    save_json(out / "figure5.json", figure5.per_query)
+
+    ablation_workload = "tpch-sf1" if quick else "job"
+    figure6 = figures.figure6(workload_name=ablation_workload)
+    print("\n== Figure 6 ==")
+    print(figure6.to_text())
+    save_json(out / "figure6.json", {
+        "traces": figure6.traces,
+        "time_to_first_config": figure6.time_to_first_config,
+        "best_time": figure6.best_time,
+    })
+
+    figure7 = figures.figure7(workload_name=ablation_workload)
+    print("\n== Figure 7 ==")
+    print(figure7.to_text())
+    save_json(out / "figure7.json", figure7.points)
+
+    names = ("tpch-sf1", "tpcds-sf1") if quick else (
+        "tpch-sf1", "tpch-sf10", "tpcds-sf1", "job"
+    )
+    figure8 = figures.figure8(workload_names=names)
+    print("\n== Figure 8 ==")
+    print(figure8.to_text())
+    save_json(out / "figure8.json", figure8.rows)
+
+    print(f"\nAll artifacts in {out}/ "
+          f"({time.perf_counter() - started:.0f}s wall time)")
+
+
+if __name__ == "__main__":
+    main()

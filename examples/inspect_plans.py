@@ -1,0 +1,51 @@
+"""Inspect how tuning changes the simulated optimizer's plans.
+
+Run with::
+
+    python examples/inspect_plans.py
+
+Shows EXPLAIN-style plans for a TPC-H query under the default
+configuration, under lambda-Tune's recommended parameters, and with its
+recommended indexes -- making the coupling between
+``random_page_cost`` / ``effective_cache_size`` and index usage
+(paper §6.3) directly visible.
+"""
+
+from repro.core import LambdaTune, LambdaTuneOptions
+from repro.db import PostgresEngine
+from repro.db.explain import format_plan
+from repro.llm import SimulatedLLM
+from repro.workloads import tpch_workload
+
+
+def main() -> None:
+    workload = tpch_workload(1.0)
+    query = workload.query("q3")
+
+    engine = PostgresEngine(workload.catalog)
+    print("=== q3 under default configuration ===")
+    print(format_plan(engine, query))
+    print(f"simulated time: {engine.estimate_seconds(query):.2f}s\n")
+
+    tuner = LambdaTune(
+        PostgresEngine(workload.catalog),
+        SimulatedLLM(),
+        LambdaTuneOptions(initial_timeout=1.0, alpha=2.0),
+    )
+    result = tuner.tune(list(workload.queries))
+    config = result.best_config
+
+    engine.set_many(config.settings)
+    print("=== q3 with lambda-Tune parameters (no indexes yet) ===")
+    print(format_plan(engine, query))
+    print(f"simulated time: {engine.estimate_seconds(query):.2f}s\n")
+
+    for index in config.indexes:
+        engine.create_index(index)
+    print("=== q3 with parameters + recommended indexes ===")
+    print(format_plan(engine, query))
+    print(f"simulated time: {engine.estimate_seconds(query):.2f}s")
+
+
+if __name__ == "__main__":
+    main()

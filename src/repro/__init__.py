@@ -1,0 +1,41 @@
+"""Reproduction of lambda-Tune (SIGMOD 2025).
+
+lambda-Tune harnesses large language models for automated database system
+tuning: it compresses an OLAP workload into join snippets selected by an
+ILP under a token budget, asks an LLM for complete configuration scripts,
+and identifies the best candidate configuration with bounded evaluation
+cost via geometric timeouts, lazy index creation, and a dynamic-programming
+query scheduler.
+
+Public entry points
+-------------------
+- :class:`repro.core.tuner.LambdaTune` -- the tuning pipeline (Algorithm 1).
+- :mod:`repro.db` -- the simulated PostgreSQL / MySQL substrate.
+- :mod:`repro.workloads` -- TPC-H, TPC-DS, and Join Order Benchmark.
+- :mod:`repro.llm` -- LLM client interface and the simulated LLM.
+- :mod:`repro.baselines` -- UDO, DB-BERT, GPTuner, LlamaTune, ParamTree,
+  Dexter, and the DB2 index advisor.
+- :mod:`repro.bench` -- harness regenerating every table and figure of the
+  paper's evaluation.
+"""
+
+from repro.errors import (
+    ReproError,
+    SQLError,
+    CatalogError,
+    ConfigurationError,
+    SolverError,
+    LLMError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "SQLError",
+    "CatalogError",
+    "ConfigurationError",
+    "SolverError",
+    "LLMError",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Baseline tuning systems the paper compares against (§6.1).
+
+Each baseline reimplements the published system's core search strategy
+against the simulated engines:
+
+- :class:`~repro.baselines.udo.UDOTuner` -- reinforcement-learning
+  search over heavy (index) and light (knob) parameters, evaluating
+  workload samples (Wang et al., VLDB 2021).
+- :class:`~repro.baselines.dbbert.DBBertTuner` -- mines tuning hints
+  from manual text and runs a bandit over hint combinations
+  (Trummer, SIGMOD 2022).
+- :class:`~repro.baselines.gptuner.GPTunerTuner` -- LLM/manual-pruned
+  knob ranges explored coarse-to-fine (Lao et al., 2023).
+- :class:`~repro.baselines.llamatune.LlamaTuneTuner` -- low-dimensional
+  random projections of the knob space (Kanellis et al., VLDB 2022).
+- :class:`~repro.baselines.paramtree.ParamTreeTuner` -- calibrates the
+  five optimizer cost constants (Yang et al., 2023).
+- :class:`~repro.baselines.dexter.DexterAdvisor` and
+  :class:`~repro.baselines.db2advis.DB2Advisor` -- specialized index
+  recommendation tools (Fig. 8).
+"""
+
+from repro.baselines.base import BaselineTuner, measure_configuration
+from repro.baselines.udo import UDOTuner
+from repro.baselines.dbbert import DBBertTuner
+from repro.baselines.gptuner import GPTunerTuner
+from repro.baselines.llamatune import LlamaTuneTuner
+from repro.baselines.paramtree import ParamTreeTuner
+from repro.baselines.dexter import DexterAdvisor
+from repro.baselines.db2advis import DB2Advisor
+
+__all__ = [
+    "BaselineTuner",
+    "measure_configuration",
+    "UDOTuner",
+    "DBBertTuner",
+    "GPTunerTuner",
+    "LlamaTuneTuner",
+    "ParamTreeTuner",
+    "DexterAdvisor",
+    "DB2Advisor",
+]

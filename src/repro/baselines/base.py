@@ -1,0 +1,126 @@
+"""Shared machinery for the baseline tuners.
+
+All baselines implement ``tune(workload, engine, budget_seconds)`` and
+return the same :class:`~repro.core.result.TuningResult` as lambda-Tune,
+with trace points on the engine's virtual clock, so the harness compares
+every system on an equal footing.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+
+from repro.core.result import TuningResult
+from repro.db.engine import DatabaseEngine
+from repro.db.indexes import Index
+from repro.errors import KnobError
+from repro.workloads.base import Query, Workload
+
+
+def measure_configuration(
+    engine: DatabaseEngine,
+    queries: list[Query],
+    settings: dict[str, object],
+    indexes: list[Index] | None = None,
+    *,
+    trial_timeout: float | None = None,
+) -> tuple[bool, float]:
+    """One trial run: apply settings, build indexes, run the workload.
+
+    Advances the clock by reconfiguration + execution time.  Returns
+    ``(completed, total_query_seconds)``; an exceeded ``trial_timeout``
+    aborts the run (the mechanism the paper grants UDO and GPTuner to
+    cap the damage of terrible configurations).  Indexes created for the
+    trial are dropped afterwards.
+    """
+    created: list[Index] = []
+    try:
+        engine.apply_config(settings)
+    except KnobError:
+        return False, float("inf")
+    remaining = trial_timeout
+    total = 0.0
+    try:
+        for index in indexes or []:
+            if not engine.has_index(index):
+                engine.create_index(index)
+                created.append(index)
+        for query in queries:
+            result = engine.execute(query, timeout=remaining)
+            total += result.execution_time
+            if not result.complete:
+                return False, float("inf")
+            if remaining is not None:
+                remaining -= result.execution_time
+                if remaining <= 0 and query is not queries[-1]:
+                    return False, float("inf")
+        return True, total
+    finally:
+        for index in created:
+            engine.drop_index(index)
+
+
+def offline_workload_time(
+    engine: DatabaseEngine,
+    queries: list[Query],
+    settings: dict[str, object],
+    indexes: list[Index] | None = None,
+) -> float:
+    """Full-workload time under a configuration, without clock cost.
+
+    Mirrors the paper's protocol for UDO: configurations evaluated on
+    samples are *re-executed* on the full workload for comparability;
+    that re-execution is not charged to tuning time.
+    """
+    saved = engine.config
+    try:
+        engine.set_many(settings)
+        with engine.hypothetical_indexes(list(indexes or [])):
+            return sum(engine.estimate_seconds(query) for query in queries)
+    finally:
+        engine.set_many(saved)
+
+
+class BaselineTuner(abc.ABC):
+    """Base class for all baseline tuning systems."""
+
+    name = "baseline"
+
+    def __init__(self, *, seed: int = 0, trial_timeout: float | None = None) -> None:
+        self.seed = seed
+        self.trial_timeout = trial_timeout
+        self._rng = random.Random(seed)
+
+    @abc.abstractmethod
+    def tune(
+        self,
+        workload: Workload,
+        engine: DatabaseEngine,
+        budget_seconds: float,
+    ) -> TuningResult:
+        """Search for a good configuration within the time budget."""
+
+    # -- helpers --------------------------------------------------------------
+
+    def _new_result(self, workload: Workload, engine: DatabaseEngine) -> TuningResult:
+        return TuningResult(
+            tuner=self.name,
+            workload=workload.name,
+            system=engine.system,
+            best_time=float("inf"),
+            best_config=None,
+        )
+
+    def _note_trial(
+        self,
+        result: TuningResult,
+        engine: DatabaseEngine,
+        completed: bool,
+        total: float,
+        config: object,
+    ) -> None:
+        result.configs_evaluated += 1
+        if completed and total < result.best_time:
+            result.best_config = config
+            result.record(engine.clock.now, total)

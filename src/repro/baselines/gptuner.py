@@ -1,0 +1,120 @@
+"""GPTuner: manual-reading, GPT-guided Bayesian optimization.
+
+Lao et al. (2023).  GPTuner uses an LLM to digest manual text into a
+*structured knowledge bundle* that prunes each knob's search range to a
+"reasonable" region, then runs a coarse-to-fine sampling-based
+optimization inside the pruned space.
+
+Reproduced here as: (1) range pruning around the corpus-mined
+recommended values (the knowledge-bundle step), (2) a coarse stage of
+seeded random samples over the pruned space, (3) a fine stage of local
+Gaussian perturbations around the incumbent -- the standard
+sample-efficient BO surrogate loop reduced to its behavioural essence.
+Trials are full-workload runs under a timeout.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineTuner, measure_configuration
+from repro.core.config import Configuration
+from repro.core.result import TuningResult
+from repro.db.engine import DatabaseEngine
+from repro.llm.corpus import hint_setting, hints_for
+from repro.workloads.base import Workload
+
+_COARSE_TRIALS = 8
+
+
+class GPTunerTuner(BaselineTuner):
+    """Pruned-space coarse-to-fine knob optimization."""
+
+    name = "gptuner"
+
+    def tune(
+        self,
+        workload: Workload,
+        engine: DatabaseEngine,
+        budget_seconds: float,
+    ) -> TuningResult:
+        result = self._new_result(workload, engine)
+        start = engine.clock.now
+        defaults = engine.knob_space.defaults()
+        ranges = self._pruned_ranges(engine)
+
+        incumbent = dict(defaults)
+        trial = 0
+        while engine.clock.now - start < budget_seconds:
+            if trial < _COARSE_TRIALS:
+                settings = self._coarse_sample(ranges, defaults)
+            else:
+                settings = self._fine_sample(incumbent, ranges, defaults)
+            trial += 1
+
+            completed, total = measure_configuration(
+                engine, list(workload.queries), settings,
+                trial_timeout=self.trial_timeout,
+            )
+            config = Configuration(
+                name=f"gptuner-{result.configs_evaluated}", settings=dict(settings)
+            )
+            if completed and total < result.best_time:
+                incumbent = dict(settings)
+            self._note_trial(result, engine, completed, total, config)
+
+        result.tuning_seconds = engine.clock.now - start
+        return result
+
+    # -- knowledge bundle ---------------------------------------------------------
+
+    def _pruned_ranges(
+        self, engine: DatabaseEngine
+    ) -> dict[str, tuple[float, float]]:
+        """Per-knob [low, high] region around the manual recommendation."""
+        ranges: dict[str, tuple[float, float]] = {}
+        for hint in hints_for(engine.system):
+            parameter, value = hint_setting(hint, engine.hardware)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            knob = engine.knob_space.knob(parameter)
+            low = knob.clamp(value * 0.5)
+            high = knob.clamp(value * 2.0)
+            if parameter in ranges:
+                low = min(low, ranges[parameter][0])
+                high = max(high, ranges[parameter][1])
+            ranges[parameter] = (float(low), float(high))
+        return ranges
+
+    # -- sampling ----------------------------------------------------------------------
+
+    def _coarse_sample(
+        self,
+        ranges: dict[str, tuple[float, float]],
+        defaults: dict[str, object],
+    ) -> dict[str, object]:
+        settings = dict(defaults)
+        for parameter, (low, high) in ranges.items():
+            settings[parameter] = self._pick(low, high, self._rng.random())
+        return settings
+
+    def _fine_sample(
+        self,
+        incumbent: dict[str, object],
+        ranges: dict[str, tuple[float, float]],
+        defaults: dict[str, object],
+    ) -> dict[str, object]:
+        settings = dict(incumbent)
+        for parameter, (low, high) in ranges.items():
+            current = float(incumbent.get(parameter, defaults[parameter]))  # type: ignore[arg-type]
+            jitter = self._rng.gauss(0.0, 0.15) * (high - low)
+            settings[parameter] = self._pick(
+                low, high, (current + jitter - low) / max(high - low, 1e-9)
+            )
+        return settings
+
+    @staticmethod
+    def _pick(low: float, high: float, unit: float) -> object:
+        unit = min(1.0, max(0.0, unit))
+        value = low + (high - low) * unit
+        if low == int(low) and high == int(high) and high - low >= 1:
+            return int(round(value))
+        return value

@@ -1,0 +1,176 @@
+"""UDO: universal database optimization via reinforcement learning.
+
+Wang, Trummer, Basu (VLDB 2021).  UDO separates *heavy* parameters
+(physical design -- index creation is expensive to change) from *light*
+parameters (knobs -- cheap to change) and runs a two-level RL search:
+an epsilon-greedy bandit over index sets at the top, and for each index
+set an inner epsilon-greedy search over discretized knob settings.
+
+Faithful behavioural properties kept here:
+
+- evaluates **workload samples**, not the full workload, so per-trial
+  cost is low and the trial count is very high (paper Table 4 reports
+  hundreds of trials for UDO at SF1) but measurements are noisy;
+- full-workload quality of a trialed configuration is re-measured
+  offline, as the paper does for comparability;
+- no text-mined priors: convergence is slower than the LLM-guided
+  systems.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import (
+    BaselineTuner,
+    measure_configuration,
+    offline_workload_time,
+)
+from repro.core.config import Configuration
+from repro.core.result import TuningResult
+from repro.db.engine import DatabaseEngine
+from repro.db.indexes import Index
+from repro.db.knobs import GB, MB
+from repro.workloads.base import Workload
+
+#: Fraction of the workload sampled per trial.
+_SAMPLE_FRACTION = 0.2
+_EPSILON = 0.3
+
+
+class UDOTuner(BaselineTuner):
+    """Two-level RL search over indexes and knobs."""
+
+    name = "udo"
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        trial_timeout: float | None = None,
+        tune_indexes: bool = True,
+    ) -> None:
+        super().__init__(seed=seed, trial_timeout=trial_timeout)
+        self.tune_indexes = tune_indexes
+
+    def tune(
+        self,
+        workload: Workload,
+        engine: DatabaseEngine,
+        budget_seconds: float,
+    ) -> TuningResult:
+        result = self._new_result(workload, engine)
+        start = engine.clock.now
+        defaults = engine.knob_space.defaults()
+
+        index_candidates = (
+            self._index_candidates(workload) if self.tune_indexes else []
+        )
+        knob_grid = self._knob_grid(engine)
+
+        # Bandit state: average sampled reward per index-arm signature.
+        arm_rewards: dict[frozenset, tuple[float, int]] = {}
+        best_settings = dict(defaults)
+        best_indexes: list[Index] = []
+
+        sample_size = max(1, int(len(workload.queries) * _SAMPLE_FRACTION))
+
+        while engine.clock.now - start < budget_seconds:
+            index_set = self._pick_index_arm(index_candidates, arm_rewards)
+            settings = self._mutate_settings(best_settings, knob_grid, defaults)
+
+            sample = self._rng.sample(list(workload.queries), sample_size)
+            completed, sample_time = measure_configuration(
+                engine,
+                sample,
+                settings,
+                list(index_set),
+                trial_timeout=self.trial_timeout,
+            )
+            reward = -sample_time if completed else -1e9
+            average, count = arm_rewards.get(index_set, (0.0, 0))
+            arm_rewards[index_set] = (
+                (average * count + reward) / (count + 1),
+                count + 1,
+            )
+
+            if completed:
+                # Re-measure the full workload offline (paper protocol).
+                full_time = offline_workload_time(
+                    engine, workload.queries, settings, list(index_set)
+                )
+                config = Configuration(
+                    name=f"udo-{result.configs_evaluated}",
+                    settings=dict(settings),
+                    indexes=list(index_set),
+                )
+                if full_time < result.best_time:
+                    best_settings = dict(settings)
+                    best_indexes = list(index_set)
+                self._note_trial(result, engine, True, full_time, config)
+            else:
+                self._note_trial(result, engine, False, float("inf"), None)
+
+        result.tuning_seconds = engine.clock.now - start
+        result.extras["best_indexes"] = [index.name for index in best_indexes]
+        return result
+
+    # -- search space -----------------------------------------------------------
+
+    def _index_candidates(self, workload: Workload) -> list[Index]:
+        columns: set[str] = set()
+        for condition in workload.join_conditions:
+            columns.update(condition.columns)
+        for query in workload.queries:
+            for predicate in query.info.filters:
+                columns.add(predicate.qualified_column)
+        candidates = []
+        for qualified in sorted(columns):
+            table, column = qualified.rsplit(".", 1)
+            candidates.append(Index(table, (column,)))
+        return candidates
+
+    def _pick_index_arm(
+        self,
+        candidates: list[Index],
+        rewards: dict[frozenset, tuple[float, int]],
+    ) -> frozenset:
+        if not candidates:
+            return frozenset()
+        if rewards and self._rng.random() > _EPSILON:
+            return max(rewards, key=lambda arm: rewards[arm][0])
+        size = self._rng.randint(0, min(8, len(candidates)))
+        return frozenset(self._rng.sample(candidates, size))
+
+    def _knob_grid(self, engine: DatabaseEngine) -> dict[str, list[object]]:
+        memory = engine.hardware.memory_bytes
+        cores = engine.hardware.cores
+        if engine.system == "postgres":
+            return {
+                "shared_buffers": [128 * MB, memory // 8, memory // 4, memory // 2],
+                "work_mem": [4 * MB, 64 * MB, 256 * MB, 1 * GB, 4 * GB],
+                "effective_cache_size": [4 * GB, memory // 2, int(memory * 0.75)],
+                "random_page_cost": [1.0, 1.5, 2.0, 4.0],
+                "effective_io_concurrency": [1, 64, 200],
+                "max_parallel_workers_per_gather": [0, 2, cores // 2, cores],
+                "maintenance_work_mem": [64 * MB, 512 * MB, 2 * GB],
+            }
+        return {
+            "innodb_buffer_pool_size": [128 * MB, memory // 4, memory // 2,
+                                        int(memory * 0.7)],
+            "join_buffer_size": [256 * 1024, 16 * MB, 128 * MB, 512 * MB],
+            "sort_buffer_size": [256 * 1024, 8 * MB, 64 * MB, 256 * MB],
+            "tmp_table_size": [16 * MB, 256 * MB, 1 * GB],
+            "innodb_flush_method": ["fsync", "o_direct"],
+            "innodb_io_capacity": [200, 2000, 10000],
+        }
+
+    def _mutate_settings(
+        self,
+        base: dict[str, object],
+        grid: dict[str, list[object]],
+        defaults: dict[str, object],
+    ) -> dict[str, object]:
+        settings = {name: base.get(name, defaults[name]) for name in defaults}
+        # Flip a few knobs per step (SARSA-style local moves).
+        for name in self._rng.sample(list(grid), k=min(3, len(grid))):
+            settings[name] = self._rng.choice(grid[name])
+        return settings

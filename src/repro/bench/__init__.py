@@ -1,0 +1,26 @@
+"""The experiment harness.
+
+Regenerates every table and figure of the paper's evaluation (§6):
+
+- :mod:`repro.bench.scenarios` -- the 14 (benchmark, DBMS,
+  initial-indexes) scenarios of Table 3 and Figures 3-4.
+- :mod:`repro.bench.runner` -- runs one scenario across all tuners
+  under the paper's protocol (trial timeouts set to 3x lambda-Tune's
+  worst configuration, Dexter indexes for parameter-only baselines in
+  the no-index scenarios, ...).
+- :mod:`repro.bench.tables` -- Tables 3, 4 and 5.
+- :mod:`repro.bench.figures` -- Figures 3, 4, 5, 6, 7 and 8.
+- :mod:`repro.bench.reporting` -- text/JSON rendering.
+- :mod:`repro.bench.cli` -- ``lambda-tune-bench`` entry point.
+"""
+
+from repro.bench.scenarios import Scenario, SCENARIOS, make_engine
+from repro.bench.runner import ScenarioRun, run_scenario
+
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "make_engine",
+    "ScenarioRun",
+    "run_scenario",
+]

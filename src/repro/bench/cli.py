@@ -1,0 +1,136 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    lambda-tune-bench --experiment table3 --out results/
+    lambda-tune-bench --experiment all --scale quick
+
+``--scale quick`` shrinks tuning budgets and the scenario list so the
+whole evaluation finishes in a couple of minutes; ``--scale full`` runs
+the complete 14-scenario protocol.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.bench import figures, tables
+from repro.bench.reporting import save_json
+from repro.bench.scenarios import SCENARIOS, Scenario
+
+EXPERIMENTS = (
+    "table3",
+    "table4",
+    "table5",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+)
+
+_QUICK_SCENARIOS = [
+    Scenario("tpch-sf1", "postgres", True),
+    Scenario("tpch-sf1", "mysql", True),
+    Scenario("tpch-sf1", "postgres", False),
+    Scenario("tpcds-sf1", "postgres", False),
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lambda-tune-bench",
+        description="Regenerate the lambda-Tune paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--experiment",
+        choices=EXPERIMENTS + ("all",),
+        default="all",
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "full"),
+        default="quick",
+        help="quick: reduced scenarios/budgets; full: the paper protocol",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("results"), help="output directory"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    chosen = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    scenario_list = SCENARIOS if args.scale == "full" else _QUICK_SCENARIOS
+    budget = None if args.scale == "full" else 600.0
+
+    for experiment in chosen:
+        started = time.perf_counter()
+        print(f"== {experiment} ==", flush=True)
+        if experiment == "table3":
+            table, runs = tables.table3(
+                scenario_list, budget_seconds=budget, seed=args.seed
+            )
+            print(table.to_text())
+            save_json(args.out / "table3.json",
+                      {"rows": table.rows, "averages": table.averages})
+        elif experiment == "table4":
+            table = tables.table4(budget_seconds=budget, seed=args.seed)
+            print(table.to_text())
+            save_json(args.out / "table4.json", {"rows": table.rows})
+        elif experiment == "table5":
+            table = tables.table5(seed=args.seed)
+            print(table.to_text())
+            save_json(
+                args.out / "table5.json",
+                {
+                    "parameters": table.parameters,
+                    "indexes": table.indexed_columns,
+                    "best_time": table.best_time,
+                },
+            )
+        elif experiment in ("figure3", "figure4"):
+            builder = figures.figure3 if experiment == "figure3" else figures.figure4
+            figure = builder(budget_seconds=budget, seed=args.seed)
+            print(figure.to_text())
+            save_json(args.out / f"{experiment}.json", figure.panels)
+        elif experiment == "figure5":
+            figure = figures.figure5(seed=args.seed)
+            print(figure.to_text())
+            save_json(args.out / "figure5.json", figure.per_query)
+        elif experiment == "figure6":
+            workload = "job" if args.scale == "full" else "tpch-sf1"
+            figure = figures.figure6(seed=args.seed, workload_name=workload)
+            print(figure.to_text())
+            save_json(
+                args.out / "figure6.json",
+                {
+                    "traces": figure.traces,
+                    "time_to_first_config": figure.time_to_first_config,
+                    "best_time": figure.best_time,
+                },
+            )
+        elif experiment == "figure7":
+            workload = "job" if args.scale == "full" else "tpch-sf1"
+            figure = figures.figure7(seed=args.seed, workload_name=workload)
+            print(figure.to_text())
+            save_json(args.out / "figure7.json", figure.points)
+        elif experiment == "figure8":
+            names = (
+                ("tpch-sf1", "tpch-sf10", "tpcds-sf1", "job")
+                if args.scale == "full"
+                else ("tpch-sf1", "tpcds-sf1")
+            )
+            figure = figures.figure8(seed=args.seed, workload_names=names)
+            print(figure.to_text())
+            save_json(args.out / "figure8.json", figure.rows)
+        print(f"[{experiment} done in {time.perf_counter() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

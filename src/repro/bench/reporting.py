@@ -1,0 +1,56 @@
+"""Rendering and persisting experiment outputs."""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Fixed-width text table."""
+    cells = [[_render(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "-"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def save_json(path: Path, payload: object) -> None:
+    """Persist a result payload, creating parent directories.
+
+    Non-finite floats become ``null`` (strict JSON has no Infinity).
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(_sanitize(payload), indent=2, allow_nan=False)
+    )
+
+
+def _sanitize(value: object):
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {str(key): _sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_sanitize(item) for item in value]
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if hasattr(value, "__dict__"):
+        return _sanitize(vars(value))
+    return str(value)

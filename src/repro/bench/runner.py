@@ -1,0 +1,173 @@
+"""Runs one scenario across all tuning systems under the paper protocol.
+
+Protocol details reproduced from §6.1:
+
+- lambda-Tune runs first with t=10s, alpha=10, k=5 samples from the LLM.
+- UDO and GPTuner receive a trial timeout of three times the worst
+  configuration found by lambda-Tune.
+- In parameter-only scenarios (initial indexes present) no tuner
+  changes the physical design.
+- In full-scope scenarios, lambda-Tune and UDO tune indexes themselves;
+  the parameter-only baselines get Dexter's recommended indexes created
+  before their tuning starts (not charged to their budget).
+- Every tuner runs on a fresh engine (same catalog, fresh clock).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.baselines import (
+    DBBertTuner,
+    DexterAdvisor,
+    GPTunerTuner,
+    LlamaTuneTuner,
+    ParamTreeTuner,
+    UDOTuner,
+)
+from repro.bench.scenarios import Scenario, default_indexes, make_engine
+from repro.core.result import TuningResult
+from repro.core.tuner import LambdaTune, LambdaTuneOptions
+from repro.llm.mock import SimulatedLLM
+from repro.workloads import load_workload
+from repro.workloads.base import Workload
+
+TUNER_NAMES = ["lambda-tune", "udo", "db-bert", "gptuner", "llamatune", "paramtree"]
+
+
+@dataclass(slots=True)
+class ScenarioRun:
+    """All tuner results for one scenario."""
+
+    scenario: Scenario
+    results: dict[str, TuningResult] = field(default_factory=dict)
+    default_time: float = 0.0
+
+    def best_overall(self) -> float:
+        finite = [
+            result.best_time
+            for result in self.results.values()
+            if math.isfinite(result.best_time)
+        ]
+        return min(finite) if finite else float("inf")
+
+    def scaled_costs(self) -> dict[str, float]:
+        """Table-3 style: each tuner's best cost over the scenario optimum."""
+        best = self.best_overall()
+        scaled = {}
+        for name, result in self.results.items():
+            if math.isfinite(result.best_time) and best > 0:
+                scaled[name] = result.best_time / best
+            else:
+                scaled[name] = float("inf")
+        return scaled
+
+
+def _fresh_engine(scenario: Scenario, workload: Workload):
+    engine = make_engine(workload, scenario.system)
+    if scenario.initial_indexes:
+        for index in default_indexes(workload):
+            engine.create_index(index)
+    engine.clock.reset()
+    return engine
+
+
+def run_lambda_tune(
+    scenario: Scenario,
+    workload: Workload,
+    *,
+    seed: int = 0,
+    options: LambdaTuneOptions | None = None,
+) -> TuningResult:
+    """Run lambda-Tune on a fresh engine for this scenario."""
+    engine = _fresh_engine(scenario, workload)
+    base = options or LambdaTuneOptions()
+    opts = base.ablated(
+        parameters_only=scenario.initial_indexes or base.parameters_only,
+        seed=seed,
+    )
+    tuner = LambdaTune(engine, SimulatedLLM(), opts)
+    result = tuner.tune(list(workload.queries))
+    result.workload = workload.name
+    return result
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    budget_seconds: float | None = None,
+    seed: int = 0,
+    tuners: list[str] | None = None,
+    lambda_options: LambdaTuneOptions | None = None,
+) -> ScenarioRun:
+    """Execute the full tuner comparison for one scenario."""
+    workload = load_workload(scenario.workload_name)
+    run = ScenarioRun(scenario=scenario)
+
+    baseline_engine = _fresh_engine(scenario, workload)
+    run.default_time = sum(
+        baseline_engine.estimate_seconds(query) for query in workload.queries
+    )
+    if budget_seconds is None:
+        budget_seconds = max(1500.0, 8.0 * run.default_time)
+
+    selected = tuners or TUNER_NAMES
+
+    # lambda-Tune first: its worst configuration sets the baselines'
+    # trial timeout (paper §6.1).
+    lt_result = run_lambda_tune(
+        scenario, workload, seed=seed, options=lambda_options
+    )
+    if "lambda-tune" in selected:
+        run.results["lambda-tune"] = lt_result
+    trial_timeout = _trial_timeout_from(lt_result, run.default_time)
+
+    # Parameter-only baselines get Dexter's indexes in no-index scenarios.
+    dexter_indexes = []
+    if not scenario.initial_indexes:
+        advisor_engine = _fresh_engine(scenario, workload)
+        dexter_indexes = DexterAdvisor().recommend(workload, advisor_engine).indexes
+
+    for name in selected:
+        if name == "lambda-tune":
+            continue
+        engine = _fresh_engine(scenario, workload)
+        if name != "udo" and dexter_indexes:
+            for index in dexter_indexes:
+                engine.create_index(index)
+            engine.clock.reset()
+
+        if name == "udo":
+            tuner = UDOTuner(
+                seed=seed,
+                trial_timeout=trial_timeout,
+                tune_indexes=not scenario.initial_indexes,
+            )
+        elif name == "db-bert":
+            tuner = DBBertTuner(seed=seed, trial_timeout=trial_timeout)
+        elif name == "gptuner":
+            tuner = GPTunerTuner(seed=seed, trial_timeout=trial_timeout)
+        elif name == "llamatune":
+            tuner = LlamaTuneTuner(seed=seed, trial_timeout=trial_timeout)
+        elif name == "paramtree":
+            tuner = ParamTreeTuner(seed=seed, trial_timeout=trial_timeout)
+        else:
+            continue
+        result = tuner.tune(workload, engine, budget_seconds)
+        run.results[name] = result
+
+    return run
+
+
+def _trial_timeout_from(result: TuningResult, default_time: float) -> float:
+    """Three times lambda-Tune's worst completed configuration (§6.1)."""
+    meta = result.extras.get("meta", {})
+    completed_times = [
+        entry.time
+        for entry in getattr(meta, "values", lambda: [])()
+        if getattr(entry, "is_complete", False)
+    ]
+    if completed_times:
+        return 3.0 * max(completed_times)
+    return 3.0 * max(default_time, 1.0)

@@ -1,0 +1,115 @@
+"""Scenario definitions mirroring the paper's experimental setup (§6.1).
+
+A scenario is (benchmark, DBMS, initial-indexes?).  With initial
+indexes, primary/foreign-key indexes exist before tuning and all tuners
+are restricted to parameter settings (Figure 3).  Without, tuning
+starts from a bare schema and systems that can create indexes do
+(Figure 4); parameter-only baselines get Dexter's recommendations
+up front, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.engine import DatabaseEngine
+from repro.db.hardware import HardwareSpec
+from repro.db.indexes import Index
+from repro.db.mysql import MySQLEngine
+from repro.db.postgres import PostgresEngine
+from repro.errors import ReproError
+from repro.workloads import load_workload
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True, slots=True)
+class Scenario:
+    """One row of Table 3."""
+
+    workload_name: str
+    system: str  # "postgres" | "mysql"
+    initial_indexes: bool
+
+    @property
+    def key(self) -> str:
+        suffix = "idx" if self.initial_indexes else "noidx"
+        return f"{self.workload_name}-{self.system}-{suffix}"
+
+    @property
+    def label(self) -> str:
+        dbms = "PG" if self.system == "postgres" else "MS"
+        display = {
+            "tpch-sf1": "TPC-H 1GB",
+            "tpch-sf10": "TPC-H 10GB",
+            "tpcds-sf1": "TPC-DS",
+            "job": "JOB",
+        }[self.workload_name]
+        return f"{display} {dbms}"
+
+
+# The 14 scenarios of Table 3, in the paper's row order.
+SCENARIOS: list[Scenario] = [
+    Scenario("tpch-sf1", "postgres", True),
+    Scenario("tpch-sf1", "mysql", True),
+    Scenario("tpch-sf10", "postgres", True),
+    Scenario("tpch-sf10", "mysql", True),
+    Scenario("job", "postgres", True),
+    Scenario("job", "mysql", True),
+    Scenario("tpch-sf1", "postgres", False),
+    Scenario("tpch-sf1", "mysql", False),
+    Scenario("tpch-sf10", "postgres", False),
+    Scenario("tpch-sf10", "mysql", False),
+    Scenario("job", "postgres", False),
+    Scenario("job", "mysql", False),
+    Scenario("tpcds-sf1", "postgres", False),
+    Scenario("tpcds-sf1", "mysql", False),
+]
+
+
+def make_engine(
+    workload: Workload,
+    system: str,
+    hardware: HardwareSpec | None = None,
+) -> DatabaseEngine:
+    """A fresh engine of the requested system over the workload's catalog."""
+    if system == "postgres":
+        return PostgresEngine(workload.catalog, hardware)
+    if system == "mysql":
+        return MySQLEngine(workload.catalog, hardware)
+    raise ReproError(f"unknown system {system!r}")
+
+
+def default_indexes(workload: Workload) -> list[Index]:
+    """Primary/foreign-key indexes referenced by the workload (Fig. 3).
+
+    The paper's Scenario 1 creates indexes "covering primary key and
+    foreign key columns referred to in the input workload" -- here:
+    every join-condition column plus declared primary keys.
+    """
+    columns: set[str] = set()
+    for condition in workload.join_conditions:
+        columns.update(condition.columns)
+    for table in workload.catalog.tables:
+        for column in table.columns.values():
+            if column.is_primary_key:
+                columns.add(f"{table.name}.{column.name}")
+    indexes = []
+    for qualified in sorted(columns):
+        table_name, column_name = qualified.rsplit(".", 1)
+        indexes.append(Index(table_name, (column_name,)))
+    return indexes
+
+
+def prepare_scenario(scenario: Scenario) -> tuple[Workload, DatabaseEngine]:
+    """Workload plus an engine with the scenario's initial physical design.
+
+    Initial index builds are not charged to any tuner: the clock is
+    reset after setup.
+    """
+    workload = load_workload(scenario.workload_name)
+    engine = make_engine(workload, scenario.system)
+    if scenario.initial_indexes:
+        for index in default_indexes(workload):
+            engine.create_index(index)
+    engine.clock.reset()  # setup time is free by the paper's protocol
+    return workload, engine

@@ -1,0 +1,176 @@
+"""Regenerating the paper's tables (§6.2-6.3).
+
+- Table 3: cost of the best configuration found by each tuner, scaled
+  to the best overall configuration per scenario.
+- Table 4: number of configurations evaluated per baseline (Postgres).
+- Table 5: the best lambda-Tune configuration for TPC-H 1GB on
+  Postgres, parameters grouped by category plus recommended indexes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.bench.runner import TUNER_NAMES, ScenarioRun, run_lambda_tune, run_scenario
+from repro.bench.scenarios import SCENARIOS, Scenario
+from repro.db.knobs import format_size, KnobKind
+from repro.workloads import load_workload
+
+
+@dataclass(slots=True)
+class Table3:
+    """Scaled best-configuration costs per scenario and tuner."""
+
+    rows: list[dict[str, object]] = field(default_factory=list)
+    averages: dict[str, float] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        headers = ["Benchmark", "DBMS", "Idx"] + TUNER_NAMES
+        lines = ["\t".join(headers)]
+        for row in self.rows:
+            cells = [str(row["benchmark"]), str(row["dbms"]), str(row["indexes"])]
+            for name in TUNER_NAMES:
+                value = row.get(name, float("inf"))
+                cells.append(f"{value:.2f}" if math.isfinite(value) else "-")
+            lines.append("\t".join(cells))
+        avg_cells = ["Average", "", ""]
+        for name in TUNER_NAMES:
+            value = self.averages.get(name, float("inf"))
+            avg_cells.append(f"{value:.2f}" if math.isfinite(value) else "-")
+        lines.append("\t".join(avg_cells))
+        return "\n".join(lines)
+
+
+def table3(
+    scenarios: list[Scenario] | None = None,
+    *,
+    budget_seconds: float | None = None,
+    seed: int = 0,
+    tuners: list[str] | None = None,
+) -> tuple[Table3, dict[str, ScenarioRun]]:
+    """Run every scenario and assemble Table 3."""
+    chosen = scenarios if scenarios is not None else SCENARIOS
+    table = Table3()
+    runs: dict[str, ScenarioRun] = {}
+    sums: dict[str, float] = {}
+    counts: dict[str, int] = {}
+
+    for scenario in chosen:
+        run = run_scenario(
+            scenario, budget_seconds=budget_seconds, seed=seed, tuners=tuners
+        )
+        runs[scenario.key] = run
+        scaled = run.scaled_costs()
+        row: dict[str, object] = {
+            "benchmark": scenario.label.rsplit(" ", 1)[0],
+            "dbms": "PG" if scenario.system == "postgres" else "MS",
+            "indexes": "Yes" if scenario.initial_indexes else "No",
+        }
+        for name, value in scaled.items():
+            row[name] = value
+            if math.isfinite(value):
+                sums[name] = sums.get(name, 0.0) + value
+                counts[name] = counts.get(name, 0) + 1
+        table.rows.append(row)
+
+    table.averages = {
+        name: sums[name] / counts[name] for name in sums if counts.get(name)
+    }
+    return table, runs
+
+
+@dataclass(slots=True)
+class Table4:
+    """Configurations evaluated per baseline (Postgres scenarios)."""
+
+    rows: list[dict[str, object]] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        headers = ["Scenario", "Idx"] + TUNER_NAMES
+        lines = ["\t".join(headers)]
+        for row in self.rows:
+            cells = [str(row["scenario"]), str(row["indexes"])]
+            cells += [str(row.get(name, "-")) for name in TUNER_NAMES]
+            lines.append("\t".join(cells))
+        return "\n".join(lines)
+
+
+def table4(
+    runs: dict[str, ScenarioRun] | None = None,
+    *,
+    budget_seconds: float | None = None,
+    seed: int = 0,
+) -> Table4:
+    """Trial counts for the TPC-H Postgres scenarios (paper Table 4)."""
+    wanted = [
+        Scenario("tpch-sf1", "postgres", True),
+        Scenario("tpch-sf1", "postgres", False),
+        Scenario("tpch-sf10", "postgres", True),
+        Scenario("tpch-sf10", "postgres", False),
+    ]
+    table = Table4()
+    for scenario in wanted:
+        if runs is not None and scenario.key in runs:
+            run = runs[scenario.key]
+        else:
+            run = run_scenario(scenario, budget_seconds=budget_seconds, seed=seed)
+        row: dict[str, object] = {
+            "scenario": scenario.label.rsplit(" ", 1)[0],
+            "indexes": "Yes" if scenario.initial_indexes else "No",
+        }
+        for name, result in run.results.items():
+            row[name] = result.configs_evaluated
+        table.rows.append(row)
+    return table
+
+
+@dataclass(slots=True)
+class Table5:
+    """Best lambda-Tune configuration detail (TPC-H 1GB, Postgres)."""
+
+    parameters: list[tuple[str, str, str]] = field(default_factory=list)
+    indexed_columns: dict[str, list[str]] = field(default_factory=dict)
+    best_time: float = 0.0
+
+    def to_text(self) -> str:
+        lines = ["Parameter\tCategory\tValue"]
+        for name, category, value in self.parameters:
+            lines.append(f"{name}\t{category}\t{value}")
+        lines.append("")
+        lines.append("Table\tIndexed Columns")
+        for table_name, columns in sorted(self.indexed_columns.items()):
+            lines.append(f"{table_name}\t{', '.join(columns)}")
+        return "\n".join(lines)
+
+
+def table5(*, seed: int = 0) -> Table5:
+    """Run lambda-Tune on TPC-H 1GB / Postgres and report the winner."""
+    scenario = Scenario("tpch-sf1", "postgres", False)
+    workload = load_workload(scenario.workload_name)
+    result = run_lambda_tune(scenario, workload, seed=seed)
+    table = Table5(best_time=result.best_time)
+    config = result.best_config
+    if config is None:
+        return table
+
+    from repro.db.postgres import PostgresEngine
+
+    knob_space = PostgresEngine(workload.catalog).knob_space
+    for name in sorted(config.settings):
+        knob = knob_space.knob(name)
+        value = config.settings[name]
+        if knob.kind is KnobKind.SIZE:
+            rendered = format_size(int(value))
+        elif isinstance(value, bool):
+            rendered = "on" if value else "off"
+        else:
+            rendered = str(value)
+        table.parameters.append((name, knob.category.value, rendered))
+    for index in config.indexes:
+        table.indexed_columns.setdefault(index.table, []).append(
+            index.leading_column
+        )
+    for columns in table.indexed_columns.values():
+        columns.sort()
+    return table

@@ -1,0 +1,24 @@
+"""lambda-Tune's core: prompt generation, selection, and evaluation.
+
+- :mod:`repro.core.prompt` -- prompt template, workload compression, and
+  the ILP snippet selector (paper §3).
+- :mod:`repro.core.selector` -- round-based configuration selection with
+  geometric timeouts (paper §4, Algorithm 2).
+- :mod:`repro.core.evaluator` -- lazy index creation and per-query
+  timeout accounting (paper §5.1, Algorithm 3).
+- :mod:`repro.core.scheduler` -- the DP query scheduler minimizing
+  expected index-creation cost (paper §5.2-5.3, Algorithm 4).
+- :mod:`repro.core.clustering` -- K-means query clustering capping the
+  DP input size (paper §5.4).
+- :mod:`repro.core.tuner` -- the full pipeline (Algorithm 1).
+"""
+
+from repro.core.config import Configuration, parse_config_script
+from repro.core.tuner import LambdaTune, LambdaTuneOptions
+
+__all__ = [
+    "Configuration",
+    "parse_config_script",
+    "LambdaTune",
+    "LambdaTuneOptions",
+]

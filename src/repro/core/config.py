@@ -1,0 +1,123 @@
+"""Candidate configurations and parsing of LLM-generated scripts.
+
+The LLM answers with a block of SQL commands (``ALTER SYSTEM SET`` /
+``SET GLOBAL`` plus ``CREATE INDEX``), possibly interleaved with prose.
+:func:`parse_config_script` extracts the valid commands, validates them
+against the target engine's knob space and catalog, and drops anything
+unusable -- real LLM output is messy and one bad line must not discard
+an otherwise good configuration.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.db.catalog import Catalog
+from repro.db.engine import DatabaseEngine
+from repro.db.indexes import Index
+from repro.db.knobs import KnobSpace
+from repro.errors import CatalogError, KnobError
+
+_SET_RE = re.compile(
+    r"(?:ALTER\s+SYSTEM\s+SET|SET\s+GLOBAL|SET)\s+"
+    r"([A-Za-z0-9_]+)\s*=\s*([^;\n]+)",
+    re.IGNORECASE,
+)
+_INDEX_RE = re.compile(
+    r"CREATE\s+(?:UNIQUE\s+)?INDEX\s+(?:IF\s+NOT\s+EXISTS\s+)?"
+    r"(?:([A-Za-z0-9_]+)\s+)?ON\s+([A-Za-z0-9_]+)\s*\(([^)]+)\)",
+    re.IGNORECASE,
+)
+
+
+@dataclass(slots=True)
+class Configuration:
+    """One candidate configuration: parameter settings plus indexes."""
+
+    name: str
+    settings: dict[str, object] = field(default_factory=dict)
+    indexes: list[Index] = field(default_factory=list)
+    raw_text: str = ""
+    #: Lines that could not be validated (kept for diagnostics).
+    rejected: list[str] = field(default_factory=list)
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Configuration) and other.name == self.name
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.settings and not self.indexes
+
+    def without_indexes(self) -> "Configuration":
+        """A copy restricted to parameter settings (Fig. 3 scenarios)."""
+        return Configuration(
+            name=self.name,
+            settings=dict(self.settings),
+            indexes=[],
+            raw_text=self.raw_text,
+            rejected=list(self.rejected),
+        )
+
+    def indexes_only(self) -> "Configuration":
+        """A copy restricted to index recommendations (Fig. 8 scenario)."""
+        return Configuration(
+            name=self.name,
+            settings={},
+            indexes=list(self.indexes),
+            raw_text=self.raw_text,
+            rejected=list(self.rejected),
+        )
+
+    def apply_settings(self, engine: DatabaseEngine) -> float:
+        """Apply parameter settings to the engine; returns restart time."""
+        return engine.apply_config(self.settings)
+
+
+def parse_config_script(
+    text: str,
+    knob_space: KnobSpace,
+    catalog: Catalog,
+    *,
+    name: str = "config",
+) -> Configuration:
+    """Parse an LLM response into a validated :class:`Configuration`."""
+    config = Configuration(name=name, raw_text=text)
+
+    for match in _SET_RE.finditer(text):
+        knob_name = match.group(1).lower()
+        raw_value = match.group(2).strip().strip("'\"").rstrip(";").strip()
+        if knob_name not in knob_space:
+            config.rejected.append(match.group(0))
+            continue
+        try:
+            value = knob_space.coerce(knob_name, raw_value)
+        except KnobError:
+            config.rejected.append(match.group(0))
+            continue
+        config.settings[knob_name] = value
+
+    seen: set[tuple[str, tuple[str, ...]]] = set()
+    for match in _INDEX_RE.finditer(text):
+        index_name = (match.group(1) or "").lower()
+        table = match.group(2).lower()
+        columns = tuple(
+            column.strip().lower()
+            for column in match.group(3).split(",")
+            if column.strip()
+        )
+        try:
+            index = Index(table, columns, name=index_name)
+            index.validate(catalog)
+        except CatalogError:
+            config.rejected.append(match.group(0))
+            continue
+        if index.key in seen:
+            continue
+        seen.add(index.key)
+        config.indexes.append(index)
+
+    return config

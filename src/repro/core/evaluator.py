@@ -1,0 +1,186 @@
+"""Configuration evaluation (paper §5.1, Algorithm 3).
+
+``ConfigurationEvaluator.evaluate`` runs one configuration's
+not-yet-completed queries under a timeout:
+
+- parameter settings are applied up front (a restart),
+- indexes are created **lazily**, right before the first query that
+  could use them, so a timeout never pays for indexes of queries that
+  never run,
+- queries are executed in the order chosen by the DP scheduler over
+  index-dependency clusters (§5.3-5.4), minimizing expected index cost,
+- indexes created here are implicitly dropped when evaluation ends
+  (pre-existing indexes are left alone), and
+- per-configuration metadata -- completed query time, completion flag,
+  cumulative index time, completed query set -- is updated in place,
+  exactly the ``ConfigMeta`` of the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.clustering import cluster_queries
+from repro.core.config import Configuration
+from repro.core.scheduler import MAX_DP_INPUT, compute_order_dp, greedy_order
+from repro.db.engine import DatabaseEngine
+from repro.db.indexes import Index
+from repro.workloads.base import Query
+
+
+@dataclass(slots=True)
+class ConfigMeta:
+    """Per-configuration bookkeeping (paper Table 2)."""
+
+    time: float = 0.0
+    is_complete: bool = False
+    index_time: float = 0.0
+    completed_queries: set[str] = field(default_factory=set)
+
+    def throughput(self) -> float:
+        """Completed queries per second of completed-query time."""
+        if self.time <= 0.0:
+            return 0.0
+        return len(self.completed_queries) / self.time
+
+
+class ConfigurationEvaluator:
+    """Evaluates candidate configurations on the live engine."""
+
+    def __init__(
+        self,
+        engine: DatabaseEngine,
+        *,
+        use_scheduler: bool = True,
+        lazy_indexes: bool = True,
+        max_dp_input: int = MAX_DP_INPUT,
+        cluster_seed: int = 0,
+    ) -> None:
+        self._engine = engine
+        self._use_scheduler = use_scheduler
+        self._lazy_indexes = lazy_indexes
+        self._max_dp_input = max_dp_input
+        self._cluster_seed = cluster_seed
+
+    # -- index relevance ------------------------------------------------------------
+
+    def query_index_map(
+        self, queries: list[Query], config: Configuration
+    ) -> dict[str, frozenset]:
+        """Map each query name to the config indexes it could use.
+
+        An index is potentially relevant when its indexed columns
+        overlap the columns in the query's predicates (paper §5.1).
+        """
+        result: dict[str, frozenset] = {}
+        for query in queries:
+            predicate_columns = {
+                predicate.qualified_column for predicate in query.info.filters
+            }
+            for condition in query.info.join_conditions:
+                predicate_columns.update(condition.columns)
+            relevant = frozenset(
+                index
+                for index in config.indexes
+                if any(
+                    column in predicate_columns
+                    for column in index.qualified_columns()
+                )
+            )
+            result[query.name] = relevant
+        return result
+
+    # -- ordering -----------------------------------------------------------------------
+
+    def plan_order(
+        self, queries: list[Query], config: Configuration
+    ) -> list[Query]:
+        """Choose the execution order (Algorithm 4 over clusters)."""
+        if not self._use_scheduler or len(queries) <= 1:
+            return list(queries)
+
+        index_map = self.query_index_map(queries, config)
+        index_cost = {
+            index: self._engine.index_creation_seconds(index)
+            for index in config.indexes
+        }
+
+        clusters = cluster_queries(
+            [query.name for query in queries],
+            index_map,
+            max_clusters=self._max_dp_input,
+            seed=self._cluster_seed,
+        )
+        cluster_handles = list(range(len(clusters)))
+        cluster_index_map = {
+            handle: clusters[handle].indexes for handle in cluster_handles
+        }
+        if len(cluster_handles) <= self._max_dp_input:
+            ordered_handles = compute_order_dp(
+                cluster_handles, cluster_index_map, index_cost
+            )
+        else:  # pragma: no cover - cluster_queries respects the cap
+            ordered_handles = greedy_order(
+                cluster_handles, cluster_index_map, index_cost
+            )
+
+        by_name = {query.name: query for query in queries}
+        ordered: list[Query] = []
+        for handle in ordered_handles:
+            for name in clusters[handle].queries:
+                ordered.append(by_name[name])
+        return ordered
+
+    # -- evaluation (Algorithm 3) ----------------------------------------------------------
+
+    def evaluate(
+        self,
+        config: Configuration,
+        queries: list[Query],
+        timeout: float,
+        meta: ConfigMeta,
+    ) -> None:
+        """Run pending queries for ``config`` under ``timeout`` seconds.
+
+        Advances the engine clock by reconfiguration, index creation and
+        query execution time; updates ``meta`` in place.
+        """
+        engine = self._engine
+        remaining_time = timeout
+        created_here: list[Index] = []
+        preexisting = {index.key for index in engine.indexes}
+
+        config.apply_settings(engine)
+        meta.is_complete = True
+
+        index_map = self.query_index_map(queries, config)
+        ordered = self.plan_order(queries, config)
+
+        if not self._lazy_indexes:
+            # Ablation: build every recommended index up front.
+            for index in config.indexes:
+                if index.key not in preexisting:
+                    meta.index_time += engine.create_index(index)
+                    created_here.append(index)
+
+        try:
+            for query in ordered:
+                if self._lazy_indexes:
+                    for index in sorted(index_map[query.name], key=str):
+                        if index.key in preexisting or engine.has_index(index):
+                            continue
+                        meta.index_time += engine.create_index(index)
+                        created_here.append(index)
+
+                result = engine.execute(query, timeout=remaining_time)
+                if not result.complete:
+                    meta.is_complete = False
+                    break
+                remaining_time -= result.execution_time
+                meta.time += result.execution_time
+                meta.completed_queries.add(query.name)
+        finally:
+            # Indexes created by this evaluation are implicitly dropped so
+            # other configurations start from a clean slate (§5.1).
+            for index in created_here:
+                engine.drop_index(index)

@@ -1,0 +1,28 @@
+"""Prompt generation (paper §3).
+
+- :mod:`repro.core.prompt.template` -- the Listing-1 prompt template.
+- :mod:`repro.core.prompt.compression` -- join-snippet workload
+  compression and line assembly.
+- :mod:`repro.core.prompt.ilp` -- the Table-1 ILP for snippet selection
+  under a token budget.
+- :mod:`repro.core.prompt.tokens` -- approximate token counting.
+- :mod:`repro.core.prompt.obfuscate` -- identifier obfuscation used by
+  the §6.4.3 ablation.
+"""
+
+from repro.core.prompt.template import PromptGenerator, render_prompt
+from repro.core.prompt.compression import CompressionResult, WorkloadCompressor
+from repro.core.prompt.ilp import build_snippet_ilp, select_snippets
+from repro.core.prompt.tokens import count_tokens
+from repro.core.prompt.obfuscate import Obfuscator
+
+__all__ = [
+    "PromptGenerator",
+    "render_prompt",
+    "CompressionResult",
+    "WorkloadCompressor",
+    "build_snippet_ilp",
+    "select_snippets",
+    "count_tokens",
+    "Obfuscator",
+]

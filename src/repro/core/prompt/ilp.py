@@ -1,0 +1,169 @@
+"""The snippet-selection ILP (paper §3.3, Table 1).
+
+Given join conditions with values ``V(p)`` and per-column token costs
+``H_c``, select which column pairs appear in the compressed prompt so
+that total value is maximized under the token budget.
+
+Variables
+---------
+- ``L_c``: column ``c`` opens a line (appears on a left-hand side).
+- ``R_(c1,c2)``: column ``c2`` appears on the right-hand side of
+  ``c1``'s line.
+
+Constraints (Table 1)
+---------------------
+- ``R_(c1,c2) <= L_c1`` -- a right-hand entry needs its line head.
+- ``L_c1 <= sum_c2 R_(c1,c2)`` -- a line head needs at least one entry.
+- ``R_(c1,c2) + R_(c2,c1) <= 1`` -- no symmetric duplicates.
+- ``sum H_c2 R + sum H_c L <= B`` -- the token budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.prompt.tokens import column_tokens
+from repro.sql.analyzer import JoinCondition
+from repro.solver import ILPModel
+
+
+@dataclass(slots=True)
+class SnippetSelection:
+    """Solved selection: line head -> ordered right-hand columns."""
+
+    lines: dict[str, list[str]]
+    value: float
+    tokens_used: int
+    conditions: set[JoinCondition]
+
+
+def build_snippet_ilp(
+    values: dict[JoinCondition, float],
+    budget: int,
+    token_cost: dict[str, int] | None = None,
+) -> tuple[ILPModel, dict[str, int], dict[tuple[str, str], int]]:
+    """Construct the Table-1 ILP.
+
+    Returns the model plus the variable-index maps for ``L`` and ``R``.
+    """
+    columns: set[str] = set()
+    for condition in values:
+        columns.update(condition.columns)
+    costs = token_cost or {column: column_tokens(column) for column in columns}
+
+    model = ILPModel()
+    left_vars: dict[str, int] = {}
+    right_vars: dict[tuple[str, str], int] = {}
+
+    # Secondary objective: among equal-value selections, prefer the one
+    # spending fewer tokens (merged lines).  Epsilon is small enough
+    # never to sacrifice join-condition value for compactness.
+    positive_values = [value for value in values.values() if value > 0]
+    total_cost = sum(costs.values()) * 3 + 1
+    epsilon = (
+        min(positive_values) / total_cost * 1e-3 if positive_values else 0.0
+    )
+
+    for column in sorted(columns):
+        left_vars[column] = model.add_variable(
+            f"L[{column}]", -epsilon * costs[column]
+        )
+
+    ordered_pairs: list[tuple[str, str, float]] = []
+    for condition in sorted(values, key=str):
+        value = values[condition]
+        c1, c2 = condition.columns
+        ordered_pairs.append((c1, c2, value))
+        ordered_pairs.append((c2, c1, value))
+
+    for c1, c2, value in ordered_pairs:
+        right_vars[(c1, c2)] = model.add_variable(
+            f"R[{c1}|{c2}]", value - epsilon * costs[c2]
+        )
+
+    # R <= L (line-head dependency).
+    for (c1, _c2), r_index in right_vars.items():
+        model.add_constraint({r_index: 1.0, left_vars[c1]: -1.0}, 0.0)
+
+    # L <= sum of its R entries (no empty lines).
+    rights_by_head: dict[str, list[int]] = {}
+    for (c1, _c2), r_index in right_vars.items():
+        rights_by_head.setdefault(c1, []).append(r_index)
+    for column, l_index in left_vars.items():
+        entries = rights_by_head.get(column)
+        if not entries:
+            # A column that never heads a line: force L to zero.
+            model.add_constraint({l_index: 1.0}, 0.0)
+            continue
+        coefficients = {l_index: 1.0}
+        for r_index in entries:
+            coefficients[r_index] = -1.0
+        model.add_constraint(coefficients, 0.0)
+
+    # Symmetry: R(c1,c2) + R(c2,c1) <= 1.
+    for condition in values:
+        c1, c2 = condition.columns
+        model.add_constraint(
+            {right_vars[(c1, c2)]: 1.0, right_vars[(c2, c1)]: 1.0}, 1.0
+        )
+
+    # Token budget.
+    budget_coefficients: dict[int, float] = {}
+    for column, l_index in left_vars.items():
+        budget_coefficients[l_index] = float(costs[column])
+    for (_c1, c2), r_index in right_vars.items():
+        budget_coefficients[r_index] = float(costs[c2])
+    model.add_constraint(budget_coefficients, float(budget))
+
+    return model, left_vars, right_vars
+
+
+def select_snippets(
+    values: dict[JoinCondition, float],
+    budget: int,
+    *,
+    method: str = "auto",
+    token_cost: dict[str, int] | None = None,
+) -> SnippetSelection:
+    """Solve the selection problem and assemble prompt lines."""
+    if not values or budget <= 0:
+        return SnippetSelection(lines={}, value=0.0, tokens_used=0, conditions=set())
+
+    model, left_vars, right_vars = build_snippet_ilp(values, budget, token_cost)
+    solution = model.solve(method)
+
+    costs = token_cost or {
+        column: column_tokens(column)
+        for condition in values
+        for column in condition.columns
+    }
+
+    lines: dict[str, list[str]] = {}
+    conditions: set[JoinCondition] = set()
+    tokens_used = 0
+    chosen = set(solution.selected())
+
+    for column, l_index in left_vars.items():
+        if l_index in chosen:
+            lines[column] = []
+            tokens_used += costs[column]
+    for (c1, c2), r_index in right_vars.items():
+        if r_index in chosen and c1 in lines:
+            lines[c1].append(c2)
+            tokens_used += costs[c2]
+            conditions.add(JoinCondition.make(c1, c2))
+    for entries in lines.values():
+        entries.sort()
+
+    # Drop line heads whose entries all vanished (defensive; the ILP's
+    # "no empty lines" constraint should prevent this).
+    lines = {head: entries for head, entries in lines.items() if entries}
+
+    return SnippetSelection(
+        lines=lines,
+        # Report the true value of the covered conditions, not the
+        # epsilon-adjusted solver objective.
+        value=sum(values[condition] for condition in conditions),
+        tokens_used=tokens_used,
+        conditions=conditions,
+    )

@@ -1,0 +1,62 @@
+"""Identifier obfuscation (paper §6.4.3).
+
+Replaces table and column names in the compressed snippets with generic
+identifiers (``Tx``/``Cy``) before they reach the LLM, and maps the
+identifiers in the LLM's response back to real names before the
+configuration script is parsed.  The paper uses this to test whether
+GPT-4 merely regurgitates benchmark configurations from pre-training.
+"""
+
+from __future__ import annotations
+
+import re
+
+_QUALIFIED_RE = re.compile(r"\b([A-Za-z_][A-Za-z0-9_]*)\.([A-Za-z_][A-Za-z0-9_]*)\b")
+
+
+class Obfuscator:
+    """Bidirectional mapping between real and generic identifiers."""
+
+    def __init__(self) -> None:
+        self._table_codes: dict[str, str] = {}
+        self._column_codes: dict[str, str] = {}
+
+    # -- encoding -------------------------------------------------------------
+
+    def encode_table(self, table: str) -> str:
+        table = table.lower()
+        if table not in self._table_codes:
+            self._table_codes[table] = f"t{len(self._table_codes) + 1}"
+        return self._table_codes[table]
+
+    def encode_column(self, column: str) -> str:
+        column = column.lower()
+        if column not in self._column_codes:
+            self._column_codes[column] = f"c{len(self._column_codes) + 1}"
+        return self._column_codes[column]
+
+    def encode_qualified(self, qualified: str) -> str:
+        table, _, column = qualified.partition(".")
+        return f"{self.encode_table(table)}.{self.encode_column(column)}"
+
+    def encode_line(self, line: str) -> str:
+        """Obfuscate every ``table.column`` occurrence in a snippet line."""
+        return _QUALIFIED_RE.sub(
+            lambda match: self.encode_qualified(match.group(0)), line
+        )
+
+    # -- decoding -----------------------------------------------------------------
+
+    def decode_text(self, text: str) -> str:
+        """Map generic identifiers in LLM output back to real names.
+
+        Longer codes are replaced first so ``t12`` is never clobbered by
+        ``t1``.
+        """
+        reverse: list[tuple[str, str]] = [
+            (code, real) for real, code in self._table_codes.items()
+        ] + [(code, real) for real, code in self._column_codes.items()]
+        reverse.sort(key=lambda item: -len(item[0]))
+        for code, real in reverse:
+            text = re.sub(rf"\b{re.escape(code)}\b", real, text)
+        return text

@@ -1,0 +1,117 @@
+"""The prompt template (paper §3.1, Listing 1) and prompt assembly."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.prompt.compression import CompressionResult, WorkloadCompressor
+from repro.core.prompt.obfuscate import Obfuscator
+from repro.core.prompt.tokens import count_tokens
+from repro.db.engine import DatabaseEngine
+from repro.db.hardware import HardwareSpec
+
+_TEMPLATE = """\
+Recommend some configuration parameters for {dbms} to
+optimize the system's performance. Parameters might
+include system-level configurations, like memory,
+query optimizer or physical design configurations,
+like index recommendations.
+Each row in the following list has the following format:
+{{a join key A}}:{{all the joins with A in the workload}}
+{compressed_workload}
+The workload runs on a system with the following specs:
+memory: {memory:g}GB
+cores: {cores}
+"""
+
+_DBMS_DISPLAY = {"postgres": "PostgreSQL", "mysql": "MySQL"}
+
+
+def render_prompt(
+    dbms: str,
+    compressed_workload: str,
+    hardware: HardwareSpec,
+) -> str:
+    """Fill the Listing-1 template."""
+    return _TEMPLATE.format(
+        dbms=_DBMS_DISPLAY.get(dbms, dbms),
+        compressed_workload=compressed_workload,
+        memory=hardware.memory_gb,
+        cores=hardware.cores,
+    )
+
+
+@dataclass(slots=True)
+class GeneratedPrompt:
+    """A rendered prompt with its accounting and obfuscation context."""
+
+    text: str
+    compression: CompressionResult | None
+    obfuscator: Obfuscator | None
+
+    @property
+    def tokens(self) -> int:
+        return count_tokens(self.text)
+
+
+class PromptGenerator:
+    """Generates the tuning prompt for a workload (Algorithm 1, line 2).
+
+    ``token_budget`` bounds only the workload-representation block, as
+    in the paper; the fixed template costs a constant ~70 tokens on top.
+    Setting ``obfuscate=True`` hides table/column names behind generic
+    identifiers (the §6.4.3 ablation); setting ``use_compressor=False``
+    pastes raw SQL instead (the §6.4.4 ablation).
+    """
+
+    def __init__(
+        self,
+        engine: DatabaseEngine,
+        *,
+        solver_method: str = "auto",
+        use_compressor: bool = True,
+        obfuscate: bool = False,
+    ) -> None:
+        self._engine = engine
+        self._compressor = WorkloadCompressor(engine, solver_method=solver_method)
+        self._use_compressor = use_compressor
+        self._obfuscate = obfuscate
+
+    def generate(self, queries: list, token_budget: int) -> GeneratedPrompt:
+        if self._use_compressor:
+            return self._generate_compressed(queries, token_budget)
+        return self._generate_raw_sql(queries, token_budget)
+
+    def _generate_compressed(
+        self, queries: list, token_budget: int
+    ) -> GeneratedPrompt:
+        compression = self._compressor.compress(queries, token_budget)
+        obfuscator: Obfuscator | None = None
+        lines = compression.lines
+        if self._obfuscate:
+            # Obfuscation happens after snippet extraction (§6.4.3): the
+            # LLM sees generic identifiers, never the query templates.
+            obfuscator = Obfuscator()
+            lines = [obfuscator.encode_line(line) for line in lines]
+        text = render_prompt(
+            self._engine.system, "\n".join(lines), self._engine.hardware
+        )
+        return GeneratedPrompt(
+            text=text, compression=compression, obfuscator=obfuscator
+        )
+
+    def _generate_raw_sql(self, queries: list, token_budget: int) -> GeneratedPrompt:
+        """The compressor-off ablation: paste whole SQL queries."""
+        chunks: list[str] = []
+        used = 0
+        for query in queries:
+            sql = getattr(query, "sql", str(query)).strip()
+            cost = count_tokens(sql)
+            if used + cost > token_budget:
+                break
+            chunks.append(sql + ";")
+            used += cost
+        text = render_prompt(
+            self._engine.system, "\n".join(chunks), self._engine.hardware
+        )
+        return GeneratedPrompt(text=text, compression=None, obfuscator=None)

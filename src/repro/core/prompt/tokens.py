@@ -1,0 +1,35 @@
+"""Approximate tokenizer.
+
+Provider fees and context limits are denominated in tokens.  Without a
+network tokenizer we approximate GPT-style byte-pair tokenization the
+standard way: split on word/punctuation boundaries, then charge long
+words about one token per four characters.  The approximation is
+monotone in text length, which is all the compressor's budget
+accounting needs.
+"""
+
+from __future__ import annotations
+
+import re
+
+_WORD_RE = re.compile(r"[A-Za-z0-9_]+|[^\sA-Za-z0-9_]")
+
+
+def count_tokens(text: str) -> int:
+    """Approximate GPT token count of ``text``."""
+    total = 0
+    for piece in _WORD_RE.findall(text):
+        if piece.isalnum() or "_" in piece:
+            total += max(1, (len(piece) + 3) // 4)
+        else:
+            total += 1
+    return total
+
+
+def column_tokens(qualified_column: str) -> int:
+    """Tokens needed to render one ``table.column`` in the prompt.
+
+    Includes the separator punctuation charged to each snippet entry
+    (colon or comma plus whitespace).
+    """
+    return count_tokens(qualified_column) + 1

@@ -1,0 +1,177 @@
+"""Query scheduling to minimize expected index-creation cost.
+
+Implements the paper's §5.2 cost model (Equation 1) and the §5.3
+dynamic-programming scheduler (Algorithm 4, Selinger-style enumeration
+over query subsets), plus a brute-force oracle used by tests and the
+greedy/arbitrary orders used by the scheduler ablation.
+
+Queries are identified by opaque hashable handles; the caller supplies
+``index_map`` (handle -> set of index keys potentially useful for that
+query) and ``index_cost`` (index key -> creation seconds).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Hashable, Mapping, Sequence
+
+from repro.errors import SchedulerError
+
+QueryHandle = Hashable
+
+#: Hard cap on DP input size (paper §5.4: "we strictly limit the input
+#: to our algorithm to a manageable size of 13 queries").
+MAX_DP_INPUT = 13
+
+
+def marginal_index_cost(
+    query: QueryHandle,
+    created: frozenset,
+    index_map: Mapping[QueryHandle, frozenset],
+    index_cost: Mapping[Hashable, float],
+) -> float:
+    """z_i(Q): cost of indexes query ``i`` needs beyond those created."""
+    needed = index_map.get(query, frozenset())
+    return sum(index_cost[index] for index in needed - created)
+
+
+def expected_cost(
+    order: Sequence[QueryHandle],
+    index_map: Mapping[QueryHandle, frozenset],
+    index_cost: Mapping[Hashable, float],
+) -> float:
+    """Equation 1: expected index-creation cost under uniform interruption.
+
+    With interruption equally likely after each of the ``n`` positions,
+    the index cost of the query at position ``j`` (1-based) is paid in
+    the ``n - j + 1`` scenarios where execution reaches it, each with
+    probability ``1/n``.
+    """
+    n = len(order)
+    if n == 0:
+        return 0.0
+    created: frozenset = frozenset()
+    total = 0.0
+    for position, query in enumerate(order, start=1):
+        z = marginal_index_cost(query, created, index_map, index_cost)
+        total += z * (n - position + 1)
+        created = created | index_map.get(query, frozenset())
+    return total / n
+
+
+def compute_order_dp(
+    queries: Sequence[QueryHandle],
+    index_map: Mapping[QueryHandle, frozenset],
+    index_cost: Mapping[Hashable, float],
+) -> list[QueryHandle]:
+    """Algorithm 4: optimal order by dynamic programming over subsets.
+
+    The DP accumulates the *unnormalized* Equation-1 cost: appending a
+    query to a prefix of size ``k`` (making position ``k+1`` of ``n``)
+    adds ``z * (n - k)``.  The principle of optimality (Theorem 5.2)
+    makes prefix-optimal solutions composable.
+    """
+    n = len(queries)
+    if n == 0:
+        return []
+    if n > MAX_DP_INPUT:
+        raise SchedulerError(
+            f"DP scheduler input of {n} exceeds the cap of {MAX_DP_INPUT}; "
+            "cluster queries first (paper §5.4)"
+        )
+    handles = list(queries)
+    if len(set(handles)) != n:
+        raise SchedulerError("duplicate query handles in scheduler input")
+
+    index_sets = [index_map.get(handle, frozenset()) for handle in handles]
+
+    # States are bitmasks over query positions.
+    dp_cost: dict[int, float] = {}
+    dp_order: dict[int, tuple[int, ...]] = {}
+    created_for: dict[int, frozenset] = {0: frozenset()}
+
+    for i in range(n):
+        mask = 1 << i
+        weight = n  # position 1 of n
+        dp_cost[mask] = sum(index_cost[index] for index in index_sets[i]) * weight
+        dp_order[mask] = (i,)
+        created_for[mask] = frozenset(index_sets[i])
+
+    full = (1 << n) - 1
+    for size in range(2, n + 1):
+        for subset in _masks_of_size(n, size):
+            best_cost = float("inf")
+            best_order: tuple[int, ...] | None = None
+            weight = n - (size - 1)  # appended query lands at position `size`
+            for i in range(n):
+                bit = 1 << i
+                if not subset & bit:
+                    continue
+                rest = subset ^ bit
+                created = created_for[rest]
+                z = sum(
+                    index_cost[index] for index in index_sets[i] - created
+                )
+                cost = dp_cost[rest] + z * weight
+                if cost < best_cost - 1e-12:
+                    best_cost = cost
+                    best_order = dp_order[rest] + (i,)
+            assert best_order is not None
+            dp_cost[subset] = best_cost
+            dp_order[subset] = best_order
+            created_for[subset] = frozenset().union(
+                *(index_sets[i] for i in range(n) if subset & (1 << i))
+            )
+    return [handles[i] for i in dp_order[full]]
+
+
+def brute_force_order(
+    queries: Sequence[QueryHandle],
+    index_map: Mapping[QueryHandle, frozenset],
+    index_cost: Mapping[Hashable, float],
+) -> list[QueryHandle]:
+    """Exhaustive oracle: minimize Equation 1 over all permutations."""
+    if len(queries) > 8:
+        raise SchedulerError("brute force is limited to 8 queries")
+    best_order = list(queries)
+    best_cost = expected_cost(best_order, index_map, index_cost)
+    for permutation in itertools.permutations(queries):
+        cost = expected_cost(permutation, index_map, index_cost)
+        if cost < best_cost - 1e-12:
+            best_cost = cost
+            best_order = list(permutation)
+    return best_order
+
+
+def greedy_order(
+    queries: Sequence[QueryHandle],
+    index_map: Mapping[QueryHandle, frozenset],
+    index_cost: Mapping[Hashable, float],
+) -> list[QueryHandle]:
+    """Cheapest-marginal-index-first heuristic (scheduler ablation)."""
+    remaining = list(queries)
+    order: list[QueryHandle] = []
+    created: frozenset = frozenset()
+    while remaining:
+        next_query = min(
+            remaining,
+            key=lambda handle: (
+                marginal_index_cost(handle, created, index_map, index_cost),
+                str(handle),
+            ),
+        )
+        remaining.remove(next_query)
+        order.append(next_query)
+        created = created | index_map.get(next_query, frozenset())
+    return order
+
+
+def _masks_of_size(n: int, size: int):
+    """All n-bit masks with exactly ``size`` bits set, via Gosper's hack."""
+    mask = (1 << size) - 1
+    limit = 1 << n
+    while mask < limit:
+        yield mask
+        lowest = mask & -mask
+        ripple = mask + lowest
+        mask = ripple | (((mask ^ ripple) >> 2) // lowest)

@@ -1,0 +1,156 @@
+"""Configuration selection (paper §4, Algorithm 2).
+
+Evaluates the k candidate configurations in rounds with geometrically
+increasing timeouts (factor alpha), never re-runs completed queries,
+iterates in decreasing-throughput order, folds index-creation overheads
+into the round timeout, and -- once a first configuration completes --
+gives every other candidate one chance under the configuration-specific
+timeout ``best.time - meta[c].time`` (any configuration exceeding it is
+provably sub-optimal).
+
+Theorem 4.3: total evaluation time is O(k * alpha * C_best) for
+alpha >= 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.config import Configuration
+from repro.core.evaluator import ConfigMeta, ConfigurationEvaluator
+from repro.db.engine import DatabaseEngine
+from repro.errors import BudgetExceededError
+from repro.workloads.base import Query
+
+
+@dataclass(slots=True)
+class BestConfig:
+    """The best fully-evaluated configuration so far."""
+
+    time: float = math.inf
+    config: Configuration | None = None
+
+
+@dataclass(slots=True)
+class SelectionResult:
+    """Outcome of Algorithm 2 with per-configuration metadata."""
+
+    best: BestConfig
+    meta: dict[str, ConfigMeta]
+    rounds: int
+    #: (clock time, best completed workload time) trace for plots.
+    trace: list[tuple[float, float]] = field(default_factory=list)
+
+
+class ConfigurationSelector:
+    """Runs Algorithm 2 against a live engine."""
+
+    def __init__(
+        self,
+        engine: DatabaseEngine,
+        evaluator: ConfigurationEvaluator,
+        *,
+        initial_timeout: float = 10.0,
+        alpha: float = 10.0,
+        adaptive_timeout: bool = True,
+        max_rounds: int = 64,
+    ) -> None:
+        if initial_timeout <= 0:
+            raise BudgetExceededError("initial timeout must be positive")
+        if alpha <= 1.0:
+            raise BudgetExceededError("alpha must exceed 1 for progress")
+        self._engine = engine
+        self._evaluator = evaluator
+        self._initial_timeout = initial_timeout
+        self._alpha = alpha
+        self._adaptive_timeout = adaptive_timeout
+        self._max_rounds = max_rounds
+
+    def select(
+        self, workload: list[Query], configs: list[Configuration]
+    ) -> SelectionResult:
+        """Identify the best configuration among the candidates."""
+        if not configs:
+            raise BudgetExceededError("no candidate configurations to select from")
+        best = BestConfig()
+        meta: dict[str, ConfigMeta] = {
+            config.name: ConfigMeta() for config in configs
+        }
+        trace: list[tuple[float, float]] = []
+
+        timeout = self._initial_timeout
+        rounds = 0
+        candidates: list[Configuration] = []
+
+        while math.isinf(best.time):
+            rounds += 1
+            if rounds > self._max_rounds:
+                raise BudgetExceededError(
+                    f"no configuration finished within {self._max_rounds} rounds"
+                )
+            for config in self._by_throughput(configs, meta):
+                self._update(config, workload, meta, timeout, best, trace)
+                if meta[config.name].is_complete:
+                    candidates = [c for c in configs if c.name != config.name]
+                    break
+            if self._adaptive_timeout:
+                # Fold reconfiguration overheads into the timeout so
+                # index builds never dominate query evaluation (§4).
+                index_times = (m.index_time for m in meta.values())
+                timeout = max(timeout, *index_times)
+            timeout *= self._alpha
+
+        for config in self._by_throughput(candidates, meta):
+            self._update(config, workload, meta, timeout, best, trace)
+
+        return SelectionResult(best=best, meta=meta, rounds=rounds, trace=trace)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _by_throughput(
+        self, configs: list[Configuration], meta: dict[str, ConfigMeta]
+    ) -> list[Configuration]:
+        """Decreasing order of queries finished per unit time."""
+        return sorted(
+            configs,
+            key=lambda config: -meta[config.name].throughput(),
+        )
+
+    def _update(
+        self,
+        config: Configuration,
+        workload: list[Query],
+        meta: dict[str, ConfigMeta],
+        timeout: float,
+        best: BestConfig,
+        trace: list[tuple[float, float]],
+    ) -> None:
+        """The paper's Update procedure (Algorithm 2, lines 16-25)."""
+        config_meta = meta[config.name]
+        if config_meta.is_complete and not self._pending(workload, config_meta):
+            return
+
+        effective_timeout = timeout
+        if not math.isinf(best.time):
+            # Configuration-specific timeout: anything slower than the
+            # best known total is provably sub-optimal.
+            effective_timeout = best.time - config_meta.time
+            if effective_timeout <= 0:
+                return
+
+        pending = self._pending(workload, config_meta)
+        self._evaluator.evaluate(config, pending, effective_timeout, config_meta)
+
+        if config_meta.is_complete and config_meta.time < best.time:
+            best.time = config_meta.time
+            best.config = config
+            trace.append((self._engine.clock.now, best.time))
+
+    @staticmethod
+    def _pending(workload: list[Query], config_meta: ConfigMeta) -> list[Query]:
+        return [
+            query
+            for query in workload
+            if query.name not in config_meta.completed_queries
+        ]

@@ -1,0 +1,172 @@
+"""The lambda-Tune pipeline (paper §2, Algorithm 1).
+
+1. Generate the prompt from workload + hardware + DBMS under the token
+   budget (§3).
+2. Sample k configurations from the LLM at a fixed temperature.
+3. Parse each response into a validated :class:`Configuration`.
+4. Identify the best candidate with bounded evaluation cost (§4-5).
+
+``LambdaTune.tune`` returns the same :class:`TuningResult` the baseline
+tuners produce, so the harness can compare all systems uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.config import Configuration, parse_config_script
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.prompt.template import PromptGenerator
+from repro.core.result import TuningResult
+from repro.core.selector import ConfigurationSelector
+from repro.db.engine import DatabaseEngine
+from repro.errors import ConfigurationError
+from repro.llm.client import LLMClient
+from repro.workloads.base import Query
+
+
+@dataclass(frozen=True, slots=True)
+class LambdaTuneOptions:
+    """Tuning hyper-parameters (paper §6.1 defaults)."""
+
+    #: Number of LLM samples k (the paper evaluates exactly 5 configs).
+    num_configs: int = 5
+    #: Sampling temperature for configuration diversity.
+    temperature: float = 0.7
+    #: Token budget B for the workload-representation block.  ``None``
+    #: means "no user budget": fit as much as the LLM's context allows
+    #: (paper §2).
+    token_budget: int | None = 512
+    #: Initial round timeout t (seconds); the paper uses 10.
+    initial_timeout: float = 10.0
+    #: Geometric timeout factor alpha; the paper uses 10.
+    alpha: float = 10.0
+    #: Fold index-creation overheads into timeouts (§4; ablation 6.4.1).
+    adaptive_timeout: bool = True
+    #: Order queries with the DP scheduler (§5.3; ablation 6.4.2).
+    use_scheduler: bool = True
+    #: Create indexes lazily before their first relevant query (§5.1).
+    lazy_indexes: bool = True
+    #: Compress the workload; False pastes raw SQL (ablation 6.4.4).
+    use_compressor: bool = True
+    #: Hide identifiers from the LLM (ablation 6.4.3).
+    obfuscate: bool = False
+    #: Restrict configurations to parameter settings (Fig. 3 scenarios).
+    parameters_only: bool = False
+    #: Restrict configurations to index recommendations (Fig. 8).
+    indexes_only: bool = False
+    #: ILP backend for snippet selection.
+    solver_method: str = "auto"
+    #: Base seed for LLM sampling.
+    seed: int = 0
+
+    def ablated(self, **changes: object) -> "LambdaTuneOptions":
+        """A copy with selected fields changed (ablation studies)."""
+        return replace(self, **changes)
+
+
+class LambdaTune:
+    """LLM-driven database tuning with bounded evaluation cost."""
+
+    name = "lambda-tune"
+
+    def __init__(
+        self,
+        engine: DatabaseEngine,
+        llm: LLMClient,
+        options: LambdaTuneOptions | None = None,
+    ) -> None:
+        self._engine = engine
+        self._llm = llm
+        self.options = options or LambdaTuneOptions()
+
+    # -- pipeline stages (public so tests and ablations can call them) ----------
+
+    def generate_prompt(self, queries: list[Query]):
+        generator = PromptGenerator(
+            self._engine,
+            solver_method=self.options.solver_method,
+            use_compressor=self.options.use_compressor,
+            obfuscate=self.options.obfuscate,
+        )
+        budget = self.options.token_budget
+        if budget is None:
+            # No user budget: fill up to the model's own context limit,
+            # reserving room for the fixed template text.
+            budget = max(1, self._llm.max_input_tokens - 200)
+        return generator.generate(queries, budget)
+
+    def sample_configurations(self, prompt) -> list[Configuration]:
+        responses = self._llm.sample(
+            prompt.text,
+            self.options.num_configs,
+            temperature=self.options.temperature,
+            seed=self.options.seed,
+        )
+        configs: list[Configuration] = []
+        for ordinal, response in enumerate(responses):
+            text = response.text
+            if prompt.obfuscator is not None:
+                text = prompt.obfuscator.decode_text(text)
+            config = parse_config_script(
+                text,
+                self._engine.knob_space,
+                self._engine.catalog,
+                name=f"llm-config-{ordinal + 1}",
+            )
+            if self.options.parameters_only:
+                config = config.without_indexes()
+            if self.options.indexes_only:
+                config = config.indexes_only()
+            configs.append(config)
+        return configs
+
+    def select_best(self, queries: list[Query], configs: list[Configuration]):
+        evaluator = ConfigurationEvaluator(
+            self._engine,
+            use_scheduler=self.options.use_scheduler,
+            lazy_indexes=self.options.lazy_indexes,
+            cluster_seed=self.options.seed,
+        )
+        selector = ConfigurationSelector(
+            self._engine,
+            evaluator,
+            initial_timeout=self.options.initial_timeout,
+            alpha=self.options.alpha,
+            adaptive_timeout=self.options.adaptive_timeout,
+        )
+        return selector.select(queries, configs)
+
+    # -- Algorithm 1 -------------------------------------------------------------
+
+    def tune(self, queries: list[Query]) -> TuningResult:
+        """Run the full pipeline and return the comparable result."""
+        if not queries:
+            raise ConfigurationError("cannot tune an empty workload")
+        start = self._engine.clock.now
+
+        prompt = self.generate_prompt(queries)
+        configs = self.sample_configurations(prompt)
+        selection = self.select_best(queries, configs)
+
+        result = TuningResult(
+            tuner=self.name,
+            workload="",
+            system=self._engine.system,
+            best_time=selection.best.time,
+            best_config=selection.best.config,
+            configs_evaluated=len(configs),
+            tuning_seconds=self._engine.clock.now - start,
+            extras={
+                "prompt_tokens": prompt.tokens,
+                "rounds": selection.rounds,
+                "meta": selection.meta,
+                "compression_coverage": (
+                    prompt.compression.coverage if prompt.compression else None
+                ),
+            },
+        )
+        for time, best_time in selection.trace:
+            result.record(time, best_time)
+        result.best_time = selection.best.time
+        return result

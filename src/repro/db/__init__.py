@@ -1,0 +1,44 @@
+"""Simulated DBMS substrate.
+
+The paper tunes real PostgreSQL 12 and MySQL 8 servers.  This package
+provides a deterministic, analytic simulation of both with the exact
+interface the tuning pipeline needs:
+
+- a catalog with per-table/per-column statistics (:mod:`repro.db.catalog`),
+- knob spaces with PostgreSQL/MySQL semantics (:mod:`repro.db.knobs`),
+- a plan-based cost model that reacts to memory knobs, optimizer cost
+  constants, parallelism and indexes (:mod:`repro.db.planner`,
+  :mod:`repro.db.cost_model`),
+- B-tree indexes with creation costs (:mod:`repro.db.indexes`),
+- ``EXPLAIN``-style per-join cost estimates used by the workload
+  compressor (:mod:`repro.db.explain`), and
+- engines that execute queries against a **virtual clock** so timeout
+  and scheduling logic behaves exactly as with wall-clock time
+  (:mod:`repro.db.engine`, :mod:`repro.db.clock`).
+"""
+
+from repro.db.clock import VirtualClock
+from repro.db.hardware import HardwareSpec
+from repro.db.catalog import Catalog, Column, Table
+from repro.db.knobs import Knob, KnobSpace, parse_size, format_size
+from repro.db.indexes import Index
+from repro.db.engine import DatabaseEngine, ExecutionResult
+from repro.db.postgres import PostgresEngine
+from repro.db.mysql import MySQLEngine
+
+__all__ = [
+    "VirtualClock",
+    "HardwareSpec",
+    "Catalog",
+    "Column",
+    "Table",
+    "Knob",
+    "KnobSpace",
+    "parse_size",
+    "format_size",
+    "Index",
+    "DatabaseEngine",
+    "ExecutionResult",
+    "PostgresEngine",
+    "MySQLEngine",
+]

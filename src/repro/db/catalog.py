@@ -1,0 +1,175 @@
+"""Schema catalog with statistics.
+
+The catalog plays the role of ``pg_catalog`` / ``information_schema``:
+it records tables, columns, row counts, row widths, and per-column
+distinct counts.  The planner derives page counts and join/filter
+cardinalities from it, and the analyzer uses its column-ownership map to
+resolve unqualified column references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError
+
+PAGE_SIZE = 8192  # bytes, PostgreSQL default block size
+
+
+@dataclass(frozen=True, slots=True)
+class Column:
+    """One column with the statistics the cost model needs."""
+
+    name: str
+    # Average width in bytes (as in pg_stats.avg_width).
+    width: int = 8
+    # Number of distinct values; -1 means "unique" (a key column).
+    ndv: int = -1
+    is_primary_key: bool = False
+
+    def distinct_values(self, table_rows: int) -> int:
+        """Resolve the distinct count against the owning table's row count."""
+        if self.ndv < 0:
+            return max(1, table_rows)
+        return max(1, min(self.ndv, table_rows))
+
+
+@dataclass(slots=True)
+class Table:
+    """One base table."""
+
+    name: str
+    rows: int
+    columns: dict[str, Column] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.rows < 0:
+            raise CatalogError(f"table {self.name!r} has negative row count")
+
+    @property
+    def row_width(self) -> int:
+        """Total average row width in bytes (minimum one byte)."""
+        return max(1, sum(column.width for column in self.columns.values()))
+
+    @property
+    def size_bytes(self) -> int:
+        return self.rows * self.row_width
+
+    @property
+    def pages(self) -> int:
+        """Heap pages occupied by this table."""
+        return max(1, -(-self.size_bytes // PAGE_SIZE))
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise CatalogError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+
+class Catalog:
+    """A collection of tables forming one database schema."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+
+    # -- schema construction ---------------------------------------------------
+
+    def add_table(
+        self,
+        name: str,
+        rows: int,
+        columns: list[Column] | None = None,
+    ) -> Table:
+        """Register a table; rejects duplicates and duplicate column names."""
+        key = name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        table = Table(name=key, rows=rows)
+        self._tables[key] = table
+        for column in columns or []:
+            self.add_column(key, column)
+        return table
+
+    def add_column(self, table_name: str, column: Column) -> None:
+        table = self.table(table_name)
+        if column.name in table.columns:
+            raise CatalogError(
+                f"duplicate column {column.name!r} in table {table_name!r}"
+            )
+        table.columns[column.name] = column
+
+    # -- lookups -----------------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    @property
+    def tables(self) -> list[Table]:
+        return list(self._tables.values())
+
+    @property
+    def total_size_bytes(self) -> int:
+        return sum(table.size_bytes for table in self._tables.values())
+
+    def column_owner_map(self) -> dict[str, str]:
+        """Map each column name to its owning table.
+
+        Columns whose names appear in several tables are omitted: the
+        analyzer must not guess between ambiguous owners.
+        """
+        owner: dict[str, str] = {}
+        ambiguous: set[str] = set()
+        for table in self._tables.values():
+            for column_name in table.columns:
+                if column_name in owner:
+                    ambiguous.add(column_name)
+                else:
+                    owner[column_name] = table.name
+        for column_name in ambiguous:
+            owner.pop(column_name, None)
+        return owner
+
+    def resolve_column(self, qualified: str) -> tuple[Table, Column]:
+        """Resolve ``table.column`` to catalog objects."""
+        if "." not in qualified:
+            raise CatalogError(f"expected qualified column, got {qualified!r}")
+        table_name, column_name = qualified.rsplit(".", 1)
+        table = self.table(table_name)
+        return table, table.column(column_name)
+
+    def scaled(self, factor: float, name: str | None = None) -> "Catalog":
+        """Return a copy with all row counts multiplied by ``factor``.
+
+        Used to derive TPC-H SF10 from the SF1 schema definition.
+        """
+        if factor <= 0:
+            raise CatalogError("scale factor must be positive")
+        clone = Catalog(name or f"{self.name}@x{factor:g}")
+        for table in self._tables.values():
+            scaled_columns = []
+            for column in table.columns.values():
+                ndv = column.ndv
+                if ndv > 0:
+                    ndv = max(1, int(ndv * factor)) if factor < 1 or ndv > 1000 else ndv
+                scaled_columns.append(
+                    Column(
+                        name=column.name,
+                        width=column.width,
+                        ndv=ndv,
+                        is_primary_key=column.is_primary_key,
+                    )
+                )
+            clone.add_table(
+                table.name, max(1, int(table.rows * factor)), scaled_columns
+            )
+        return clone

@@ -1,0 +1,312 @@
+"""The simulated database engine.
+
+:class:`DatabaseEngine` exposes exactly the surface the tuning systems
+need from a DBMS:
+
+- ``apply_config`` / ``reset_config`` -- ALTER SYSTEM SET + restart,
+- ``create_index`` / ``drop_index`` / ``drop_all_indexes`` -- physical
+  design changes with simulated durations,
+- ``execute(query, timeout)`` -- run one query under a timeout,
+- ``explain(query)`` -- optimizer cost estimates without executing.
+
+All durations advance the engine's :class:`VirtualClock`; nothing in the
+tuning stack ever reads wall-clock time.
+"""
+
+from __future__ import annotations
+
+import abc
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.db.catalog import Catalog
+from repro.db.clock import VirtualClock
+from repro.db.cost_model import PlannerCosts, RuntimeEnv, deterministic_noise
+from repro.db.hardware import HardwareSpec
+from repro.db.indexes import Index
+from repro.db.knobs import KnobSpace
+from repro.db.planner import Planner, QueryPlan
+from repro.errors import ConfigurationError
+from repro.sql.analyzer import QueryInfo, analyze
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionResult:
+    """Outcome of executing one query (the paper's ``Metrics`` object)."""
+
+    complete: bool
+    execution_time: float
+    plan: QueryPlan | None = None
+
+
+class DatabaseEngine(abc.ABC):
+    """Common machinery for the PostgreSQL and MySQL simulators."""
+
+    #: Simulated server restart duration after ALTER SYSTEM changes.
+    restart_seconds: float = 2.0
+    #: Simulated cost of dropping one index.
+    drop_index_seconds: float = 0.05
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        hardware: HardwareSpec | None = None,
+        clock: VirtualClock | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.hardware = hardware or HardwareSpec.paper_default()
+        self.clock = clock or VirtualClock()
+        self.knob_space: KnobSpace = self._build_knob_space()
+        self._config: dict[str, object] = dict(self.knob_space.defaults())
+        self._indexes: dict[tuple[str, tuple[str, ...]], Index] = {}
+        self._column_owner = catalog.column_owner_map()
+        self._analysis_cache: dict[str, QueryInfo] = {}
+        self._plan_cache: dict[tuple[str, int], tuple[QueryPlan, float]] = {}
+        self._config_signature = 0
+        self._refresh_signature()
+
+    # -- to be provided by concrete engines ------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def system(self) -> str:
+        """Lower-case system name ('postgres' or 'mysql')."""
+
+    @abc.abstractmethod
+    def _build_knob_space(self) -> KnobSpace:
+        """The tunable parameter space of this system."""
+
+    @abc.abstractmethod
+    def _planner_costs(self) -> PlannerCosts:
+        """Configured optimizer constants derived from current settings."""
+
+    @abc.abstractmethod
+    def _runtime_env(self) -> RuntimeEnv:
+        """True execution environment derived from current settings."""
+
+    # -- configuration -----------------------------------------------------------
+
+    @property
+    def config(self) -> dict[str, object]:
+        """A copy of the current parameter settings."""
+        return dict(self._config)
+
+    def get(self, knob_name: str) -> object:
+        """Current value of one knob."""
+        knob = self.knob_space.knob(knob_name)
+        return self._config[knob.name]
+
+    def set_knob(self, name: str, raw_value: object) -> None:
+        """Validate and apply one setting (no restart cost; used by tests)."""
+        knob = self.knob_space.knob(name)
+        self._config[knob.name] = knob.coerce(raw_value)
+        self._refresh_signature()
+
+    def set_many(self, settings: dict[str, object]) -> None:
+        """Apply settings without restart cost (what-if analysis only)."""
+        for name, raw in settings.items():
+            knob = self.knob_space.knob(name)
+            self._config[knob.name] = knob.coerce(raw)
+        self._refresh_signature()
+
+    def apply_config(self, settings: dict[str, object]) -> float:
+        """Apply parameter settings and restart; returns the restart time.
+
+        Settings are validated *before* anything is applied, so an
+        invalid script leaves the engine untouched.
+        """
+        coerced: dict[str, object] = {}
+        for name, raw in settings.items():
+            knob = self.knob_space.knob(name)
+            coerced[knob.name] = knob.coerce(raw)
+        if not coerced:
+            return 0.0
+        self._config.update(coerced)
+        self._refresh_signature()
+        self.clock.advance(self.restart_seconds)
+        return self.restart_seconds
+
+    def reset_config(self) -> float:
+        """Restore every knob to its default and restart."""
+        self._config = dict(self.knob_space.defaults())
+        self._refresh_signature()
+        self.clock.advance(self.restart_seconds)
+        return self.restart_seconds
+
+    # -- physical design ------------------------------------------------------------
+
+    @property
+    def indexes(self) -> list[Index]:
+        return list(self._indexes.values())
+
+    def has_index(self, index: Index) -> bool:
+        return index.key in self._indexes
+
+    def index_creation_seconds(self, index: Index) -> float:
+        """Estimated build time under current settings (no state change)."""
+        if index.key in self._indexes:
+            return 0.0
+        env = self._runtime_env()
+        return (
+            index.creation_seconds(
+                self.catalog, env.maintenance_mem_bytes, self.hardware.disk_mb_per_s
+            )
+            * env.swap_factor
+        )
+
+    def create_index(self, index: Index) -> float:
+        """Build an index, advancing the clock; idempotent (0 s if present)."""
+        index.validate(self.catalog)
+        if index.key in self._indexes:
+            return 0.0
+        env = self._runtime_env()
+        seconds = index.creation_seconds(
+            self.catalog, env.maintenance_mem_bytes, self.hardware.disk_mb_per_s
+        )
+        seconds *= env.swap_factor
+        self._indexes[index.key] = index
+        self._refresh_signature()
+        self.clock.advance(seconds)
+        return seconds
+
+    def drop_index(self, index: Index) -> float:
+        if index.key not in self._indexes:
+            return 0.0
+        del self._indexes[index.key]
+        self._refresh_signature()
+        self.clock.advance(self.drop_index_seconds)
+        return self.drop_index_seconds
+
+    @contextmanager
+    def hypothetical_indexes(self, indexes: list[Index]):
+        """What-if planning: indexes exist inside the block at zero cost.
+
+        Used by the index-advisor baselines (Dexter, DB2 Advisor) the way
+        real advisors use hypothetical index catalog entries -- the clock
+        never advances and the indexes vanish on exit.
+        """
+        added: list[Index] = []
+        for index in indexes:
+            index.validate(self.catalog)
+            if index.key not in self._indexes:
+                self._indexes[index.key] = index
+                added.append(index)
+        self._refresh_signature()
+        try:
+            yield self
+        finally:
+            for index in added:
+                self._indexes.pop(index.key, None)
+            self._refresh_signature()
+
+    def drop_all_indexes(self) -> float:
+        """Drop every index (the implicit cleanup between evaluations)."""
+        total = 0.0
+        for index in list(self._indexes.values()):
+            total += self.drop_index(index)
+        return total
+
+    # -- execution -------------------------------------------------------------------
+
+    def analyze_query(self, sql: str) -> QueryInfo:
+        """Analyze SQL against this engine's catalog (cached)."""
+        info = self._analysis_cache.get(sql)
+        if info is None:
+            info = analyze(sql, self._column_owner)
+            self._analysis_cache[sql] = info
+        return info
+
+    def query_info(self, query: "str | object") -> QueryInfo:
+        """Analyzer facts for a query or SQL string (cached)."""
+        _, info = self._query_parts(query)
+        return info
+
+    def explain(self, query: "str | object") -> QueryPlan:
+        """Plan a query with current settings without executing it."""
+        name, info = self._query_parts(query)
+        plan, _ = self._planned(name, info)
+        return plan
+
+    def estimate_seconds(self, query: "str | object") -> float:
+        """Simulated runtime under current settings, without executing."""
+        name, info = self._query_parts(query)
+        _, seconds = self._planned(name, info)
+        return seconds
+
+    def execute(
+        self, query: "str | object", timeout: float | None = None
+    ) -> ExecutionResult:
+        """Run one query; advance the clock by min(runtime, timeout)."""
+        if timeout is not None and timeout <= 0:
+            return ExecutionResult(complete=False, execution_time=0.0)
+        name, info = self._query_parts(query)
+        plan, seconds = self._planned(name, info)
+        if timeout is not None and seconds > timeout:
+            self.clock.advance(timeout)
+            return ExecutionResult(complete=False, execution_time=timeout, plan=plan)
+        self.clock.advance(seconds)
+        return ExecutionResult(complete=True, execution_time=seconds, plan=plan)
+
+    def run_workload(self, queries: list) -> float:
+        """Execute all queries to completion, returning total query time."""
+        total = 0.0
+        for query in queries:
+            total += self.execute(query).execution_time
+        return total
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _query_parts(self, query: "str | object") -> tuple[str, QueryInfo]:
+        if isinstance(query, str):
+            return query, self.analyze_query(query)
+        sql = getattr(query, "sql", None)
+        if sql is None:
+            raise ConfigurationError(
+                f"cannot execute object of type {type(query).__name__}"
+            )
+        name = getattr(query, "name", None) or sql
+        info = getattr(query, "info", None)
+        if info is None:
+            info = self.analyze_query(sql)
+        return name, info
+
+    def _planned(self, name: str, info: QueryInfo) -> tuple[QueryPlan, float]:
+        key = (name, self._config_signature)
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            return cached
+        env = self._runtime_env()
+        planner = Planner(self.catalog, self._indexes, self._planner_costs(), env)
+        plan = planner.plan(info)
+        seconds = (
+            plan.actual_cost
+            * env.seconds_per_cost_unit
+            * env.logging_factor
+            * env.swap_factor
+        )
+        seconds *= deterministic_noise(self.system, name, self._config_signature)
+        seconds = max(seconds, 1e-4)
+        self._plan_cache[key] = (plan, seconds)
+        return plan, seconds
+
+    def _refresh_signature(self) -> None:
+        # hashlib, not hash(): the signature feeds the deterministic
+        # noise, so it must be stable across processes (PYTHONHASHSEED).
+        import hashlib
+
+        text = "|".join(
+            f"{name}={value}" for name, value in sorted(self._config.items())
+        ) + "#" + ",".join(str(key) for key in sorted(self._indexes))
+        digest = hashlib.sha256(text.encode()).digest()
+        self._config_signature = int.from_bytes(digest[:8], "big")
+
+    # -- convenience -------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, object]:
+        """Serializable summary of engine state (used in reports/tests)."""
+        return {
+            "system": self.system,
+            "clock": self.clock.now,
+            "config": self.config,
+            "indexes": [index.name for index in self.indexes],
+        }

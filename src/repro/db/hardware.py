@@ -1,0 +1,46 @@
+"""Hardware description passed to the tuner and the simulator.
+
+The paper's prompt includes only the amount of main memory and the
+number of CPU cores (§3.1), and the experiments run on an EC2
+p3.2xlarge (61 GB RAM, 8 vCPUs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+GIB = 1024**3
+
+
+@dataclass(frozen=True, slots=True)
+class HardwareSpec:
+    """Cores and memory of the machine hosting the DBMS."""
+
+    memory_gb: float
+    cores: int
+    # Sequential scan bandwidth of the storage device, used to anchor the
+    # cost-to-seconds conversion.  NVMe-class default.
+    disk_mb_per_s: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.memory_gb <= 0:
+            raise ReproError("memory_gb must be positive")
+        if self.cores < 1:
+            raise ReproError("cores must be at least 1")
+        if self.disk_mb_per_s <= 0:
+            raise ReproError("disk_mb_per_s must be positive")
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self.memory_gb * GIB)
+
+    @staticmethod
+    def paper_default() -> "HardwareSpec":
+        """The EC2 p3.2xlarge used in the paper's experiments."""
+        return HardwareSpec(memory_gb=61.0, cores=8)
+
+    def describe(self) -> str:
+        """Human-readable one-liner used in prompts."""
+        return f"memory: {self.memory_gb:g}GB\ncores: {self.cores}"

@@ -1,0 +1,364 @@
+"""Configuration knob definitions for the simulated engines.
+
+Each :class:`Knob` mirrors a real PostgreSQL or MySQL parameter: name,
+type, default, bounds, unit handling (``16MB``/``2GB`` strings), and a
+broad category used by the in-depth analysis (Table 5 groups parameters
+into Memory / Optimizer / IO / Logging categories).
+
+The knob spaces are the contract between every tuning system in this
+repository: lambda-Tune's LLM scripts, the baselines' search spaces, and
+the engines' cost models all speak in these knob names.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.errors import KnobError
+
+_SIZE_UNITS = {
+    "b": 1,
+    "kb": 1024,
+    "mb": 1024**2,
+    "gb": 1024**3,
+    "tb": 1024**4,
+    # MySQL-style suffixes.
+    "k": 1024,
+    "m": 1024**2,
+    "g": 1024**3,
+    "t": 1024**4,
+}
+
+_SIZE_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*([a-zA-Z]*)\s*$")
+
+_TRUE_WORDS = frozenset({"on", "true", "yes", "1"})
+_FALSE_WORDS = frozenset({"off", "false", "no", "0"})
+
+
+def parse_size(value: str | int | float) -> int:
+    """Parse ``"16MB"``-style strings (or plain numbers of bytes) to bytes."""
+    if isinstance(value, (int, float)):
+        return int(value)
+    match = _SIZE_RE.match(value)
+    if match is None:
+        raise KnobError(f"cannot parse size value {value!r}")
+    number, unit = match.groups()
+    if not unit:
+        return int(float(number))
+    factor = _SIZE_UNITS.get(unit.lower())
+    if factor is None:
+        raise KnobError(f"unknown size unit {unit!r} in {value!r}")
+    return int(float(number) * factor)
+
+
+def format_size(size_bytes: int) -> str:
+    """Render a byte count with the largest exact-ish unit."""
+    for unit, factor in (("GB", 1024**3), ("MB", 1024**2), ("kB", 1024)):
+        if size_bytes >= factor:
+            value = size_bytes / factor
+            if value >= 10 or abs(value - round(value)) < 1e-9:
+                return f"{value:.0f}{unit}"
+            return f"{value:.1f}{unit}"
+    return f"{size_bytes}B"
+
+
+class KnobKind(enum.Enum):
+    """Value domain of a knob."""
+
+    SIZE = "size"  # byte quantities, accept "16MB" strings
+    INTEGER = "integer"
+    FLOAT = "float"
+    BOOL = "bool"
+    ENUM = "enum"
+
+
+class KnobCategory(enum.Enum):
+    """Broad grouping used for reporting (paper Table 5)."""
+
+    MEMORY = "Memory"
+    OPTIMIZER = "Optimizer"
+    IO = "IO"
+    LOGGING = "Logging"
+    PARALLELISM = "Parallelism"
+    CONNECTIONS = "Connections"
+
+
+@dataclass(frozen=True, slots=True)
+class Knob:
+    """Definition of one tunable parameter."""
+
+    name: str
+    kind: KnobKind
+    default: int | float | bool | str
+    category: KnobCategory
+    minimum: int | float | None = None
+    maximum: int | float | None = None
+    choices: tuple[str, ...] = ()
+    description: str = ""
+
+    def coerce(self, raw: object) -> int | float | bool | str:
+        """Validate and normalize a raw setting (possibly a string)."""
+        if self.kind is KnobKind.SIZE:
+            try:
+                value: int | float = parse_size(raw)  # type: ignore[arg-type]
+            except KnobError:
+                raise
+            return self._check_bounds(int(value))
+        if self.kind is KnobKind.INTEGER:
+            try:
+                if isinstance(raw, str):
+                    # Tolerate unit suffixes on integer knobs that are
+                    # secretly sizes in some manuals (e.g. "4MB" for an
+                    # int-typed knob) by refusing loudly instead.
+                    value = int(float(raw))
+                else:
+                    value = int(raw)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                raise KnobError(
+                    f"knob {self.name!r} expects an integer, got {raw!r}"
+                ) from None
+            return self._check_bounds(value)
+        if self.kind is KnobKind.FLOAT:
+            try:
+                value = float(raw)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                raise KnobError(
+                    f"knob {self.name!r} expects a number, got {raw!r}"
+                ) from None
+            return self._check_bounds(value)
+        if self.kind is KnobKind.BOOL:
+            if isinstance(raw, bool):
+                return raw
+            word = str(raw).strip().lower()
+            if word in _TRUE_WORDS:
+                return True
+            if word in _FALSE_WORDS:
+                return False
+            raise KnobError(f"knob {self.name!r} expects on/off, got {raw!r}")
+        # ENUM
+        word = str(raw).strip().lower()
+        if word not in self.choices:
+            raise KnobError(
+                f"knob {self.name!r} expects one of {self.choices}, got {raw!r}"
+            )
+        return word
+
+    def _check_bounds(self, value: int | float) -> int | float:
+        if self.minimum is not None and value < self.minimum:
+            raise KnobError(
+                f"knob {self.name!r}: value {value!r} below minimum {self.minimum!r}"
+            )
+        if self.maximum is not None and value > self.maximum:
+            raise KnobError(
+                f"knob {self.name!r}: value {value!r} above maximum {self.maximum!r}"
+            )
+        return value
+
+    def clamp(self, value: int | float) -> int | float:
+        """Clamp a numeric value into the knob's bounds (search helpers)."""
+        if self.minimum is not None:
+            value = max(self.minimum, value)
+        if self.maximum is not None:
+            value = min(self.maximum, value)
+        if self.kind in (KnobKind.SIZE, KnobKind.INTEGER):
+            return int(value)
+        return value
+
+
+class KnobSpace:
+    """A named collection of knobs with default values."""
+
+    def __init__(self, system: str, knobs: list[Knob]) -> None:
+        self.system = system
+        self._knobs: dict[str, Knob] = {}
+        for knob in knobs:
+            if knob.name in self._knobs:
+                raise KnobError(f"duplicate knob {knob.name!r}")
+            self._knobs[knob.name] = knob
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._knobs
+
+    def __iter__(self):
+        return iter(self._knobs.values())
+
+    def __len__(self) -> int:
+        return len(self._knobs)
+
+    def knob(self, name: str) -> Knob:
+        try:
+            return self._knobs[name.lower()]
+        except KeyError:
+            raise KnobError(
+                f"unknown {self.system} parameter {name!r}"
+            ) from None
+
+    def defaults(self) -> dict[str, int | float | bool | str]:
+        return {name: knob.default for name, knob in self._knobs.items()}
+
+    def coerce(self, name: str, raw: object) -> int | float | bool | str:
+        return self.knob(name).coerce(raw)
+
+    def names(self) -> list[str]:
+        return list(self._knobs)
+
+
+# --------------------------------------------------------------------------
+# PostgreSQL 12 knob space
+# --------------------------------------------------------------------------
+
+MB = 1024**2
+GB = 1024**3
+
+
+def postgres_knob_space() -> KnobSpace:
+    """Knobs of the simulated PostgreSQL 12 engine (paper defaults)."""
+    K = Knob
+    size, integer, flt, boolean = (
+        KnobKind.SIZE,
+        KnobKind.INTEGER,
+        KnobKind.FLOAT,
+        KnobKind.BOOL,
+    )
+    mem, opt, io, log, par = (
+        KnobCategory.MEMORY,
+        KnobCategory.OPTIMIZER,
+        KnobCategory.IO,
+        KnobCategory.LOGGING,
+        KnobCategory.PARALLELISM,
+    )
+    knobs = [
+        K("shared_buffers", size, 128 * MB, mem, minimum=128 * 1024,
+          maximum=512 * GB, description="Shared buffer pool size."),
+        K("work_mem", size, 4 * MB, mem, minimum=64 * 1024, maximum=64 * GB,
+          description="Per-operation sort/hash memory."),
+        K("maintenance_work_mem", size, 64 * MB, mem, minimum=1024 * 1024,
+          maximum=64 * GB, description="Memory for index builds and vacuum."),
+        K("temp_buffers", size, 8 * MB, mem, minimum=800 * 1024,
+          maximum=16 * GB, description="Per-session temporary buffers."),
+        K("effective_cache_size", size, 4 * GB, opt, minimum=8 * 1024,
+          maximum=512 * GB,
+          description="Planner's assumption about total cache size."),
+        K("random_page_cost", flt, 4.0, opt, minimum=0.0, maximum=1000.0,
+          description="Planner cost of a non-sequential page fetch."),
+        K("seq_page_cost", flt, 1.0, opt, minimum=0.0, maximum=1000.0,
+          description="Planner cost of a sequential page fetch."),
+        K("cpu_tuple_cost", flt, 0.01, opt, minimum=0.0, maximum=100.0,
+          description="Planner cost of processing one tuple."),
+        K("cpu_index_tuple_cost", flt, 0.005, opt, minimum=0.0, maximum=100.0,
+          description="Planner cost of processing one index entry."),
+        K("cpu_operator_cost", flt, 0.0025, opt, minimum=0.0, maximum=100.0,
+          description="Planner cost of evaluating one operator."),
+        K("default_statistics_target", integer, 100, opt, minimum=1,
+          maximum=10000, description="Statistics detail collected by ANALYZE."),
+        K("jit", boolean, True, opt,
+          description="Just-in-time compilation of expressions."),
+        K("enable_hashjoin", boolean, True, opt,
+          description="Allow hash join plans."),
+        K("enable_mergejoin", boolean, True, opt,
+          description="Allow merge join plans."),
+        K("enable_nestloop", boolean, True, opt,
+          description="Allow nested-loop join plans."),
+        K("effective_io_concurrency", integer, 1, io, minimum=0, maximum=1000,
+          description="Concurrent I/O requests for bitmap scans."),
+        K("max_parallel_workers_per_gather", integer, 2, par, minimum=0,
+          maximum=64, description="Workers per parallel query node."),
+        K("max_parallel_workers", integer, 8, par, minimum=0, maximum=128,
+          description="Total parallel workers."),
+        K("max_worker_processes", integer, 8, par, minimum=0, maximum=128,
+          description="Background worker process limit."),
+        K("parallel_setup_cost", flt, 1000.0, opt, minimum=0.0,
+          maximum=1e9, description="Planner cost to launch parallel workers."),
+        K("parallel_tuple_cost", flt, 0.1, opt, minimum=0.0, maximum=100.0,
+          description="Planner cost per tuple passed between workers."),
+        K("wal_buffers", size, 16 * MB, log, minimum=32 * 1024,
+          maximum=2 * GB, description="WAL buffer size."),
+        K("checkpoint_completion_target", flt, 0.5, log, minimum=0.0,
+          maximum=1.0, description="Checkpoint spread fraction."),
+        K("checkpoint_timeout", integer, 300, log, minimum=30, maximum=86400,
+          description="Seconds between automatic checkpoints."),
+        K("max_wal_size", size, 1 * GB, log, minimum=32 * MB,
+          maximum=512 * GB, description="WAL size triggering a checkpoint."),
+        K("min_wal_size", size, 80 * MB, log, minimum=32 * MB,
+          maximum=512 * GB, description="WAL recycled below this size."),
+        K("synchronous_commit", boolean, True, log,
+          description="Wait for WAL flush at commit."),
+        K("autovacuum", boolean, True, io,
+          description="Background vacuum/analyze daemon."),
+    ]
+    return KnobSpace("postgres", knobs)
+
+
+# --------------------------------------------------------------------------
+# MySQL 8 knob space
+# --------------------------------------------------------------------------
+
+
+def mysql_knob_space() -> KnobSpace:
+    """Knobs of the simulated MySQL 8 / InnoDB engine."""
+    K = Knob
+    size, integer, flt, boolean, enum_ = (
+        KnobKind.SIZE,
+        KnobKind.INTEGER,
+        KnobKind.FLOAT,
+        KnobKind.BOOL,
+        KnobKind.ENUM,
+    )
+    mem, opt, io, log, par, con = (
+        KnobCategory.MEMORY,
+        KnobCategory.OPTIMIZER,
+        KnobCategory.IO,
+        KnobCategory.LOGGING,
+        KnobCategory.PARALLELISM,
+        KnobCategory.CONNECTIONS,
+    )
+    knobs = [
+        K("innodb_buffer_pool_size", size, 128 * MB, mem, minimum=5 * MB,
+          maximum=512 * GB, description="InnoDB buffer pool size."),
+        K("innodb_buffer_pool_instances", integer, 1, mem, minimum=1,
+          maximum=64, description="Buffer pool partitions."),
+        K("sort_buffer_size", size, 256 * 1024, mem, minimum=32 * 1024,
+          maximum=16 * GB, description="Per-session sort buffer."),
+        K("join_buffer_size", size, 256 * 1024, mem, minimum=128,
+          maximum=16 * GB, description="Per-join block-nested-loop buffer."),
+        K("read_buffer_size", size, 128 * 1024, mem, minimum=8192,
+          maximum=2 * GB, description="Sequential read-ahead buffer."),
+        K("read_rnd_buffer_size", size, 256 * 1024, mem, minimum=1,
+          maximum=2 * GB, description="Random read buffer for sorted reads."),
+        K("tmp_table_size", size, 16 * MB, mem, minimum=1024,
+          maximum=64 * GB, description="In-memory temporary table limit."),
+        K("max_heap_table_size", size, 16 * MB, mem, minimum=16 * 1024,
+          maximum=64 * GB, description="MEMORY engine table limit."),
+        K("innodb_log_file_size", size, 48 * MB, log, minimum=4 * MB,
+          maximum=64 * GB, description="Redo log file size."),
+        K("innodb_log_buffer_size", size, 16 * MB, log, minimum=1 * MB,
+          maximum=4 * GB, description="Redo log buffer."),
+        K("innodb_flush_log_at_trx_commit", integer, 1, log, minimum=0,
+          maximum=2, description="Durability/throughput trade-off."),
+        K("innodb_flush_method", enum_, "fsync", io,
+          choices=("fsync", "o_direct", "o_dsync"),
+          description="How InnoDB flushes data files."),
+        K("innodb_io_capacity", integer, 200, io, minimum=100,
+          maximum=2_000_000, description="Background I/O operations per second."),
+        K("innodb_read_io_threads", integer, 4, io, minimum=1, maximum=64,
+          description="Read I/O threads."),
+        K("innodb_write_io_threads", integer, 4, io, minimum=1, maximum=64,
+          description="Write I/O threads."),
+        K("innodb_parallel_read_threads", integer, 4, par, minimum=1,
+          maximum=256, description="Parallel clustered-index read threads."),
+        K("innodb_adaptive_hash_index", boolean, True, opt,
+          description="Adaptive hash index on hot pages."),
+        K("optimizer_search_depth", integer, 62, opt, minimum=0, maximum=62,
+          description="Exhaustiveness of join-order search."),
+        K("eq_range_index_dive_limit", integer, 200, opt, minimum=0,
+          maximum=4_294_967_295, description="Ranges estimated by index dives."),
+        K("max_connections", integer, 151, con, minimum=1, maximum=100000,
+          description="Maximum concurrent client connections."),
+        K("thread_cache_size", integer, 9, con, minimum=0, maximum=16384,
+          description="Cached service threads."),
+        K("table_open_cache", integer, 4000, con, minimum=1, maximum=524288,
+          description="Cached open table handles."),
+    ]
+    return KnobSpace("mysql", knobs)

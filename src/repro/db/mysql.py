@@ -1,0 +1,113 @@
+"""The simulated MySQL 8 / InnoDB engine.
+
+Differences from the PostgreSQL simulation that matter for tuning:
+
+- The buffer pool (``innodb_buffer_pool_size``) is the *only* cache
+  MySQL credits itself with; the OS cache contributes less because
+  InnoDB double-buffers unless ``innodb_flush_method = O_DIRECT``.
+- Join/sort memory defaults are tiny (256 KiB), so untuned MySQL spills
+  heavily on OLAP joins -- raising ``join_buffer_size`` /
+  ``sort_buffer_size`` is where most of the win is.
+- The optimizer's cost constants are not exposed as knobs;
+  ``optimizer_search_depth`` bounds the join-order search instead.
+- Query execution is single-threaded (no parallel query in MySQL 8),
+  only clustered-index read-ahead (``innodb_parallel_read_threads``)
+  and I/O threads help scans.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.db.cost_model import (
+    PlannerCosts,
+    RuntimeEnv,
+    oversubscription_penalty,
+)
+from repro.db.engine import DatabaseEngine
+from repro.db.knobs import GB, MB, KnobSpace, mysql_knob_space
+
+
+class MySQLEngine(DatabaseEngine):
+    """Simulated MySQL 8 with InnoDB."""
+
+    restart_seconds = 3.0
+
+    @property
+    def system(self) -> str:
+        return "mysql"
+
+    def _build_knob_space(self) -> KnobSpace:
+        return mysql_knob_space()
+
+    def _planner_costs(self) -> PlannerCosts:
+        config = self._config
+        # MySQL exposes no random/seq page cost knobs; its optimizer is
+        # more index-friendly than PostgreSQL's default out of the box.
+        return PlannerCosts(
+            seq_page_cost=1.0,
+            random_page_cost=2.0,
+            effective_cache_bytes=int(config["innodb_buffer_pool_size"]),
+            enable_hashjoin=True,
+            enable_mergejoin=True,
+            enable_nestloop=True,
+            join_search_depth=max(1, int(config["optimizer_search_depth"]) or 62),
+        )
+
+    def _runtime_env(self) -> RuntimeEnv:
+        config = self._config
+        buffer_pool = int(config["innodb_buffer_pool_size"])
+
+        o_direct = config["innodb_flush_method"] == "o_direct"
+        # Without O_DIRECT, pages live both in the pool and the OS cache;
+        # we model that as a 25% effectiveness haircut on the pool.
+        effective_pool = buffer_pool if o_direct else int(buffer_pool * 0.75)
+
+        sort_buffer = int(config["sort_buffer_size"])
+        join_buffer = int(config["join_buffer_size"])
+        sort_hash_mem = max(sort_buffer, join_buffer)
+        agg_mem = min(int(config["tmp_table_size"]), int(config["max_heap_table_size"]))
+
+        read_threads = int(config["innodb_read_io_threads"])
+        parallel_read = int(config["innodb_parallel_read_threads"])
+        io_concurrency = 1.0 + math.log2(1.0 + read_threads + parallel_read / 2.0)
+
+        # No parallel query execution: scans get a mild read-ahead boost
+        # only, expressed through io_concurrency above.
+        parallel_workers = 1
+
+        connections = max(1, int(config["max_connections"]))
+        session_budget = (sort_buffer + join_buffer) * min(connections, 32)
+        allocated = buffer_pool + session_budget + int(config["innodb_log_buffer_size"])
+        swap = oversubscription_penalty(allocated, self.hardware.memory_bytes)
+
+        logging = 1.0
+        if int(config["innodb_flush_log_at_trx_commit"]) == 1:
+            logging += 0.003
+        if int(config["innodb_log_file_size"]) < 128 * MB:
+            logging += 0.003
+        if not bool(config["innodb_adaptive_hash_index"]):
+            logging += 0.01
+        if int(config["innodb_io_capacity"]) < 1000:
+            logging += 0.002
+        if int(config["table_open_cache"]) < 1000:
+            logging += 0.002
+        if int(config["thread_cache_size"]) < 8:
+            logging += 0.001
+
+        return RuntimeEnv(
+            buffer_pool_bytes=effective_pool,
+            sort_hash_mem_bytes=sort_hash_mem,
+            agg_mem_bytes=agg_mem,
+            maintenance_mem_bytes=max(sort_buffer, 32 * MB),
+            parallel_workers=parallel_workers,
+            io_concurrency=io_concurrency,
+            logging_factor=logging,
+            swap_factor=swap,
+            hardware=self.hardware,
+        )
+
+
+def recommended_buffer_pool(memory_bytes: int) -> int:
+    """The MySQL manual's "50-75% of RAM on a dedicated server" guidance."""
+    return min(int(memory_bytes * 0.7), 512 * GB)

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the lambda-Tune reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries while tests can
+assert on precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SQLError(ReproError):
+    """Raised when SQL text cannot be lexed, parsed, or analyzed."""
+
+    def __init__(self, message: str, *, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class CatalogError(ReproError):
+    """Raised for unknown tables/columns or inconsistent schema metadata."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration script is malformed or inapplicable."""
+
+
+class KnobError(ConfigurationError):
+    """Raised when a knob name or value is invalid for the target system."""
+
+
+class SolverError(ReproError):
+    """Raised when an optimization model is infeasible or malformed."""
+
+
+class LLMError(ReproError):
+    """Raised when an LLM client fails to produce a usable response."""
+
+
+class BudgetExceededError(ReproError):
+    """Raised when a tuning run exceeds its allotted optimization budget."""
+
+
+class SchedulerError(ReproError):
+    """Raised when query scheduling receives inconsistent input."""

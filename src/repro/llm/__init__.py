@@ -1,0 +1,19 @@
+"""LLM client interface and the simulated LLM.
+
+The paper calls OpenAI's GPT-4 with the generated prompt and parses the
+returned configuration scripts.  This package defines the text-in /
+text-out client contract (:mod:`repro.llm.client`) and a deterministic
+:class:`~repro.llm.mock.SimulatedLLM` that plays GPT-4's role: it reads
+the *actual prompt* (DBMS name, hardware line, compressed workload
+lines), applies manual-style tuning knowledge, and emits complete
+configuration scripts whose quality varies with temperature --
+including the occasional disproportionately bad outlier the paper's
+selector must defend against (§6.3: "outlier configurations where the
+run time is up to five times higher than the optimum").
+"""
+
+from repro.llm.client import LLMClient, LLMResponse
+from repro.llm.mock import SimulatedLLM
+from repro.llm.scripts import render_script
+
+__all__ = ["LLMClient", "LLMResponse", "SimulatedLLM", "render_script"]

@@ -1,0 +1,66 @@
+"""The LLM client contract.
+
+Any provider (OpenAI, Anthropic, a local model, or the bundled
+simulator) plugs in by implementing :class:`LLMClient.complete`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.errors import LLMError
+
+
+@dataclass(frozen=True, slots=True)
+class LLMResponse:
+    """One completion with token accounting (fees are per-token)."""
+
+    text: str
+    prompt_tokens: int
+    completion_tokens: int
+    model: str
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+
+class LLMClient(abc.ABC):
+    """Text-in / text-out completion interface."""
+
+    model: str = "unknown"
+    #: Intrinsic context limit; used when the user sets no token budget
+    #: (paper §2: "otherwise, lambda-Tune will try to fit as much
+    #: information as possible into the prompt, according to the
+    #: language model token limit").
+    max_input_tokens: int = 128_000
+
+    @abc.abstractmethod
+    def complete(
+        self, prompt: str, *, temperature: float = 0.7, seed: int = 0
+    ) -> LLMResponse:
+        """Return one completion for the prompt."""
+
+    def sample(
+        self, prompt: str, n: int, *, temperature: float = 0.7, seed: int = 0
+    ) -> list[LLMResponse]:
+        """Issue ``n`` randomized calls (paper Algorithm 1, line 3)."""
+        if n < 1:
+            raise LLMError("must request at least one sample")
+        return [
+            self.complete(prompt, temperature=temperature, seed=seed + i)
+            for i in range(n)
+        ]
+
+    def _make_response(self, prompt: str, text: str) -> LLMResponse:
+        # Imported here: repro.core imports repro.llm at package level,
+        # so a module-level import of the tokenizer would be circular.
+        from repro.core.prompt.tokens import count_tokens
+
+        return LLMResponse(
+            text=text,
+            prompt_tokens=count_tokens(prompt),
+            completion_tokens=count_tokens(text),
+            model=self.model,
+        )

@@ -1,0 +1,124 @@
+"""A miniature tuning-manual corpus.
+
+DB-BERT mines tuning hints from text documents ("reads the manual") and
+GPTuner uses manual text to prune knob ranges.  This module bundles a
+small corpus of manual-style passages for both simulated systems, each
+paired with a machine-readable hint so the baselines can translate text
+into concrete settings the way their originals do.
+
+``fraction`` hints are relative to system RAM; ``cores`` hints are
+relative to CPU count; ``absolute`` hints carry a literal value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.hardware import HardwareSpec
+from repro.db.knobs import GB, MB
+
+
+@dataclass(frozen=True, slots=True)
+class ManualHint:
+    """One mined tuning hint: a parameter and a recommended value rule."""
+
+    system: str
+    parameter: str
+    kind: str  # "fraction" | "cores" | "absolute"
+    value: float
+    text: str
+
+    def concrete_value(self, hardware: HardwareSpec) -> object:
+        if self.kind == "fraction":
+            return int(hardware.memory_bytes * self.value)
+        if self.kind == "cores":
+            return max(1, int(hardware.cores * self.value))
+        return self.value if not float(self.value).is_integer() else int(self.value)
+
+
+MANUAL_CORPUS: list[ManualHint] = [
+    # -- PostgreSQL ---------------------------------------------------------
+    ManualHint("postgres", "shared_buffers", "fraction", 0.25,
+               "A reasonable starting value for shared_buffers is 25% of "
+               "the memory in your system."),
+    ManualHint("postgres", "shared_buffers", "fraction", 0.4,
+               "On dedicated analytics servers some administrators raise "
+               "shared_buffers up to 40% of RAM."),
+    ManualHint("postgres", "effective_cache_size", "fraction", 0.75,
+               "Set effective_cache_size to an estimate of the memory "
+               "available for disk caching, commonly 75% of RAM."),
+    ManualHint("postgres", "work_mem", "fraction", 1.0 / 64,
+               "For analytical workloads, work_mem can be sized as total "
+               "memory divided by the expected number of concurrent sorts."),
+    ManualHint("postgres", "work_mem", "absolute", 256 * MB,
+               "Complex queries with large hash joins benefit from "
+               "work_mem in the hundreds of megabytes."),
+    ManualHint("postgres", "maintenance_work_mem", "absolute", 2 * GB,
+               "Larger maintenance_work_mem speeds up CREATE INDEX; 1-2GB "
+               "is typical on big machines."),
+    ManualHint("postgres", "random_page_cost", "absolute", 1.1,
+               "If your database fits in cache or lives on SSDs, lower "
+               "random_page_cost to 1.1 to favor index scans."),
+    ManualHint("postgres", "effective_io_concurrency", "absolute", 200,
+               "SSDs can serve hundreds of concurrent random reads; set "
+               "effective_io_concurrency to 200."),
+    ManualHint("postgres", "max_parallel_workers_per_gather", "cores", 0.5,
+               "Allow half the CPU cores per gather node for parallel "
+               "query execution."),
+    ManualHint("postgres", "max_parallel_workers", "cores", 1.0,
+               "max_parallel_workers is usually set to the core count."),
+    ManualHint("postgres", "checkpoint_completion_target", "absolute", 0.9,
+               "Spread checkpoints over most of the interval: set "
+               "checkpoint_completion_target to 0.9."),
+    ManualHint("postgres", "wal_buffers", "absolute", 16 * MB,
+               "A wal_buffers value of 16MB suits most systems."),
+    ManualHint("postgres", "default_statistics_target", "absolute", 200,
+               "Increase default_statistics_target for complex analytical "
+               "queries with skewed data."),
+    # -- MySQL ----------------------------------------------------------------
+    ManualHint("mysql", "innodb_buffer_pool_size", "fraction", 0.7,
+               "On a dedicated server, set innodb_buffer_pool_size to "
+               "50-75% of physical memory."),
+    ManualHint("mysql", "innodb_buffer_pool_instances", "cores", 1.0,
+               "Use one buffer pool instance per core up to 8."),
+    ManualHint("mysql", "join_buffer_size", "absolute", 128 * MB,
+               "Analytical joins without indexes profit from a larger "
+               "join_buffer_size."),
+    ManualHint("mysql", "sort_buffer_size", "absolute", 64 * MB,
+               "Large ORDER BY and GROUP BY operations need a bigger "
+               "sort_buffer_size."),
+    ManualHint("mysql", "tmp_table_size", "absolute", 1 * GB,
+               "Raise tmp_table_size so implicit temporary tables stay in "
+               "memory."),
+    ManualHint("mysql", "max_heap_table_size", "absolute", 1 * GB,
+               "max_heap_table_size caps in-memory temporary tables and "
+               "should match tmp_table_size."),
+    ManualHint("mysql", "innodb_flush_method", "absolute", 0,
+               "Use O_DIRECT to avoid double buffering between InnoDB and "
+               "the OS page cache."),
+    ManualHint("mysql", "innodb_log_file_size", "absolute", 1 * GB,
+               "Redo logs of 1-2GB reduce checkpoint pressure."),
+    ManualHint("mysql", "innodb_io_capacity", "absolute", 2000,
+               "SSD-backed servers sustain thousands of IOPS; raise "
+               "innodb_io_capacity accordingly."),
+    ManualHint("mysql", "innodb_read_io_threads", "cores", 1.0,
+               "Scale innodb_read_io_threads with the core count."),
+    ManualHint("mysql", "innodb_parallel_read_threads", "cores", 1.0,
+               "Parallel clustered-index reads scale with "
+               "innodb_parallel_read_threads."),
+]
+
+
+def hints_for(system: str) -> list[ManualHint]:
+    """All corpus hints applicable to one system."""
+    return [hint for hint in MANUAL_CORPUS if hint.system == system]
+
+
+_FLUSH_METHOD_FIX = {"innodb_flush_method": "o_direct"}
+
+
+def hint_setting(hint: ManualHint, hardware: HardwareSpec) -> tuple[str, object]:
+    """Translate a hint into a (parameter, value) pair."""
+    if hint.parameter in _FLUSH_METHOD_FIX:
+        return hint.parameter, _FLUSH_METHOD_FIX[hint.parameter]
+    return hint.parameter, hint.concrete_value(hardware)

@@ -1,0 +1,94 @@
+"""Retrieval-augmented prompt enrichment (paper §2 extension hook).
+
+The paper notes that lambda-Tune "could easily be augmented via
+retrieval augmented generation, enabling the LLM to parse additional
+information from the Web".  This module implements that hook against
+the bundled manual corpus: a lightweight lexical retriever scores each
+manual passage against the prompt's content and the top passages are
+appended under a "Relevant documentation" header, within a token
+budget.
+
+Off by default; enable via ``RetrievalAugmenter.augment``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+
+from repro.llm.corpus import MANUAL_CORPUS, ManualHint
+
+_WORD_RE = re.compile(r"[a-z0-9_]+")
+
+
+def _terms(text: str) -> list[str]:
+    return _WORD_RE.findall(text.lower())
+
+
+@dataclass(frozen=True, slots=True)
+class RetrievedPassage:
+    """One manual passage with its relevance score."""
+
+    hint: ManualHint
+    score: float
+
+
+class RetrievalAugmenter:
+    """TF-IDF-flavoured lexical retrieval over the manual corpus."""
+
+    def __init__(self, corpus: list[ManualHint] | None = None) -> None:
+        self._corpus = corpus if corpus is not None else MANUAL_CORPUS
+        # Document frequency per term for IDF weighting.
+        self._document_frequency: dict[str, int] = {}
+        for hint in self._corpus:
+            for term in set(_terms(hint.text)):
+                self._document_frequency[term] = (
+                    self._document_frequency.get(term, 0) + 1
+                )
+
+    def retrieve(
+        self, query_text: str, *, system: str | None = None, top_k: int = 3
+    ) -> list[RetrievedPassage]:
+        """Top passages for a prompt, optionally restricted to one system."""
+        query_terms = set(_terms(query_text))
+        total_docs = max(1, len(self._corpus))
+        results: list[RetrievedPassage] = []
+        for hint in self._corpus:
+            if system is not None and hint.system != system:
+                continue
+            score = 0.0
+            for term in set(_terms(hint.text)):
+                if term in query_terms:
+                    df = self._document_frequency.get(term, 1)
+                    score += math.log(1.0 + total_docs / df)
+            if score > 0:
+                results.append(RetrievedPassage(hint=hint, score=score))
+        results.sort(key=lambda passage: (-passage.score, passage.hint.parameter))
+        return results[:top_k]
+
+    def augment(
+        self,
+        prompt: str,
+        *,
+        system: str | None = None,
+        token_budget: int = 150,
+        top_k: int = 3,
+    ) -> str:
+        """Append retrieved manual passages to a prompt within a budget."""
+        from repro.core.prompt.tokens import count_tokens
+
+        passages = self.retrieve(prompt, system=system, top_k=top_k)
+        if not passages:
+            return prompt
+        lines = ["", "Relevant documentation:"]
+        used = count_tokens("\n".join(lines))
+        for passage in passages:
+            cost = count_tokens(passage.hint.text) + 1
+            if used + cost > token_budget:
+                break
+            lines.append(f"- {passage.hint.text}")
+            used += cost
+        if len(lines) <= 2:
+            return prompt
+        return prompt + "\n".join(lines) + "\n"

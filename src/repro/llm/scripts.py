@@ -1,0 +1,60 @@
+"""Rendering configuration scripts in each system's dialect.
+
+The LLM answers with executable SQL: ``ALTER SYSTEM SET`` for
+PostgreSQL, ``SET GLOBAL`` for MySQL, plus ``CREATE INDEX`` statements.
+"""
+
+from __future__ import annotations
+
+from repro.db.indexes import Index
+from repro.db.knobs import format_size
+
+
+def render_setting(system: str, name: str, value: object) -> str:
+    """One parameter-change command in the target system's dialect."""
+    if isinstance(value, bool):
+        if system == "postgres":
+            rendered = "on" if value else "off"
+        else:
+            rendered = "ON" if value else "OFF"
+    elif isinstance(value, int) and value >= 1024 * 1024 and _is_size_knob(name):
+        rendered = f"'{format_size(value)}'"
+    elif isinstance(value, str):
+        rendered = f"'{value}'"
+    else:
+        rendered = str(value)
+    if system == "postgres":
+        return f"ALTER SYSTEM SET {name} = {rendered};"
+    return f"SET GLOBAL {name} = {rendered};"
+
+
+def render_index(index: Index) -> str:
+    columns = ", ".join(index.columns)
+    return f"CREATE INDEX {index.name} ON {index.table} ({columns});"
+
+
+def render_script(
+    system: str,
+    settings: dict[str, object],
+    indexes: list[Index],
+    *,
+    commentary: str = "",
+) -> str:
+    """A full configuration script, optionally with LLM-style prose."""
+    lines: list[str] = []
+    if commentary:
+        lines.append(commentary)
+        lines.append("")
+    for name in sorted(settings):
+        lines.append(render_setting(system, name, settings[name]))
+    for index in indexes:
+        lines.append(render_index(index))
+    return "\n".join(lines)
+
+
+_SIZE_KNOB_MARKERS = ("mem", "buffer", "cache", "size", "wal")
+
+
+def _is_size_knob(name: str) -> bool:
+    lowered = name.lower()
+    return any(marker in lowered for marker in _SIZE_KNOB_MARKERS)

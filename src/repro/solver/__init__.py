@@ -1,0 +1,29 @@
+"""A small 0/1 integer-linear-programming toolkit.
+
+The workload compressor (paper §3.3) casts snippet selection as an ILP.
+This package provides the model container plus three interchangeable
+solution strategies:
+
+- :mod:`repro.solver.scipy_backend` -- exact, via ``scipy.optimize.milp``
+  (HiGHS branch-and-cut), the default.
+- :mod:`repro.solver.branch_bound` -- an exact best-first
+  branch-and-bound written from scratch (LP-free, fractional-knapsack
+  style bounding), used as a fallback and as an independent oracle in
+  tests.
+- :mod:`repro.solver.greedy` -- a fast feasibility-checking greedy
+  heuristic, used by the compressor-off ablations and as a warm start.
+"""
+
+from repro.solver.model import ILPModel, ILPSolution, LinearConstraint
+from repro.solver.scipy_backend import solve_with_scipy
+from repro.solver.branch_bound import solve_with_branch_bound
+from repro.solver.greedy import solve_greedy
+
+__all__ = [
+    "ILPModel",
+    "ILPSolution",
+    "LinearConstraint",
+    "solve_with_scipy",
+    "solve_with_branch_bound",
+    "solve_greedy",
+]

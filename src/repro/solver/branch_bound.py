@@ -1,0 +1,122 @@
+"""Exact branch-and-bound for binary maximization ILPs.
+
+A dependency-free oracle used when scipy is unavailable and as an
+independent cross-check of the scipy backend in tests.
+
+Strategy: depth-first branch-and-bound over variables ordered by
+|objective| descending.  The upper bound at a node is the sum of the
+already-fixed objective plus all positive objective coefficients of the
+still-free variables -- cheap, admissible, and tight enough for the
+compressor's instances (a few hundred variables).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SolverError
+from repro.solver.model import ILPModel, ILPSolution
+
+_NODE_LIMIT = 2_000_000
+
+
+def solve_with_branch_bound(model: ILPModel) -> ILPSolution:
+    """Solve exactly; raises :class:`SolverError` past the node limit."""
+    n = model.variable_count
+    if n == 0:
+        return ILPSolution(values=[], objective=0.0)
+
+    objective = model.objective
+    constraints = model.constraints
+    order = sorted(range(n), key=lambda index: -abs(objective[index]))
+
+    # Remaining positive mass after each position in `order`, for bounds.
+    positive_suffix = [0.0] * (n + 1)
+    for position in range(n - 1, -1, -1):
+        coefficient = objective[order[position]]
+        positive_suffix[position] = positive_suffix[position + 1] + max(
+            0.0, coefficient
+        )
+
+    # Constraint bookkeeping: slack per constraint, updated incrementally.
+    slack = [constraint.bound for constraint in constraints]
+    # For pruning: the minimum possible remaining contribution of free
+    # variables to each constraint (negative coefficients can relax it).
+    min_free_contribution = [
+        sum(min(0.0, coefficient) for coefficient in constraint.coefficients.values())
+        for constraint in constraints
+    ]
+    # constraint index -> list of (variable, coefficient) for fast updates
+    by_variable: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+    for constraint_index, constraint in enumerate(constraints):
+        for variable, coefficient in constraint.coefficients.items():
+            by_variable[variable].append((constraint_index, coefficient))
+
+    best_values = [0] * n
+    if not model.is_feasible(best_values):
+        # The all-zero point satisfies every `<=` constraint with a
+        # non-negative bound; a negative bound makes the model infeasible
+        # for our use cases.
+        raise SolverError("model infeasible at the all-zero point")
+    best_objective = 0.0
+
+    values = [0] * n
+    nodes = 0
+
+    def feasible_now() -> bool:
+        """Check that fixed choices cannot already violate a constraint."""
+        for constraint_index in range(len(constraints)):
+            if slack[constraint_index] - min_free_contribution[constraint_index] < -1e-9:
+                return False
+        return True
+
+    def recurse(position: int, fixed_objective: float) -> None:
+        nonlocal best_objective, best_values, nodes
+        nodes += 1
+        if nodes > _NODE_LIMIT:
+            raise SolverError("branch-and-bound node limit exceeded")
+        if fixed_objective + positive_suffix[position] <= best_objective + 1e-12:
+            return
+        if position == n:
+            if fixed_objective > best_objective:
+                best_objective = fixed_objective
+                best_values = values.copy()
+            return
+
+        variable = order[position]
+
+        for choice in (1, 0):
+            values[variable] = choice
+            delta = objective[variable] * choice
+            feasible = True
+            if choice == 1:
+                for constraint_index, coefficient in by_variable[variable]:
+                    slack[constraint_index] -= coefficient
+                    min_free_contribution[constraint_index] -= min(0.0, coefficient)
+                    if (
+                        slack[constraint_index]
+                        - min_free_contribution[constraint_index]
+                        < -1e-9
+                    ):
+                        feasible = False
+            else:
+                for constraint_index, coefficient in by_variable[variable]:
+                    min_free_contribution[constraint_index] -= min(0.0, coefficient)
+                    if (
+                        slack[constraint_index]
+                        - min_free_contribution[constraint_index]
+                        < -1e-9
+                    ):
+                        feasible = False
+            if feasible:
+                recurse(position + 1, fixed_objective + delta)
+            # Undo.
+            if choice == 1:
+                for constraint_index, coefficient in by_variable[variable]:
+                    slack[constraint_index] += coefficient
+                    min_free_contribution[constraint_index] += min(0.0, coefficient)
+            else:
+                for constraint_index, coefficient in by_variable[variable]:
+                    min_free_contribution[constraint_index] += min(0.0, coefficient)
+        values[variable] = 0
+
+    recurse(0, 0.0)
+    return ILPSolution(values=best_values, objective=best_objective, optimal=True)

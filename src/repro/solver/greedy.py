@@ -1,0 +1,62 @@
+"""Greedy heuristic for binary maximization ILPs.
+
+Considers variables in decreasing ratio of objective to total
+constraint weight and sets each to one when the partial assignment
+stays feasible against every constraint (assuming remaining variables
+zero).  Fast and feasible, but not optimal -- it exists for ablations
+and warm starts.
+"""
+
+from __future__ import annotations
+
+from repro.solver.model import ILPModel, ILPSolution
+
+
+def solve_greedy(model: ILPModel) -> ILPSolution:
+    n = model.variable_count
+    values = [0] * n
+    if n == 0:
+        return ILPSolution(values=values, objective=0.0, optimal=True)
+
+    objective = model.objective
+    constraints = model.constraints
+
+    weight = [0.0] * n
+    for constraint in constraints:
+        for index, coefficient in constraint.coefficients.items():
+            weight[index] += max(0.0, coefficient)
+
+    def ratio(index: int) -> float:
+        if objective[index] <= 0:
+            return -1.0
+        return objective[index] / (weight[index] + 1e-9)
+
+    slack = [constraint.bound for constraint in constraints]
+    by_variable: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+    for constraint_index, constraint in enumerate(constraints):
+        for index, coefficient in constraint.coefficients.items():
+            by_variable[index].append((constraint_index, coefficient))
+
+    for index in sorted(range(n), key=ratio, reverse=True):
+        if objective[index] <= 0:
+            break
+        fits = all(
+            slack[constraint_index] - coefficient >= -1e-9
+            for constraint_index, coefficient in by_variable[index]
+        )
+        if not fits:
+            continue
+        values[index] = 1
+        for constraint_index, coefficient in by_variable[index]:
+            slack[constraint_index] -= coefficient
+
+    # Greedy ignores "at least one" style couplings that our models
+    # express as <= constraints over complements; verify and fall back
+    # to the empty assignment if something is off.
+    if not model.is_feasible(values):
+        values = [0] * n
+    return ILPSolution(
+        values=values,
+        objective=model.objective_value(values),
+        optimal=False,
+    )

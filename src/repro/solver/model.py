@@ -1,0 +1,138 @@
+"""The binary ILP model container.
+
+Maximize ``c . x`` subject to ``sum_i a_i x_i <= b`` per constraint,
+with every ``x_i`` binary.  All three backends consume this structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SolverError
+
+
+@dataclass(frozen=True, slots=True)
+class LinearConstraint:
+    """One ``<=`` constraint over a sparse subset of variables."""
+
+    coefficients: dict[int, float]
+    bound: float
+
+    def satisfied(self, values: list[int], tolerance: float = 1e-9) -> bool:
+        total = sum(
+            coefficient * values[index]
+            for index, coefficient in self.coefficients.items()
+        )
+        return total <= self.bound + tolerance
+
+
+@dataclass(slots=True)
+class ILPSolution:
+    """A feasible assignment with its objective value."""
+
+    values: list[int]
+    objective: float
+    optimal: bool = True
+
+    def selected(self) -> list[int]:
+        """Indices of variables set to one."""
+        return [index for index, value in enumerate(self.values) if value]
+
+
+class ILPModel:
+    """Builder for binary maximization ILPs."""
+
+    def __init__(self) -> None:
+        self._names: list[str] = []
+        self._objective: list[float] = []
+        self._constraints: list[LinearConstraint] = []
+        self._index_by_name: dict[str, int] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_variable(self, name: str, objective: float = 0.0) -> int:
+        """Register a binary variable; returns its index."""
+        if name in self._index_by_name:
+            raise SolverError(f"duplicate variable {name!r}")
+        index = len(self._names)
+        self._names.append(name)
+        self._objective.append(float(objective))
+        self._index_by_name[name] = index
+        return index
+
+    def set_objective(self, index: int, coefficient: float) -> None:
+        self._objective[index] = float(coefficient)
+
+    def add_constraint(
+        self, coefficients: dict[int, float], bound: float
+    ) -> None:
+        """Add ``sum coefficients[i] * x_i <= bound``."""
+        if not coefficients:
+            raise SolverError("constraint must involve at least one variable")
+        for index in coefficients:
+            if not 0 <= index < len(self._names):
+                raise SolverError(f"constraint references unknown variable {index}")
+        self._constraints.append(
+            LinearConstraint(coefficients=dict(coefficients), bound=float(bound))
+        )
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def variable_count(self) -> int:
+        return len(self._names)
+
+    @property
+    def objective(self) -> list[float]:
+        return list(self._objective)
+
+    @property
+    def constraints(self) -> list[LinearConstraint]:
+        return list(self._constraints)
+
+    def name_of(self, index: int) -> str:
+        return self._names[index]
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index_by_name[name]
+        except KeyError:
+            raise SolverError(f"unknown variable {name!r}") from None
+
+    def is_feasible(self, values: list[int]) -> bool:
+        if len(values) != len(self._names):
+            return False
+        if any(value not in (0, 1) for value in values):
+            return False
+        return all(constraint.satisfied(values) for constraint in self._constraints)
+
+    def objective_value(self, values: list[int]) -> float:
+        return sum(
+            coefficient * value
+            for coefficient, value in zip(self._objective, values)
+        )
+
+    # -- solving ---------------------------------------------------------------------
+
+    def solve(self, method: str = "auto") -> ILPSolution:
+        """Solve with the requested backend.
+
+        ``auto`` prefers scipy's HiGHS MILP and falls back to the
+        in-repo branch-and-bound if scipy is unavailable.
+        """
+        from repro.solver.branch_bound import solve_with_branch_bound
+        from repro.solver.greedy import solve_greedy
+
+        if method == "greedy":
+            return solve_greedy(self)
+        if method == "branch_bound":
+            return solve_with_branch_bound(self)
+        if method in ("auto", "scipy"):
+            try:
+                from repro.solver.scipy_backend import solve_with_scipy
+            except ImportError:
+                if method == "scipy":
+                    raise SolverError("scipy is not available") from None
+                return solve_with_branch_bound(self)
+            return solve_with_scipy(self)
+        raise SolverError(f"unknown solver method {method!r}")

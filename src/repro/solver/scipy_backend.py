@@ -1,0 +1,47 @@
+"""Exact MILP solving via ``scipy.optimize.milp`` (HiGHS)."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint as SciPyConstraint, milp
+
+from repro.errors import SolverError
+from repro.solver.model import ILPModel, ILPSolution
+
+
+def solve_with_scipy(model: ILPModel) -> ILPSolution:
+    """Solve a binary maximization ILP exactly."""
+    n = model.variable_count
+    if n == 0:
+        return ILPSolution(values=[], objective=0.0)
+
+    # scipy minimizes; negate for maximization.
+    costs = -np.asarray(model.objective, dtype=float)
+
+    constraints = []
+    model_constraints = model.constraints
+    if model_constraints:
+        matrix = np.zeros((len(model_constraints), n))
+        upper = np.zeros(len(model_constraints))
+        for row, constraint in enumerate(model_constraints):
+            for index, coefficient in constraint.coefficients.items():
+                matrix[row, index] = coefficient
+            upper[row] = constraint.bound
+        constraints.append(
+            SciPyConstraint(matrix, lb=-np.inf, ub=upper)
+        )
+
+    result = milp(
+        c=costs,
+        constraints=constraints,
+        integrality=np.ones(n),
+        bounds=Bounds(lb=np.zeros(n), ub=np.ones(n)),
+    )
+    if not result.success or result.x is None:
+        raise SolverError(f"MILP solve failed: {result.message}")
+    values = [int(round(value)) for value in result.x]
+    return ILPSolution(
+        values=values,
+        objective=model.objective_value(values),
+        optimal=True,
+    )

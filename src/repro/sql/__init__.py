@@ -1,0 +1,32 @@
+"""A compact SQL front-end for analytical queries.
+
+The lambda-Tune pipeline needs to understand the *structure* of OLAP
+queries: which tables are joined on which columns, which columns are
+filtered, and which aggregates run.  This subpackage provides a lexer,
+a recursive-descent parser producing a typed AST, and an analyzer that
+extracts the join graph and predicate information consumed by the
+workload compressor (paper §3.2) and the lazy index mapper (paper §5.1).
+
+The dialect covers the subset of SQL used by the bundled TPC-H, TPC-DS
+and Join Order Benchmark workloads: SELECT/FROM/WHERE/GROUP BY/HAVING/
+ORDER BY/LIMIT, comma joins and explicit JOIN..ON, AND/OR/NOT, BETWEEN,
+IN, LIKE, IS [NOT] NULL, EXISTS and scalar subqueries, aggregate and
+scalar function calls, and arithmetic expressions.
+"""
+
+from repro.sql.lexer import Lexer, Token, TokenType, tokenize
+from repro.sql.parser import Parser, parse_select
+from repro.sql.analyzer import QueryInfo, analyze
+from repro.sql import ast
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "Parser",
+    "parse_select",
+    "QueryInfo",
+    "analyze",
+    "ast",
+]

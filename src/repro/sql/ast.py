@@ -1,0 +1,316 @@
+"""Typed AST for the analytical SQL dialect.
+
+All nodes are frozen dataclasses so they can be hashed, compared, and
+safely shared between the analyzer, the cost model, and the compressor.
+Each expression node implements ``unparse()`` which renders SQL text
+equivalent to the original input (used by the obfuscation ablation and
+for readable error messages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Node:
+    """Marker base class for all AST nodes."""
+
+    def unparse(self) -> str:  # pragma: no cover - overridden everywhere
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnRef(Node):
+    """A possibly qualified column reference like ``l.l_orderkey``."""
+
+    table: str | None
+    column: str
+
+    def unparse(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True, slots=True)
+class Literal(Node):
+    """A constant: number, string, boolean, or NULL."""
+
+    value: float | int | str | bool | None
+    kind: str  # "number" | "string" | "bool" | "null"
+
+    def unparse(self) -> str:
+        if self.kind == "string":
+            escaped = str(self.value).replace("'", "''")
+            return f"'{escaped}'"
+        if self.kind == "null":
+            return "NULL"
+        if self.kind == "bool":
+            return "TRUE" if self.value else "FALSE"
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Star(Node):
+    """``*`` or ``t.*`` in a select list or COUNT(*)."""
+
+    table: str | None = None
+
+    def unparse(self) -> str:
+        return f"{self.table}.*" if self.table else "*"
+
+
+@dataclass(frozen=True, slots=True)
+class FuncCall(Node):
+    """A function or aggregate call such as ``sum(x)`` or ``count(distinct y)``."""
+
+    name: str
+    args: tuple[Node, ...]
+    distinct: bool = False
+
+    def unparse(self) -> str:
+        inner = ", ".join(arg.unparse() for arg in self.args)
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.name}({prefix}{inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class BinaryOp(Node):
+    """A binary expression: comparisons, arithmetic, AND/OR, LIKE."""
+
+    op: str
+    left: Node
+    right: Node
+
+    def unparse(self) -> str:
+        return f"({self.left.unparse()} {self.op.upper()} {self.right.unparse()})"
+
+
+@dataclass(frozen=True, slots=True)
+class UnaryOp(Node):
+    """NOT and unary minus."""
+
+    op: str
+    operand: Node
+
+    def unparse(self) -> str:
+        if self.op == "not":
+            return f"(NOT {self.operand.unparse()})"
+        return f"({self.op}{self.operand.unparse()})"
+
+
+@dataclass(frozen=True, slots=True)
+class Between(Node):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    expr: Node
+    low: Node
+    high: Node
+    negated: bool = False
+
+    def unparse(self) -> str:
+        word = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return (
+            f"({self.expr.unparse()} {word} "
+            f"{self.low.unparse()} AND {self.high.unparse()})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class InList(Node):
+    """``expr [NOT] IN (v1, v2, ...)``."""
+
+    expr: Node
+    items: tuple[Node, ...]
+    negated: bool = False
+
+    def unparse(self) -> str:
+        word = "NOT IN" if self.negated else "IN"
+        inner = ", ".join(item.unparse() for item in self.items)
+        return f"({self.expr.unparse()} {word} ({inner}))"
+
+
+@dataclass(frozen=True, slots=True)
+class InSubquery(Node):
+    """``expr [NOT] IN (SELECT ...)``."""
+
+    expr: Node
+    subquery: "SelectStmt"
+    negated: bool = False
+
+    def unparse(self) -> str:
+        word = "NOT IN" if self.negated else "IN"
+        return f"({self.expr.unparse()} {word} ({self.subquery.unparse()}))"
+
+
+@dataclass(frozen=True, slots=True)
+class Exists(Node):
+    """``[NOT] EXISTS (SELECT ...)``."""
+
+    subquery: "SelectStmt"
+    negated: bool = False
+
+    def unparse(self) -> str:
+        word = "NOT EXISTS" if self.negated else "EXISTS"
+        return f"{word} ({self.subquery.unparse()})"
+
+
+@dataclass(frozen=True, slots=True)
+class ScalarSubquery(Node):
+    """A subquery used as a scalar value, e.g. ``x < (SELECT avg(y) ...)``."""
+
+    subquery: "SelectStmt"
+
+    def unparse(self) -> str:
+        return f"({self.subquery.unparse()})"
+
+
+@dataclass(frozen=True, slots=True)
+class IsNull(Node):
+    """``expr IS [NOT] NULL``."""
+
+    expr: Node
+    negated: bool = False
+
+    def unparse(self) -> str:
+        word = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.expr.unparse()} {word})"
+
+
+@dataclass(frozen=True, slots=True)
+class CaseExpr(Node):
+    """``CASE WHEN cond THEN value ... [ELSE value] END``."""
+
+    branches: tuple[tuple[Node, Node], ...]
+    default: Node | None = None
+
+    def unparse(self) -> str:
+        parts = ["CASE"]
+        for cond, value in self.branches:
+            parts.append(f"WHEN {cond.unparse()} THEN {value.unparse()}")
+        if self.default is not None:
+            parts.append(f"ELSE {self.default.unparse()}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+# --------------------------------------------------------------------------
+# Query structure
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class SelectItem(Node):
+    """One entry of the select list with an optional alias."""
+
+    expr: Node
+    alias: str | None = None
+
+    def unparse(self) -> str:
+        text = self.expr.unparse()
+        return f"{text} AS {self.alias}" if self.alias else text
+
+
+@dataclass(frozen=True, slots=True)
+class TableRef(Node):
+    """A base table in the FROM clause with an optional alias."""
+
+    table: str
+    alias: str | None = None
+
+    @property
+    def name(self) -> str:
+        """The name by which columns of this table are qualified."""
+        return self.alias or self.table
+
+    def unparse(self) -> str:
+        return f"{self.table} AS {self.alias}" if self.alias else self.table
+
+
+@dataclass(frozen=True, slots=True)
+class Join(Node):
+    """An explicit ``lhs JOIN rhs ON condition``."""
+
+    kind: str  # "inner" | "left" | "right" | "full" | "cross"
+    left: Node  # TableRef or Join
+    right: Node
+    condition: Node | None
+
+    def unparse(self) -> str:
+        word = {"inner": "JOIN", "cross": "CROSS JOIN"}.get(
+            self.kind, f"{self.kind.upper()} JOIN"
+        )
+        text = f"{self.left.unparse()} {word} {self.right.unparse()}"
+        if self.condition is not None:
+            text += f" ON {self.condition.unparse()}"
+        return text
+
+
+@dataclass(frozen=True, slots=True)
+class OrderItem(Node):
+    """One ORDER BY key."""
+
+    expr: Node
+    descending: bool = False
+
+    def unparse(self) -> str:
+        return self.expr.unparse() + (" DESC" if self.descending else "")
+
+
+@dataclass(frozen=True, slots=True)
+class SelectStmt(Node):
+    """A full SELECT statement."""
+
+    items: tuple[SelectItem, ...]
+    from_clause: tuple[Node, ...] = ()
+    where: Node | None = None
+    group_by: tuple[Node, ...] = ()
+    having: Node | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    distinct: bool = False
+
+    def unparse(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(item.unparse() for item in self.items))
+        if self.from_clause:
+            parts.append("FROM " + ", ".join(t.unparse() for t in self.from_clause))
+        if self.where is not None:
+            parts.append("WHERE " + self.where.unparse())
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(g.unparse() for g in self.group_by))
+        if self.having is not None:
+            parts.append("HAVING " + self.having.unparse())
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(o.unparse() for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
+
+
+def walk(node: Node):
+    """Yield ``node`` and every descendant expression/statement node.
+
+    Traversal is pre-order and covers every dataclass field that holds a
+    Node or a tuple of Nodes, so analyzers don't need per-type visitors.
+    """
+    stack: list[Node] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        slots = getattr(type(current), "__dataclass_fields__", {})
+        for name in slots:
+            value = getattr(current, name)
+            if isinstance(value, Node):
+                stack.append(value)
+            elif isinstance(value, tuple):
+                for element in value:
+                    if isinstance(element, Node):
+                        stack.append(element)
+                    elif isinstance(element, tuple):
+                        stack.extend(e for e in element if isinstance(e, Node))

@@ -1,0 +1,418 @@
+"""Recursive-descent parser for the analytical SQL dialect.
+
+Grammar (simplified)::
+
+    select    := SELECT [DISTINCT] items FROM from_list [WHERE expr]
+                 [GROUP BY exprs] [HAVING expr] [ORDER BY order_items]
+                 [LIMIT n]
+    from_list := from_item ("," from_item)*
+    from_item := table_ref (join_clause)*
+    expr      := or_expr, with standard precedence
+                 OR < AND < NOT < comparison < additive < multiplicative
+
+The parser produces the AST defined in :mod:`repro.sql.ast`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLError
+from repro.sql import ast
+from repro.sql.lexer import Token, TokenType, tokenize
+
+_COMPARISON_OPS = frozenset({"=", "<", ">", "<=", ">=", "<>", "!="})
+_JOIN_KINDS = frozenset({"join", "inner", "left", "right", "full", "cross"})
+
+
+class Parser:
+    """Parses one SELECT statement from a token stream."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.type is not TokenType.EOF:
+            self._index += 1
+        return token
+
+    def _expect_keyword(self, name: str) -> Token:
+        token = self._current
+        if not token.is_keyword(name):
+            raise SQLError(
+                f"expected {name.upper()!r}, got {token.value!r}",
+                position=token.position,
+            )
+        return self._advance()
+
+    def _expect_punct(self, char: str) -> Token:
+        token = self._current
+        if token.type is not TokenType.PUNCT or token.value != char:
+            raise SQLError(
+                f"expected {char!r}, got {token.value!r}", position=token.position
+            )
+        return self._advance()
+
+    def _accept_keyword(self, *names: str) -> Token | None:
+        if self._current.is_keyword(*names):
+            return self._advance()
+        return None
+
+    def _accept_punct(self, char: str) -> bool:
+        token = self._current
+        if token.type is TokenType.PUNCT and token.value == char:
+            self._advance()
+            return True
+        return False
+
+    def _accept_operator(self, *ops: str) -> Token | None:
+        token = self._current
+        if token.type is TokenType.OPERATOR and token.value in ops:
+            return self._advance()
+        return None
+
+    # -- statement level ----------------------------------------------------
+
+    def parse(self) -> ast.SelectStmt:
+        """Parse a full statement and require that all input is consumed."""
+        stmt = self.parse_select()
+        self._accept_punct(";")
+        token = self._current
+        if token.type is not TokenType.EOF:
+            raise SQLError(
+                f"unexpected trailing input {token.value!r}", position=token.position
+            )
+        return stmt
+
+    def parse_select(self) -> ast.SelectStmt:
+        """Parse a SELECT statement (used for top level and subqueries)."""
+        self._expect_keyword("select")
+        distinct = self._accept_keyword("distinct") is not None
+
+        items = [self._parse_select_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_select_item())
+
+        from_clause: tuple[ast.Node, ...] = ()
+        if self._accept_keyword("from"):
+            sources = [self._parse_from_item()]
+            while self._accept_punct(","):
+                sources.append(self._parse_from_item())
+            from_clause = tuple(sources)
+
+        where = self._parse_expr() if self._accept_keyword("where") else None
+
+        group_by: tuple[ast.Node, ...] = ()
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            keys = [self._parse_expr()]
+            while self._accept_punct(","):
+                keys.append(self._parse_expr())
+            group_by = tuple(keys)
+
+        having = self._parse_expr() if self._accept_keyword("having") else None
+
+        order_by: tuple[ast.OrderItem, ...] = ()
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            orders = [self._parse_order_item()]
+            while self._accept_punct(","):
+                orders.append(self._parse_order_item())
+            order_by = tuple(orders)
+
+        limit: int | None = None
+        if self._accept_keyword("limit"):
+            token = self._current
+            if token.type is not TokenType.NUMBER:
+                raise SQLError("LIMIT requires a number", position=token.position)
+            self._advance()
+            limit = int(float(token.value))
+
+        return ast.SelectStmt(
+            items=tuple(items),
+            from_clause=from_clause,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        expr = self._parse_expr()
+        alias: str | None = None
+        if self._accept_keyword("as"):
+            alias = self._parse_identifier("alias")
+        elif self._current.type is TokenType.IDENT:
+            alias = self._advance().value
+        return ast.SelectItem(expr=expr, alias=alias)
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expr = self._parse_expr()
+        descending = False
+        if self._accept_keyword("desc"):
+            descending = True
+        else:
+            self._accept_keyword("asc")
+        return ast.OrderItem(expr=expr, descending=descending)
+
+    def _parse_identifier(self, what: str) -> str:
+        token = self._current
+        if token.type is not TokenType.IDENT:
+            raise SQLError(
+                f"expected {what}, got {token.value!r}", position=token.position
+            )
+        return self._advance().value
+
+    # -- FROM clause ---------------------------------------------------------
+
+    def _parse_from_item(self) -> ast.Node:
+        node: ast.Node = self._parse_table_ref()
+        while self._current.is_keyword(*_JOIN_KINDS):
+            node = self._parse_join(node)
+        return node
+
+    def _parse_table_ref(self) -> ast.TableRef:
+        table = self._parse_identifier("table name")
+        alias: str | None = None
+        if self._accept_keyword("as"):
+            alias = self._parse_identifier("alias")
+        elif self._current.type is TokenType.IDENT:
+            alias = self._advance().value
+        return ast.TableRef(table=table, alias=alias)
+
+    def _parse_join(self, left: ast.Node) -> ast.Join:
+        kind = "inner"
+        if self._accept_keyword("cross"):
+            kind = "cross"
+        elif self._accept_keyword("inner"):
+            kind = "inner"
+        elif (token := self._accept_keyword("left", "right", "full")) is not None:
+            kind = token.value
+            self._accept_keyword("outer")
+        self._expect_keyword("join")
+        right = self._parse_table_ref()
+        condition: ast.Node | None = None
+        if kind != "cross":
+            self._expect_keyword("on")
+            condition = self._parse_expr()
+        return ast.Join(kind=kind, left=left, right=right, condition=condition)
+
+    # -- expressions ----------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Node:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Node:
+        node = self._parse_and()
+        while self._accept_keyword("or"):
+            node = ast.BinaryOp(op="or", left=node, right=self._parse_and())
+        return node
+
+    def _parse_and(self) -> ast.Node:
+        node = self._parse_not()
+        while self._accept_keyword("and"):
+            node = ast.BinaryOp(op="and", left=node, right=self._parse_not())
+        return node
+
+    def _parse_not(self) -> ast.Node:
+        if self._accept_keyword("not"):
+            return ast.UnaryOp(op="not", operand=self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> ast.Node:
+        if self._current.is_keyword("exists"):
+            self._advance()
+            self._expect_punct("(")
+            subquery = self.parse_select()
+            self._expect_punct(")")
+            return ast.Exists(subquery=subquery)
+
+        node = self._parse_additive()
+        negated = self._accept_keyword("not") is not None
+
+        if self._accept_keyword("between"):
+            low = self._parse_additive()
+            self._expect_keyword("and")
+            high = self._parse_additive()
+            return ast.Between(expr=node, low=low, high=high, negated=negated)
+
+        if self._accept_keyword("in"):
+            return self._parse_in_tail(node, negated)
+
+        if self._accept_keyword("like"):
+            pattern = self._parse_additive()
+            like = ast.BinaryOp(op="like", left=node, right=pattern)
+            return ast.UnaryOp(op="not", operand=like) if negated else like
+
+        if negated:
+            token = self._current
+            raise SQLError(
+                f"expected BETWEEN/IN/LIKE after NOT, got {token.value!r}",
+                position=token.position,
+            )
+
+        if self._accept_keyword("is"):
+            is_negated = self._accept_keyword("not") is not None
+            self._expect_keyword("null")
+            return ast.IsNull(expr=node, negated=is_negated)
+
+        if (op := self._accept_operator(*_COMPARISON_OPS)) is not None:
+            right = self._parse_additive()
+            normalized = "<>" if op.value == "!=" else op.value
+            return ast.BinaryOp(op=normalized, left=node, right=right)
+
+        return node
+
+    def _parse_in_tail(self, expr: ast.Node, negated: bool) -> ast.Node:
+        self._expect_punct("(")
+        if self._current.is_keyword("select"):
+            subquery = self.parse_select()
+            self._expect_punct(")")
+            return ast.InSubquery(expr=expr, subquery=subquery, negated=negated)
+        items = [self._parse_additive()]
+        while self._accept_punct(","):
+            items.append(self._parse_additive())
+        self._expect_punct(")")
+        return ast.InList(expr=expr, items=tuple(items), negated=negated)
+
+    def _parse_additive(self) -> ast.Node:
+        node = self._parse_multiplicative()
+        while (op := self._accept_operator("+", "-", "||")) is not None:
+            node = ast.BinaryOp(
+                op=op.value, left=node, right=self._parse_multiplicative()
+            )
+        return node
+
+    def _parse_multiplicative(self) -> ast.Node:
+        node = self._parse_unary()
+        while (op := self._accept_operator("*", "/", "%")) is not None:
+            node = ast.BinaryOp(op=op.value, left=node, right=self._parse_unary())
+        return node
+
+    def _parse_unary(self) -> ast.Node:
+        if (op := self._accept_operator("-", "+")) is not None:
+            operand = self._parse_unary()
+            if op.value == "+":
+                return operand
+            if isinstance(operand, ast.Literal) and operand.kind == "number":
+                value = operand.value
+                negative = -value if isinstance(value, (int, float)) else value
+                return ast.Literal(value=negative, kind="number")
+            return ast.UnaryOp(op="-", operand=operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Node:
+        token = self._current
+
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            text = token.value
+            value: int | float
+            if any(c in text for c in ".eE"):
+                value = float(text)
+            else:
+                value = int(text)
+            return ast.Literal(value=value, kind="number")
+
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(value=token.value, kind="string")
+
+        if token.is_keyword("null"):
+            self._advance()
+            return ast.Literal(value=None, kind="null")
+
+        if token.is_keyword("true", "false"):
+            self._advance()
+            return ast.Literal(value=token.value == "true", kind="bool")
+
+        if token.is_keyword("date", "interval"):
+            # DATE '1995-01-01' / INTERVAL '3' -- treated as tagged string
+            # literals; arithmetic on them is symbolic in the simulator.
+            self._advance()
+            value_token = self._current
+            if value_token.type is not TokenType.STRING:
+                raise SQLError(
+                    f"{token.value.upper()} requires a string literal",
+                    position=value_token.position,
+                )
+            self._advance()
+            return ast.Literal(value=value_token.value, kind="string")
+
+        if token.is_keyword("case"):
+            return self._parse_case()
+
+        if token.type is TokenType.PUNCT and token.value == "(":
+            self._advance()
+            if self._current.is_keyword("select"):
+                subquery = self.parse_select()
+                self._expect_punct(")")
+                return ast.ScalarSubquery(subquery=subquery)
+            expr = self._parse_expr()
+            self._expect_punct(")")
+            return expr
+
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            return ast.Star()
+
+        if token.type is TokenType.IDENT or token.is_keyword("extract", "substring", "cast"):
+            return self._parse_name_or_call()
+
+        raise SQLError(
+            f"unexpected token {token.value!r} in expression", position=token.position
+        )
+
+    def _parse_case(self) -> ast.Node:
+        self._expect_keyword("case")
+        branches: list[tuple[ast.Node, ast.Node]] = []
+        while self._accept_keyword("when"):
+            cond = self._parse_expr()
+            self._expect_keyword("then")
+            value = self._parse_expr()
+            branches.append((cond, value))
+        if not branches:
+            token = self._current
+            raise SQLError("CASE requires at least one WHEN", position=token.position)
+        default = self._parse_expr() if self._accept_keyword("else") else None
+        self._expect_keyword("end")
+        return ast.CaseExpr(branches=tuple(branches), default=default)
+
+    def _parse_name_or_call(self) -> ast.Node:
+        name = self._advance().value
+
+        if self._accept_punct("("):
+            return self._parse_call_tail(name)
+
+        if self._accept_punct("."):
+            token = self._current
+            if token.type is TokenType.OPERATOR and token.value == "*":
+                self._advance()
+                return ast.Star(table=name)
+            column = self._parse_identifier("column name")
+            return ast.ColumnRef(table=name, column=column)
+
+        return ast.ColumnRef(table=None, column=name)
+
+    def _parse_call_tail(self, name: str) -> ast.FuncCall:
+        distinct = self._accept_keyword("distinct") is not None
+        args: list[ast.Node] = []
+        if not self._accept_punct(")"):
+            args.append(self._parse_expr())
+            while self._accept_punct(","):
+                args.append(self._parse_expr())
+            self._expect_punct(")")
+        return ast.FuncCall(name=name, args=tuple(args), distinct=distinct)
+
+
+def parse_select(text: str) -> ast.SelectStmt:
+    """Parse one SELECT statement from SQL text."""
+    return Parser(tokenize(text)).parse()

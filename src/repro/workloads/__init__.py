@@ -1,0 +1,22 @@
+"""Benchmark workloads: TPC-H, TPC-DS, and the Join Order Benchmark.
+
+Each workload bundles a catalog (schema + statistics scaled to a scale
+factor) and a list of analyzed SQL queries.  The paper evaluates on
+TPC-H SF1/SF10, TPC-DS SF1, and JOB (§6.1).
+"""
+
+from repro.workloads.base import Query, Workload
+from repro.workloads.tpch import tpch_workload
+from repro.workloads.tpcds import tpcds_workload
+from repro.workloads.job import job_workload
+from repro.workloads.registry import load_workload, WORKLOAD_NAMES
+
+__all__ = [
+    "Query",
+    "Workload",
+    "tpch_workload",
+    "tpcds_workload",
+    "job_workload",
+    "load_workload",
+    "WORKLOAD_NAMES",
+]

@@ -1,0 +1,759 @@
+"""The Join Order Benchmark (JOB) over the IMDb schema.
+
+JOB consists of 113 analytical queries in 33 structural families over
+the 21-table IMDb snapshot (Leis et al., "How Good Are Query Optimizers,
+Really?").  We reproduce each family's join structure faithfully and
+generate the official per-family variant counts by varying the filter
+constants, which is exactly how the real variants differ.
+
+Cardinalities follow the May-2013 IMDb snapshot used by the original
+benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.db.catalog import Catalog, Column
+from repro.workloads.base import Query, Workload, build_queries
+
+
+def job_catalog() -> Catalog:
+    """IMDb schema with the original JOB snapshot's cardinalities."""
+    catalog = Catalog("job-imdb")
+    C = Column
+
+    catalog.add_table("aka_name", 901_343, [
+        C("id", 4, is_primary_key=True),
+        C("person_id", 4, 588_222),
+        C("name", 30, 889_942),
+    ])
+    catalog.add_table("aka_title", 361_472, [
+        C("id", 4, is_primary_key=True),
+        C("movie_id", 4, 322_682),
+        C("title", 35, 343_442),
+        C("kind_id", 4, 7),
+        C("production_year", 4, 135),
+    ])
+    catalog.add_table("cast_info", 36_244_344, [
+        C("id", 4, is_primary_key=True),
+        C("person_id", 4, 4_051_810),
+        C("movie_id", 4, 2_331_601),
+        C("person_role_id", 4, 3_140_339),
+        C("note", 18, 300_000),
+        C("nr_order", 4, 1_000),
+        C("role_id", 4, 12),
+    ])
+    catalog.add_table("char_name", 3_140_339, [
+        C("id", 4, is_primary_key=True),
+        C("name", 30, 3_116_159),
+    ])
+    catalog.add_table("comp_cast_type", 4, [
+        C("id", 4, is_primary_key=True),
+        C("kind", 15, 4),
+    ])
+    catalog.add_table("company_name", 234_997, [
+        C("id", 4, is_primary_key=True),
+        C("name", 30, 231_817),
+        C("country_code", 6, 230),
+    ])
+    catalog.add_table("company_type", 4, [
+        C("id", 4, is_primary_key=True),
+        C("kind", 25, 4),
+    ])
+    catalog.add_table("complete_cast", 135_086, [
+        C("id", 4, is_primary_key=True),
+        C("movie_id", 4, 93_514),
+        C("subject_id", 4, 2),
+        C("status_id", 4, 2),
+    ])
+    catalog.add_table("info_type", 113, [
+        C("id", 4, is_primary_key=True),
+        C("info", 20, 113),
+    ])
+    catalog.add_table("keyword", 134_170, [
+        C("id", 4, is_primary_key=True),
+        C("keyword", 20, 134_170),
+    ])
+    catalog.add_table("kind_type", 7, [
+        C("id", 4, is_primary_key=True),
+        C("kind", 12, 7),
+    ])
+    catalog.add_table("link_type", 18, [
+        C("id", 4, is_primary_key=True),
+        C("link", 15, 18),
+    ])
+    catalog.add_table("movie_companies", 2_609_129, [
+        C("id", 4, is_primary_key=True),
+        C("movie_id", 4, 1_087_236),
+        C("company_id", 4, 234_997),
+        C("company_type_id", 4, 2),
+        C("note", 40, 133_616),
+    ])
+    catalog.add_table("movie_info", 14_835_720, [
+        C("id", 4, is_primary_key=True),
+        C("movie_id", 4, 2_468_825),
+        C("info_type_id", 4, 71),
+        C("info", 40, 2_720_930),
+        C("note", 18, 133_416),
+    ])
+    catalog.add_table("movie_info_idx", 1_380_035, [
+        C("id", 4, is_primary_key=True),
+        C("movie_id", 4, 459_925),
+        C("info_type_id", 4, 5),
+        C("info", 10, 10_163),
+    ])
+    catalog.add_table("movie_keyword", 4_523_930, [
+        C("id", 4, is_primary_key=True),
+        C("movie_id", 4, 476_794),
+        C("keyword_id", 4, 134_170),
+    ])
+    catalog.add_table("movie_link", 29_997, [
+        C("id", 4, is_primary_key=True),
+        C("movie_id", 4, 6_411),
+        C("linked_movie_id", 4, 15_010),
+        C("link_type_id", 4, 16),
+    ])
+    catalog.add_table("name", 4_167_491, [
+        C("id", 4, is_primary_key=True),
+        C("name", 30, 4_061_926),
+        C("gender", 1, 3),
+        C("name_pcode_cf", 5, 25_000),
+    ])
+    catalog.add_table("person_info", 2_963_664, [
+        C("id", 4, is_primary_key=True),
+        C("person_id", 4, 550_521),
+        C("info_type_id", 4, 22),
+        C("info", 45, 1_000_000),
+        C("note", 15, 20_000),
+    ])
+    catalog.add_table("role_type", 12, [
+        C("id", 4, is_primary_key=True),
+        C("role", 15, 12),
+    ])
+    catalog.add_table("title", 2_528_312, [
+        C("id", 4, is_primary_key=True),
+        C("title", 35, 2_385_669),
+        C("kind_id", 4, 7),
+        C("production_year", 4, 135),
+        C("episode_nr", 4, 5_000),
+        C("season_nr", 4, 100),
+    ])
+    return catalog
+
+
+# One structurally faithful template per JOB family.  ``{v1}``..``{v4}``
+# placeholders receive per-variant constants.
+_FAMILY_TEMPLATES: dict[int, str] = {
+    1: """
+        SELECT min(mc.note), min(t.title), min(t.production_year)
+        FROM company_type ct, info_type it, movie_companies mc,
+             movie_info_idx mi_idx, title t
+        WHERE ct.kind = '{v1}' AND it.info = 'top 250 rank'
+          AND mc.note NOT LIKE '%(as Metro-Goldwyn-Mayer Pictures)%'
+          AND ct.id = mc.company_type_id AND t.id = mc.movie_id
+          AND t.id = mi_idx.movie_id AND mi_idx.info_type_id = it.id
+    """,
+    2: """
+        SELECT min(t.title)
+        FROM company_name cn, keyword k, movie_companies mc,
+             movie_keyword mk, title t
+        WHERE cn.country_code = '{v1}' AND k.keyword = '{v2}'
+          AND cn.id = mc.company_id AND mc.movie_id = t.id
+          AND t.id = mk.movie_id AND mk.keyword_id = k.id
+          AND mc.movie_id = mk.movie_id
+    """,
+    3: """
+        SELECT min(t.title)
+        FROM keyword k, movie_info mi, movie_keyword mk, title t
+        WHERE k.keyword LIKE '%sequel%' AND mi.info IN ({v1})
+          AND t.production_year > {v3}
+          AND t.id = mi.movie_id AND t.id = mk.movie_id
+          AND mk.movie_id = mi.movie_id AND k.id = mk.keyword_id
+    """,
+    4: """
+        SELECT min(mi_idx.info), min(t.title)
+        FROM info_type it, keyword k, movie_info_idx mi_idx,
+             movie_keyword mk, title t
+        WHERE it.info = 'rating' AND k.keyword LIKE '%sequel%'
+          AND mi_idx.info > '{v1}' AND t.production_year > {v3}
+          AND t.id = mi_idx.movie_id AND t.id = mk.movie_id
+          AND mk.movie_id = mi_idx.movie_id AND k.id = mk.keyword_id
+          AND it.id = mi_idx.info_type_id
+    """,
+    5: """
+        SELECT min(t.title)
+        FROM company_type ct, info_type it, movie_companies mc,
+             movie_info mi, title t
+        WHERE ct.kind = 'production companies' AND mc.note LIKE '{v1}'
+          AND mi.info IN ({v2}) AND t.production_year > {v3}
+          AND t.id = mi.movie_id AND t.id = mc.movie_id
+          AND mc.movie_id = mi.movie_id AND ct.id = mc.company_type_id
+          AND it.id = mi.info_type_id
+    """,
+    6: """
+        SELECT min(k.keyword), min(n.name), min(t.title)
+        FROM cast_info ci, keyword k, movie_keyword mk, name n, title t
+        WHERE k.keyword = '{v1}' AND n.name LIKE '{v2}'
+          AND t.production_year > {v3}
+          AND k.id = mk.keyword_id AND t.id = mk.movie_id
+          AND t.id = ci.movie_id AND ci.movie_id = mk.movie_id
+          AND n.id = ci.person_id
+    """,
+    7: """
+        SELECT min(n.name), min(t.title)
+        FROM aka_name an, cast_info ci, info_type it, link_type lt,
+             movie_link ml, name n, person_info pi, title t
+        WHERE an.name LIKE '%a%' AND it.info = 'mini biography'
+          AND lt.link = '{v1}' AND n.name_pcode_cf LIKE '{v2}'
+          AND n.gender = 'm' AND pi.note = 'Volker Boehm'
+          AND t.production_year BETWEEN {v3} AND {v4}
+          AND n.id = an.person_id AND n.id = pi.person_id
+          AND ci.person_id = n.id AND t.id = ci.movie_id
+          AND ml.linked_movie_id = t.id AND lt.id = ml.link_type_id
+          AND it.id = pi.info_type_id AND pi.person_id = an.person_id
+          AND pi.person_id = ci.person_id AND an.person_id = ci.person_id
+          AND ci.movie_id = ml.linked_movie_id
+    """,
+    8: """
+        SELECT min(an.name), min(t.title)
+        FROM aka_name an, cast_info ci, company_name cn,
+             movie_companies mc, name n, role_type rt, title t
+        WHERE ci.note = '{v1}' AND cn.country_code = '{v2}'
+          AND rt.role = '{v3}'
+          AND an.person_id = n.id AND n.id = ci.person_id
+          AND ci.movie_id = t.id AND t.id = mc.movie_id
+          AND mc.company_id = cn.id AND ci.role_id = rt.id
+          AND an.person_id = ci.person_id AND ci.movie_id = mc.movie_id
+    """,
+    9: """
+        SELECT min(an.name), min(chn.name), min(t.title)
+        FROM aka_name an, char_name chn, cast_info ci, company_name cn,
+             movie_companies mc, name n, role_type rt, title t
+        WHERE ci.note IN ({v1}) AND cn.country_code = '[us]'
+          AND n.gender = 'f' AND n.name LIKE '{v2}'
+          AND rt.role = 'actress' AND t.production_year BETWEEN {v3} AND {v4}
+          AND ci.movie_id = t.id AND t.id = mc.movie_id
+          AND ci.movie_id = mc.movie_id AND mc.company_id = cn.id
+          AND ci.role_id = rt.id AND n.id = ci.person_id
+          AND chn.id = ci.person_role_id AND an.person_id = n.id
+          AND an.person_id = ci.person_id
+    """,
+    10: """
+        SELECT min(chn.name), min(t.title)
+        FROM char_name chn, cast_info ci, company_name cn,
+             company_type ct, movie_companies mc, role_type rt, title t
+        WHERE ci.note LIKE '{v1}' AND cn.country_code = '{v2}'
+          AND rt.role = '{v3}' AND t.production_year > {v4}
+          AND t.id = mc.movie_id AND t.id = ci.movie_id
+          AND ci.movie_id = mc.movie_id AND chn.id = ci.person_role_id
+          AND rt.id = ci.role_id AND cn.id = mc.company_id
+          AND ct.id = mc.company_type_id
+    """,
+    11: """
+        SELECT min(cn.name), min(lt.link), min(t.title)
+        FROM company_name cn, company_type ct, keyword k, link_type lt,
+             movie_companies mc, movie_keyword mk, movie_link ml, title t
+        WHERE cn.country_code <> '[pl]' AND cn.name LIKE '{v1}'
+          AND ct.kind = 'production companies' AND k.keyword = '{v2}'
+          AND lt.link LIKE '%follow%' AND t.production_year = {v3}
+          AND lt.id = ml.link_type_id AND ml.movie_id = t.id
+          AND t.id = mk.movie_id AND mk.keyword_id = k.id
+          AND t.id = mc.movie_id AND mc.company_type_id = ct.id
+          AND mc.company_id = cn.id AND ml.movie_id = mk.movie_id
+          AND ml.movie_id = mc.movie_id AND mk.movie_id = mc.movie_id
+    """,
+    12: """
+        SELECT min(cn.name), min(mi_idx.info), min(t.title)
+        FROM company_name cn, company_type ct, info_type it1,
+             info_type it2, movie_companies mc, movie_info mi,
+             movie_info_idx mi_idx, title t
+        WHERE cn.country_code = '[us]' AND ct.kind = 'production companies'
+          AND it1.info = 'genres' AND it2.info = 'rating'
+          AND mi.info IN ({v1}) AND mi_idx.info > '{v2}'
+          AND t.production_year BETWEEN {v3} AND {v4}
+          AND t.id = mi.movie_id AND t.id = mi_idx.movie_id
+          AND mi.info_type_id = it1.id AND mi_idx.info_type_id = it2.id
+          AND t.id = mc.movie_id AND ct.id = mc.company_type_id
+          AND cn.id = mc.company_id AND mc.movie_id = mi.movie_id
+          AND mc.movie_id = mi_idx.movie_id AND mi.movie_id = mi_idx.movie_id
+    """,
+    13: """
+        SELECT min(mi.info), min(mi_idx.info), min(t.title)
+        FROM company_name cn, company_type ct, info_type it1,
+             info_type it2, kind_type kt, movie_companies mc,
+             movie_info mi, movie_info_idx mi_idx, title t
+        WHERE cn.country_code = '{v1}' AND ct.kind = 'production companies'
+          AND it1.info = 'rating' AND it2.info = 'release dates'
+          AND kt.kind = '{v2}'
+          AND mi.movie_id = t.id AND it2.id = mi.info_type_id
+          AND kt.id = t.kind_id AND mc.movie_id = t.id
+          AND cn.id = mc.company_id AND ct.id = mc.company_type_id
+          AND mi_idx.movie_id = t.id AND it1.id = mi_idx.info_type_id
+          AND mi.movie_id = mi_idx.movie_id AND mi.movie_id = mc.movie_id
+          AND mi_idx.movie_id = mc.movie_id
+    """,
+    14: """
+        SELECT min(mi_idx.info), min(t.title)
+        FROM info_type it1, info_type it2, keyword k, kind_type kt,
+             movie_info mi, movie_info_idx mi_idx, movie_keyword mk, title t
+        WHERE it1.info = 'countries' AND it2.info = 'rating'
+          AND k.keyword IN ({v1}) AND kt.kind = 'movie'
+          AND mi.info IN ({v2}) AND mi_idx.info < '{v3}'
+          AND t.production_year > {v4}
+          AND t.id = mi.movie_id AND t.id = mk.movie_id
+          AND t.id = mi_idx.movie_id AND mk.movie_id = mi.movie_id
+          AND mk.movie_id = mi_idx.movie_id AND mi.movie_id = mi_idx.movie_id
+          AND k.id = mk.keyword_id AND it1.id = mi.info_type_id
+          AND it2.id = mi_idx.info_type_id AND kt.id = t.kind_id
+    """,
+    15: """
+        SELECT min(mi.info), min(t.title)
+        FROM aka_title at, company_name cn, company_type ct,
+             info_type it1, keyword k, movie_companies mc,
+             movie_info mi, movie_keyword mk, title t
+        WHERE cn.country_code = '[us]' AND it1.info = 'release dates'
+          AND mc.note LIKE '{v1}' AND mi.note LIKE '%internet%'
+          AND t.production_year > {v3}
+          AND t.id = at.movie_id AND t.id = mi.movie_id
+          AND t.id = mk.movie_id AND t.id = mc.movie_id
+          AND mk.movie_id = mi.movie_id AND mk.movie_id = mc.movie_id
+          AND mk.movie_id = at.movie_id AND mi.movie_id = mc.movie_id
+          AND mi.movie_id = at.movie_id AND mc.movie_id = at.movie_id
+          AND k.id = mk.keyword_id AND it1.id = mi.info_type_id
+          AND cn.id = mc.company_id AND ct.id = mc.company_type_id
+    """,
+    16: """
+        SELECT min(an.name), min(t.title)
+        FROM aka_name an, cast_info ci, company_name cn, keyword k,
+             movie_companies mc, movie_keyword mk, name n, title t
+        WHERE cn.country_code = '{v1}' AND k.keyword = 'character-name-in-title'
+          AND t.episode_nr >= {v3} AND t.episode_nr < {v4}
+          AND an.person_id = n.id AND n.id = ci.person_id
+          AND ci.movie_id = t.id AND t.id = mk.movie_id
+          AND mk.keyword_id = k.id AND t.id = mc.movie_id
+          AND mc.company_id = cn.id AND an.person_id = ci.person_id
+          AND ci.movie_id = mc.movie_id AND ci.movie_id = mk.movie_id
+          AND mc.movie_id = mk.movie_id
+    """,
+    17: """
+        SELECT min(n.name)
+        FROM cast_info ci, company_name cn, keyword k,
+             movie_companies mc, movie_keyword mk, name n, title t
+        WHERE cn.country_code = '[us]' AND k.keyword = 'character-name-in-title'
+          AND n.name LIKE '{v1}'
+          AND n.id = ci.person_id AND ci.movie_id = t.id
+          AND t.id = mk.movie_id AND mk.keyword_id = k.id
+          AND t.id = mc.movie_id AND mc.company_id = cn.id
+          AND ci.movie_id = mc.movie_id AND ci.movie_id = mk.movie_id
+          AND mc.movie_id = mk.movie_id
+    """,
+    18: """
+        SELECT min(mi.info), min(mi_idx.info), min(t.title)
+        FROM cast_info ci, info_type it1, info_type it2,
+             movie_info mi, movie_info_idx mi_idx, name n, title t
+        WHERE ci.note IN ({v1}) AND it1.info = 'genres'
+          AND it2.info = 'rating' AND n.gender = '{v2}'
+          AND t.id = mi.movie_id AND t.id = mi_idx.movie_id
+          AND t.id = ci.movie_id AND ci.movie_id = mi.movie_id
+          AND ci.movie_id = mi_idx.movie_id AND mi.movie_id = mi_idx.movie_id
+          AND n.id = ci.person_id AND it1.id = mi.info_type_id
+          AND it2.id = mi_idx.info_type_id
+    """,
+    19: """
+        SELECT min(n.name), min(t.title)
+        FROM aka_name an, char_name chn, cast_info ci, company_name cn,
+             info_type it, movie_companies mc, movie_info mi,
+             name n, role_type rt, title t
+        WHERE ci.note = '(voice)' AND cn.country_code = '[us]'
+          AND it.info = 'release dates' AND n.gender = 'f'
+          AND n.name LIKE '{v1}' AND rt.role = 'actress'
+          AND t.production_year BETWEEN {v3} AND {v4}
+          AND t.id = mi.movie_id AND t.id = mc.movie_id
+          AND t.id = ci.movie_id AND mc.movie_id = ci.movie_id
+          AND mc.movie_id = mi.movie_id AND mi.movie_id = ci.movie_id
+          AND cn.id = mc.company_id AND it.id = mi.info_type_id
+          AND n.id = ci.person_id AND rt.id = ci.role_id
+          AND n.id = an.person_id AND ci.person_id = an.person_id
+          AND chn.id = ci.person_role_id
+    """,
+    20: """
+        SELECT min(t.title)
+        FROM complete_cast cc, comp_cast_type cct1, comp_cast_type cct2,
+             char_name chn, cast_info ci, keyword k, kind_type kt,
+             movie_keyword mk, name n, title t
+        WHERE cct1.kind = 'cast' AND cct2.kind LIKE '%complete%'
+          AND chn.name LIKE '{v1}' AND k.keyword IN ({v2})
+          AND kt.kind = 'movie' AND t.production_year > {v3}
+          AND kt.id = t.kind_id AND t.id = mk.movie_id
+          AND t.id = ci.movie_id AND t.id = cc.movie_id
+          AND mk.movie_id = ci.movie_id AND mk.movie_id = cc.movie_id
+          AND ci.movie_id = cc.movie_id AND chn.id = ci.person_role_id
+          AND n.id = ci.person_id AND k.id = mk.keyword_id
+          AND cct1.id = cc.subject_id AND cct2.id = cc.status_id
+    """,
+    21: """
+        SELECT min(cn.name), min(lt.link), min(t.title)
+        FROM company_name cn, company_type ct, keyword k, link_type lt,
+             movie_companies mc, movie_info mi, movie_keyword mk,
+             movie_link ml, title t
+        WHERE cn.country_code <> '[pl]' AND cn.name LIKE '{v1}'
+          AND ct.kind = 'production companies' AND k.keyword = 'sequel'
+          AND lt.link LIKE '%follow%' AND mi.info IN ({v2})
+          AND t.production_year BETWEEN {v3} AND {v4}
+          AND lt.id = ml.link_type_id AND ml.movie_id = t.id
+          AND t.id = mk.movie_id AND mk.keyword_id = k.id
+          AND t.id = mc.movie_id AND mc.company_type_id = ct.id
+          AND mc.company_id = cn.id AND mi.movie_id = t.id
+          AND ml.movie_id = mk.movie_id AND ml.movie_id = mc.movie_id
+          AND mk.movie_id = mc.movie_id AND ml.movie_id = mi.movie_id
+          AND mk.movie_id = mi.movie_id AND mc.movie_id = mi.movie_id
+    """,
+    22: """
+        SELECT min(cn.name), min(mi_idx.info), min(t.title)
+        FROM company_name cn, company_type ct, info_type it1,
+             info_type it2, keyword k, kind_type kt, movie_companies mc,
+             movie_info mi, movie_info_idx mi_idx, movie_keyword mk, title t
+        WHERE cn.country_code <> '[us]' AND it1.info = 'countries'
+          AND it2.info = 'rating' AND k.keyword IN ({v1})
+          AND kt.kind IN ('movie', 'episode') AND mc.note NOT LIKE '%(USA)%'
+          AND mi.info IN ({v2}) AND mi_idx.info < '{v3}'
+          AND t.production_year > {v4}
+          AND t.id = mi.movie_id AND t.id = mk.movie_id
+          AND t.id = mi_idx.movie_id AND t.id = mc.movie_id
+          AND mk.movie_id = mi.movie_id AND mk.movie_id = mi_idx.movie_id
+          AND mk.movie_id = mc.movie_id AND mi.movie_id = mi_idx.movie_id
+          AND mi.movie_id = mc.movie_id AND mc.movie_id = mi_idx.movie_id
+          AND k.id = mk.keyword_id AND it1.id = mi.info_type_id
+          AND it2.id = mi_idx.info_type_id AND kt.id = t.kind_id
+          AND cn.id = mc.company_id AND ct.id = mc.company_type_id
+    """,
+    23: """
+        SELECT min(kt.kind), min(t.title)
+        FROM complete_cast cc, comp_cast_type cct1, company_name cn,
+             company_type ct, info_type it1, keyword k, kind_type kt,
+             movie_companies mc, movie_info mi, movie_keyword mk, title t
+        WHERE cct1.kind = 'complete+verified' AND cn.country_code = '[us]'
+          AND it1.info = 'release dates' AND kt.kind IN ({v1})
+          AND mi.note LIKE '%internet%' AND t.production_year > {v3}
+          AND kt.id = t.kind_id AND t.id = mi.movie_id
+          AND t.id = mk.movie_id AND t.id = mc.movie_id
+          AND t.id = cc.movie_id AND mk.movie_id = mi.movie_id
+          AND mk.movie_id = mc.movie_id AND mk.movie_id = cc.movie_id
+          AND mi.movie_id = mc.movie_id AND mi.movie_id = cc.movie_id
+          AND mc.movie_id = cc.movie_id AND k.id = mk.keyword_id
+          AND it1.id = mi.info_type_id AND cn.id = mc.company_id
+          AND ct.id = mc.company_type_id AND cct1.id = cc.status_id
+    """,
+    24: """
+        SELECT min(chn.name), min(n.name), min(t.title)
+        FROM aka_name an, char_name chn, cast_info ci, company_name cn,
+             info_type it, keyword k, movie_companies mc, movie_info mi,
+             movie_keyword mk, name n, role_type rt, title t
+        WHERE ci.note IN ('(voice)', '(voice: Japanese version)')
+          AND cn.country_code = '[us]' AND it.info = 'release dates'
+          AND k.keyword IN ({v1}) AND n.gender = 'f'
+          AND n.name LIKE '{v2}' AND rt.role = 'actress'
+          AND t.production_year > {v3}
+          AND t.id = mi.movie_id AND t.id = mc.movie_id
+          AND t.id = ci.movie_id AND t.id = mk.movie_id
+          AND mc.movie_id = ci.movie_id AND mc.movie_id = mi.movie_id
+          AND mc.movie_id = mk.movie_id AND mi.movie_id = ci.movie_id
+          AND mi.movie_id = mk.movie_id AND ci.movie_id = mk.movie_id
+          AND cn.id = mc.company_id AND it.id = mi.info_type_id
+          AND n.id = ci.person_id AND rt.id = ci.role_id
+          AND n.id = an.person_id AND ci.person_id = an.person_id
+          AND chn.id = ci.person_role_id AND k.id = mk.keyword_id
+    """,
+    25: """
+        SELECT min(mi.info), min(mi_idx.info), min(n.name), min(t.title)
+        FROM cast_info ci, info_type it1, info_type it2, keyword k,
+             movie_info mi, movie_info_idx mi_idx, movie_keyword mk,
+             name n, title t
+        WHERE ci.note IN ({v1}) AND it1.info = 'genres'
+          AND it2.info = 'votes' AND k.keyword IN ({v2})
+          AND mi.info = 'Horror' AND n.gender = 'm'
+          AND t.id = mi.movie_id AND t.id = mi_idx.movie_id
+          AND t.id = ci.movie_id AND t.id = mk.movie_id
+          AND ci.movie_id = mi.movie_id AND ci.movie_id = mi_idx.movie_id
+          AND ci.movie_id = mk.movie_id AND mi.movie_id = mi_idx.movie_id
+          AND mi.movie_id = mk.movie_id AND mi_idx.movie_id = mk.movie_id
+          AND n.id = ci.person_id AND it1.id = mi.info_type_id
+          AND it2.id = mi_idx.info_type_id AND k.id = mk.keyword_id
+    """,
+    26: """
+        SELECT min(chn.name), min(mi_idx.info), min(t.title)
+        FROM complete_cast cc, comp_cast_type cct1, char_name chn,
+             cast_info ci, info_type it2, keyword k, kind_type kt,
+             movie_info_idx mi_idx, movie_keyword mk, title t
+        WHERE cct1.kind = 'cast' AND chn.name LIKE '{v1}'
+          AND it2.info = 'rating' AND k.keyword IN ({v2})
+          AND kt.kind = 'movie' AND mi_idx.info > '{v3}'
+          AND t.production_year > {v4}
+          AND kt.id = t.kind_id AND t.id = mk.movie_id
+          AND t.id = ci.movie_id AND t.id = cc.movie_id
+          AND t.id = mi_idx.movie_id AND mk.movie_id = ci.movie_id
+          AND mk.movie_id = cc.movie_id AND mk.movie_id = mi_idx.movie_id
+          AND ci.movie_id = cc.movie_id AND ci.movie_id = mi_idx.movie_id
+          AND cc.movie_id = mi_idx.movie_id AND chn.id = ci.person_role_id
+          AND k.id = mk.keyword_id AND it2.id = mi_idx.info_type_id
+          AND cct1.id = cc.subject_id
+    """,
+    27: """
+        SELECT min(cn.name), min(lt.link), min(t.title)
+        FROM complete_cast cc, comp_cast_type cct1, comp_cast_type cct2,
+             company_name cn, company_type ct, keyword k, link_type lt,
+             movie_companies mc, movie_keyword mk, movie_link ml, title t
+        WHERE cct1.kind IN ('cast', 'crew') AND cct2.kind = 'complete'
+          AND cn.country_code <> '[pl]' AND cn.name LIKE '{v1}'
+          AND ct.kind = 'production companies' AND k.keyword = 'sequel'
+          AND lt.link LIKE '%follow%' AND t.production_year BETWEEN {v3} AND {v4}
+          AND lt.id = ml.link_type_id AND ml.movie_id = t.id
+          AND t.id = mk.movie_id AND mk.keyword_id = k.id
+          AND t.id = mc.movie_id AND mc.company_type_id = ct.id
+          AND mc.company_id = cn.id AND t.id = cc.movie_id
+          AND cct1.id = cc.subject_id AND cct2.id = cc.status_id
+          AND ml.movie_id = mk.movie_id AND ml.movie_id = mc.movie_id
+          AND mk.movie_id = mc.movie_id AND ml.movie_id = cc.movie_id
+          AND mk.movie_id = cc.movie_id AND mc.movie_id = cc.movie_id
+    """,
+    28: """
+        SELECT min(cn.name), min(mi_idx.info), min(t.title)
+        FROM complete_cast cc, comp_cast_type cct1, company_name cn,
+             company_type ct, info_type it1, info_type it2, keyword k,
+             kind_type kt, movie_companies mc, movie_info mi,
+             movie_info_idx mi_idx, movie_keyword mk, title t
+        WHERE cct1.kind = 'crew' AND cn.country_code <> '[us]'
+          AND it1.info = 'countries' AND it2.info = 'rating'
+          AND k.keyword IN ({v1}) AND kt.kind IN ('movie', 'episode')
+          AND mc.note NOT LIKE '%(USA)%' AND mi.info IN ({v2})
+          AND mi_idx.info < '{v3}' AND t.production_year > {v4}
+          AND kt.id = t.kind_id AND t.id = mi.movie_id
+          AND t.id = mk.movie_id AND t.id = mi_idx.movie_id
+          AND t.id = mc.movie_id AND t.id = cc.movie_id
+          AND mk.movie_id = mi.movie_id AND mk.movie_id = mi_idx.movie_id
+          AND mk.movie_id = mc.movie_id AND mi.movie_id = mi_idx.movie_id
+          AND mi.movie_id = mc.movie_id AND mc.movie_id = mi_idx.movie_id
+          AND k.id = mk.keyword_id AND it1.id = mi.info_type_id
+          AND it2.id = mi_idx.info_type_id AND cn.id = mc.company_id
+          AND ct.id = mc.company_type_id AND cct1.id = cc.subject_id
+    """,
+    29: """
+        SELECT min(chn.name), min(n.name), min(t.title)
+        FROM aka_name an, complete_cast cc, comp_cast_type cct1,
+             comp_cast_type cct2, char_name chn, cast_info ci,
+             company_name cn, info_type it, keyword k,
+             movie_companies mc, movie_info mi, movie_keyword mk,
+             name n, role_type rt, title t
+        WHERE cct1.kind = 'cast' AND cct2.kind = 'complete+verified'
+          AND chn.name = '{v1}' AND ci.note IN ('(voice)', '(voice) (uncredited)')
+          AND cn.country_code = '[us]' AND it.info = 'release dates'
+          AND k.keyword = 'computer-animation' AND n.gender = 'f'
+          AND n.name LIKE '%An%' AND rt.role = 'actress'
+          AND t.production_year BETWEEN {v3} AND {v4}
+          AND t.id = mi.movie_id AND t.id = mc.movie_id
+          AND t.id = ci.movie_id AND t.id = mk.movie_id
+          AND t.id = cc.movie_id AND mc.movie_id = ci.movie_id
+          AND mc.movie_id = mi.movie_id AND mc.movie_id = mk.movie_id
+          AND mc.movie_id = cc.movie_id AND mi.movie_id = ci.movie_id
+          AND mi.movie_id = mk.movie_id AND mi.movie_id = cc.movie_id
+          AND ci.movie_id = mk.movie_id AND ci.movie_id = cc.movie_id
+          AND mk.movie_id = cc.movie_id AND cn.id = mc.company_id
+          AND it.id = mi.info_type_id AND n.id = ci.person_id
+          AND rt.id = ci.role_id AND n.id = an.person_id
+          AND ci.person_id = an.person_id AND chn.id = ci.person_role_id
+          AND k.id = mk.keyword_id AND cct1.id = cc.subject_id
+          AND cct2.id = cc.status_id
+    """,
+    30: """
+        SELECT min(mi.info), min(mi_idx.info), min(n.name), min(t.title)
+        FROM complete_cast cc, comp_cast_type cct1, comp_cast_type cct2,
+             cast_info ci, info_type it1, info_type it2, keyword k,
+             movie_info mi, movie_info_idx mi_idx, movie_keyword mk,
+             name n, title t
+        WHERE cct1.kind IN ('cast', 'crew') AND cct2.kind = 'complete+verified'
+          AND ci.note IN ({v1}) AND it1.info = 'genres'
+          AND it2.info = 'votes' AND k.keyword IN ({v2})
+          AND mi.info IN ('Horror', 'Thriller') AND n.gender = 'm'
+          AND t.production_year > {v3}
+          AND t.id = mi.movie_id AND t.id = mi_idx.movie_id
+          AND t.id = ci.movie_id AND t.id = mk.movie_id
+          AND t.id = cc.movie_id AND ci.movie_id = mi.movie_id
+          AND ci.movie_id = mi_idx.movie_id AND ci.movie_id = mk.movie_id
+          AND ci.movie_id = cc.movie_id AND mi.movie_id = mi_idx.movie_id
+          AND mi.movie_id = mk.movie_id AND mi.movie_id = cc.movie_id
+          AND mi_idx.movie_id = mk.movie_id AND mi_idx.movie_id = cc.movie_id
+          AND mk.movie_id = cc.movie_id AND n.id = ci.person_id
+          AND it1.id = mi.info_type_id AND it2.id = mi_idx.info_type_id
+          AND k.id = mk.keyword_id AND cct1.id = cc.subject_id
+          AND cct2.id = cc.status_id
+    """,
+    31: """
+        SELECT min(mi.info), min(mi_idx.info), min(n.name), min(t.title)
+        FROM cast_info ci, company_name cn, info_type it1, info_type it2,
+             keyword k, movie_companies mc, movie_info mi,
+             movie_info_idx mi_idx, movie_keyword mk, name n, title t
+        WHERE ci.note IN ({v1}) AND cn.name LIKE '{v2}'
+          AND it1.info = 'genres' AND it2.info = 'votes'
+          AND k.keyword IN ({v3}) AND mi.info IN ('Horror', 'Thriller')
+          AND n.gender = 'm'
+          AND t.id = mi.movie_id AND t.id = mi_idx.movie_id
+          AND t.id = ci.movie_id AND t.id = mk.movie_id
+          AND t.id = mc.movie_id AND ci.movie_id = mi.movie_id
+          AND ci.movie_id = mi_idx.movie_id AND ci.movie_id = mk.movie_id
+          AND ci.movie_id = mc.movie_id AND mi.movie_id = mi_idx.movie_id
+          AND mi.movie_id = mk.movie_id AND mi.movie_id = mc.movie_id
+          AND mi_idx.movie_id = mk.movie_id AND mi_idx.movie_id = mc.movie_id
+          AND mk.movie_id = mc.movie_id AND n.id = ci.person_id
+          AND it1.id = mi.info_type_id AND it2.id = mi_idx.info_type_id
+          AND k.id = mk.keyword_id AND cn.id = mc.company_id
+    """,
+    32: """
+        SELECT min(lt.link), min(t1.title), min(t2.title)
+        FROM keyword k, link_type lt, movie_keyword mk, movie_link ml,
+             title t1, title t2
+        WHERE k.keyword = '{v1}'
+          AND mk.keyword_id = k.id AND t1.id = mk.movie_id
+          AND ml.movie_id = t1.id AND ml.linked_movie_id = t2.id
+          AND lt.id = ml.link_type_id
+    """,
+    33: """
+        SELECT min(cn1.name), min(mi_idx1.info), min(t1.title)
+        FROM company_name cn1, company_name cn2, info_type it1,
+             info_type it2, kind_type kt1, kind_type kt2, link_type lt,
+             movie_companies mc1, movie_companies mc2,
+             movie_info_idx mi_idx1, movie_info_idx mi_idx2,
+             movie_link ml, title t1, title t2
+        WHERE cn1.country_code = '[us]' AND it1.info = 'rating'
+          AND it2.info = 'rating' AND kt1.kind IN ('tv series')
+          AND kt2.kind IN ('tv series') AND lt.link IN ({v1})
+          AND mi_idx2.info < '{v2}' AND t2.production_year BETWEEN {v3} AND {v4}
+          AND lt.id = ml.link_type_id AND t1.id = ml.movie_id
+          AND t2.id = ml.linked_movie_id AND it1.id = mi_idx1.info_type_id
+          AND t1.id = mi_idx1.movie_id AND kt1.id = t1.kind_id
+          AND cn1.id = mc1.company_id AND t1.id = mc1.movie_id
+          AND ml.movie_id = mi_idx1.movie_id AND ml.movie_id = mc1.movie_id
+          AND mi_idx1.movie_id = mc1.movie_id AND it2.id = mi_idx2.info_type_id
+          AND t2.id = mi_idx2.movie_id AND kt2.id = t2.kind_id
+          AND cn2.id = mc2.company_id AND t2.id = mc2.movie_id
+          AND ml.linked_movie_id = mi_idx2.movie_id
+          AND ml.linked_movie_id = mc2.movie_id
+          AND mi_idx2.movie_id = mc2.movie_id
+    """,
+}
+
+# Official per-family variant counts (sum = 113, as in the original JOB).
+_FAMILY_VARIANTS: dict[int, int] = {
+    1: 4, 2: 4, 3: 3, 4: 3, 5: 3, 6: 6, 7: 3, 8: 4, 9: 4, 10: 3,
+    11: 4, 12: 3, 13: 4, 14: 3, 15: 4, 16: 4, 17: 6, 18: 3, 19: 4,
+    20: 3, 21: 3, 22: 4, 23: 3, 24: 2, 25: 3, 26: 3, 27: 3, 28: 3,
+    29: 3, 30: 3, 31: 3, 32: 2, 33: 3,
+}
+
+# Slot kinds per family: which syntactic role each ``{vN}`` plays.
+# "word"   -> a bare constant placed inside existing quotes,
+# "like"   -> a LIKE pattern placed inside existing quotes,
+# "inlist" -> a pre-quoted, comma-separated list for ``IN (...)``,
+# "year"   -> an integer literal.
+# Unlisted slots default to v1/v2 -> word, v3/v4 -> year.
+_FAMILY_SLOTS: dict[int, dict[str, str]] = {
+    3: {"v1": "inlist"},
+    5: {"v1": "like", "v2": "inlist"},
+    6: {"v2": "like"},
+    7: {"v2": "like"},
+    9: {"v1": "inlist", "v2": "like"},
+    10: {"v1": "like"},
+    11: {"v1": "like"},
+    12: {"v1": "inlist"},
+    14: {"v1": "inlist", "v2": "inlist"},
+    15: {"v1": "like"},
+    17: {"v1": "like"},
+    18: {"v1": "inlist"},
+    19: {"v1": "like"},
+    20: {"v1": "like", "v2": "inlist"},
+    21: {"v1": "like", "v2": "inlist"},
+    22: {"v1": "inlist", "v2": "inlist"},
+    23: {"v1": "inlist"},
+    24: {"v1": "inlist", "v2": "like"},
+    25: {"v1": "inlist", "v2": "inlist"},
+    26: {"v1": "like", "v2": "inlist"},
+    27: {"v1": "like"},
+    28: {"v1": "inlist", "v2": "inlist"},
+    30: {"v1": "inlist", "v2": "inlist"},
+    31: {"v1": "inlist", "v2": "like", "v3": "inlist"},
+    33: {"v1": "inlist"},
+}
+
+_WORD_POOL = [
+    "sequel", "character-name-in-title", "[us]", "[de]", "[gb]", "f",
+    "m", "actor", "actress", "production companies", "movie", "5.0",
+    "7.0", "8.0", "marvel-cinematic-universe", "Queen", "follows",
+    "features", "(voice)", "6.5", "9.0", "distributors", "tv series",
+    "episode", "followed by", "video game", "(producer)", "(writer)",
+]
+_LIKE_POOL = [
+    "%Ang%", "%An%", "%B%", "%Doe%", "%Film%", "%Warner%",
+    "%(theatrical)%", "%(producer)%", "%Sher%", "%Century%",
+    "%Lionsgate%", "B%", "%Tim%", "%(worldwide)%", "X%", "%Yo%",
+    "%(200%)%", "%Universal%", "A%", "%Pictures%",
+]
+_INLIST_POOL = [
+    "'Drama', 'Horror'", "'(voice)'", "'sequel', 'follows'",
+    "'hero', 'martial-arts'", "'murder', 'blood'",
+    "'Sweden', 'Germany'", "'superhero', 'sequel'", "'(writer)'",
+    "'movie'", "'murder', 'violence'", "'Danish', 'Norwegian'",
+    "'follows', 'followed by'", "'Horror', 'Thriller'",
+    "'(voice)', '(voice: English version)'", "'movie', 'episode'",
+    "'Bulgaria'", "'computer-animation', 'fight'",
+]
+_YEAR_POOL = [
+    1950, 2000, 2005, 1990, 2008, 1980, 2010, 1995, 1998, 2007,
+    2004, 2009, 2011, 2012, 2006, 1985, 2013, 2002, 1975, 2014,
+    1, 50, 100, 2001, 1992, 2003,
+]
+_POOLS = {"word": _WORD_POOL, "like": _LIKE_POOL, "inlist": _INLIST_POOL}
+_DEFAULT_SLOT_KINDS = {"v1": "word", "v2": "word", "v3": "year", "v4": "year"}
+
+
+def _render(template: str, family: int, variant: int) -> str:
+    """Fill a family template with type-correct variant constants."""
+    kinds = dict(_DEFAULT_SLOT_KINDS)
+    kinds.update(_FAMILY_SLOTS.get(family, {}))
+    offset = family * 7 + variant
+    values: dict[str, object] = {}
+    years: list[int] = []
+    for position, slot in enumerate(("v1", "v2", "v3", "v4")):
+        kind = kinds[slot]
+        if kind == "year":
+            year = _YEAR_POOL[(offset + position * 3) % len(_YEAR_POOL)]
+            years.append(year)
+            values[slot] = year
+        else:
+            pool = _POOLS[kind]
+            values[slot] = pool[(offset + position * 5) % len(pool)]
+    # BETWEEN {v3} AND {v4} must have v3 <= v4 when both are years.
+    if kinds["v3"] == "year" and kinds["v4"] == "year" and len(years) == 2:
+        low, high = sorted(years)
+        if low == high:
+            high += 5
+        values["v3"], values["v4"] = low, high
+    return template.format(**values)
+
+
+def job_query_sql() -> list[tuple[str, str]]:
+    """All 113 (name, sql) pairs, named like the original (1a, 1b, ...)."""
+    pairs: list[tuple[str, str]] = []
+    for family in sorted(_FAMILY_TEMPLATES):
+        template = _FAMILY_TEMPLATES[family]
+        for variant in range(_FAMILY_VARIANTS[family]):
+            letter = chr(ord("a") + variant)
+            pairs.append((f"{family}{letter}", _render(template, family, variant)))
+    return pairs
+
+
+def job_queries(catalog: Catalog) -> list[Query]:
+    return build_queries(catalog, job_query_sql())
+
+
+def job_workload() -> Workload:
+    """Build the full 113-query Join Order Benchmark."""
+    catalog = job_catalog()
+    return Workload(name="job", catalog=catalog, queries=job_queries(catalog))

@@ -1,0 +1,27 @@
+"""Workload lookup by name, as used by the benchmark harness and CLI."""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.workloads.base import Workload
+from repro.workloads.job import job_workload
+from repro.workloads.tpcds import tpcds_workload
+from repro.workloads.tpch import tpch_workload
+
+WORKLOAD_NAMES = ["tpch-sf1", "tpch-sf10", "tpcds-sf1", "job"]
+
+
+def load_workload(name: str) -> Workload:
+    """Build a workload by its canonical name (see ``WORKLOAD_NAMES``)."""
+    key = name.lower()
+    if key in ("tpch", "tpch-sf1"):
+        return tpch_workload(1.0)
+    if key == "tpch-sf10":
+        return tpch_workload(10.0)
+    if key in ("tpcds", "tpcds-sf1"):
+        return tpcds_workload(1.0)
+    if key == "job":
+        return job_workload()
+    raise ReproError(
+        f"unknown workload {name!r}; choose one of {WORKLOAD_NAMES}"
+    )

@@ -1,0 +1,462 @@
+"""A TPC-DS workload (scale factor 1).
+
+TPC-DS is a snowflake-schema decision-support benchmark.  We model the
+core fact tables (store/catalog/web sales and returns, inventory) and
+the dimensions they reference, with SF1 cardinalities from the
+specification, plus 25 queries that keep the star-join + selective
+dimension-filter structure of the official templates (Q3, Q7, Q19,
+Q42, Q52, Q55 and friends).
+"""
+
+from __future__ import annotations
+
+from repro.db.catalog import Catalog, Column
+from repro.workloads.base import Query, Workload, build_queries
+
+
+def tpcds_catalog(scale_factor: float = 1.0) -> Catalog:
+    """TPC-DS schema at the given scale factor (fact tables scale)."""
+    catalog = Catalog(f"tpcds-sf{scale_factor:g}")
+    C = Column
+
+    catalog.add_table("date_dim", 73_049, [
+        C("d_date_sk", 4, is_primary_key=True),
+        C("d_year", 4, 200),
+        C("d_moy", 4, 12),
+        C("d_dom", 4, 31),
+        C("d_qoy", 4, 4),
+        C("d_day_name", 9, 7),
+        C("d_date", 4, 73_049),
+    ])
+    catalog.add_table("time_dim", 86_400, [
+        C("t_time_sk", 4, is_primary_key=True),
+        C("t_hour", 4, 24),
+        C("t_minute", 4, 60),
+    ])
+    catalog.add_table("item", 18_000, [
+        C("i_item_sk", 4, is_primary_key=True),
+        C("i_item_id", 16, 9_000),
+        C("i_brand_id", 4, 1_000),
+        C("i_brand", 20, 700),
+        C("i_class", 20, 100),
+        C("i_category", 20, 10),
+        C("i_manufact_id", 4, 1_000),
+        C("i_manager_id", 4, 100),
+        C("i_current_price", 8, 10_000),
+        C("i_color", 10, 90),
+    ])
+    catalog.add_table("customer", 100_000, [
+        C("c_customer_sk", 4, is_primary_key=True),
+        C("c_customer_id", 16, -1),
+        C("c_current_addr_sk", 4, 50_000),
+        C("c_current_cdemo_sk", 4, 95_000),
+        C("c_first_name", 15, 5_000),
+        C("c_last_name", 20, 5_000),
+        C("c_birth_year", 4, 100),
+    ])
+    catalog.add_table("customer_address", 50_000, [
+        C("ca_address_sk", 4, is_primary_key=True),
+        C("ca_state", 2, 51),
+        C("ca_country", 13, 1),
+        C("ca_city", 15, 700),
+        C("ca_gmt_offset", 8, 6),
+    ])
+    catalog.add_table("customer_demographics", 1_920_800, [
+        C("cd_demo_sk", 4, is_primary_key=True),
+        C("cd_gender", 1, 2),
+        C("cd_marital_status", 1, 5),
+        C("cd_education_status", 15, 7),
+    ])
+    catalog.add_table("household_demographics", 7_200, [
+        C("hd_demo_sk", 4, is_primary_key=True),
+        C("hd_dep_count", 4, 10),
+        C("hd_buy_potential", 10, 6),
+    ])
+    catalog.add_table("store", 12, [
+        C("s_store_sk", 4, is_primary_key=True),
+        C("s_store_name", 15, 12),
+        C("s_state", 2, 9),
+        C("s_gmt_offset", 8, 2),
+    ])
+    catalog.add_table("warehouse", 5, [
+        C("w_warehouse_sk", 4, is_primary_key=True),
+        C("w_warehouse_name", 20, 5),
+    ])
+    catalog.add_table("promotion", 300, [
+        C("p_promo_sk", 4, is_primary_key=True),
+        C("p_channel_email", 1, 2),
+        C("p_channel_event", 1, 2),
+    ])
+    catalog.add_table("ship_mode", 20, [
+        C("sm_ship_mode_sk", 4, is_primary_key=True),
+        C("sm_type", 30, 5),
+    ])
+    catalog.add_table("web_site", 30, [
+        C("web_site_sk", 4, is_primary_key=True),
+        C("web_name", 10, 15),
+    ])
+    catalog.add_table("store_sales", 2_880_404, [
+        C("ss_sold_date_sk", 4, 1_800),
+        C("ss_sold_time_sk", 4, 40_000),
+        C("ss_item_sk", 4, 18_000),
+        C("ss_customer_sk", 4, 100_000),
+        C("ss_cdemo_sk", 4, 1_000_000),
+        C("ss_hdemo_sk", 4, 7_200),
+        C("ss_addr_sk", 4, 50_000),
+        C("ss_store_sk", 4, 12),
+        C("ss_promo_sk", 4, 300),
+        C("ss_ticket_number", 4, 240_000),
+        C("ss_quantity", 4, 100),
+        C("ss_sales_price", 8, 20_000),
+        C("ss_ext_sales_price", 8, 1_000_000),
+        C("ss_net_profit", 8, 1_000_000),
+        C("ss_coupon_amt", 8, 100_000),
+        C("ss_list_price", 8, 20_000),
+    ])
+    catalog.add_table("store_returns", 287_514, [
+        C("sr_returned_date_sk", 4, 1_800),
+        C("sr_item_sk", 4, 18_000),
+        C("sr_customer_sk", 4, 90_000),
+        C("sr_ticket_number", 4, 170_000),
+        C("sr_return_amt", 8, 100_000),
+    ])
+    catalog.add_table("catalog_sales", 1_441_548, [
+        C("cs_sold_date_sk", 4, 1_800),
+        C("cs_ship_date_sk", 4, 1_900),
+        C("cs_item_sk", 4, 18_000),
+        C("cs_bill_customer_sk", 4, 100_000),
+        C("cs_bill_cdemo_sk", 4, 1_000_000),
+        C("cs_ship_mode_sk", 4, 20),
+        C("cs_warehouse_sk", 4, 5),
+        C("cs_promo_sk", 4, 300),
+        C("cs_quantity", 4, 100),
+        C("cs_sales_price", 8, 20_000),
+        C("cs_ext_sales_price", 8, 1_000_000),
+        C("cs_net_profit", 8, 1_000_000),
+    ])
+    catalog.add_table("catalog_returns", 144_067, [
+        C("cr_returned_date_sk", 4, 1_800),
+        C("cr_item_sk", 4, 18_000),
+        C("cr_return_amount", 8, 80_000),
+    ])
+    catalog.add_table("web_sales", 719_384, [
+        C("ws_sold_date_sk", 4, 1_800),
+        C("ws_item_sk", 4, 18_000),
+        C("ws_bill_customer_sk", 4, 100_000),
+        C("ws_bill_addr_sk", 4, 50_000),
+        C("ws_web_site_sk", 4, 30),
+        C("ws_ship_mode_sk", 4, 20),
+        C("ws_quantity", 4, 100),
+        C("ws_sales_price", 8, 20_000),
+        C("ws_ext_sales_price", 8, 900_000),
+        C("ws_net_profit", 8, 900_000),
+    ])
+    catalog.add_table("web_returns", 71_763, [
+        C("wr_returned_date_sk", 4, 1_800),
+        C("wr_item_sk", 4, 18_000),
+        C("wr_return_amt", 8, 50_000),
+    ])
+    catalog.add_table("inventory", 11_745_000, [
+        C("inv_date_sk", 4, 261),
+        C("inv_item_sk", 4, 18_000),
+        C("inv_warehouse_sk", 4, 5),
+        C("inv_quantity_on_hand", 4, 1_000),
+    ])
+    if scale_factor != 1.0:
+        return catalog.scaled(scale_factor, f"tpcds-sf{scale_factor:g}")
+    return catalog
+
+
+_QUERIES: list[tuple[str, str]] = [
+    ("q3", """
+        SELECT d_year, i_brand_id, i_brand, sum(ss_ext_sales_price) AS sum_agg
+        FROM date_dim, store_sales, item
+        WHERE d_date_sk = ss_sold_date_sk AND ss_item_sk = i_item_sk
+          AND i_manufact_id = 128 AND d_moy = 11
+        GROUP BY d_year, i_brand_id, i_brand
+        ORDER BY d_year, sum_agg DESC, i_brand_id
+        LIMIT 100
+    """),
+    ("q7", """
+        SELECT i_item_id, avg(ss_quantity), avg(ss_list_price),
+               avg(ss_coupon_amt), avg(ss_sales_price)
+        FROM store_sales, customer_demographics, date_dim, item, promotion
+        WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk
+          AND ss_cdemo_sk = cd_demo_sk AND ss_promo_sk = p_promo_sk
+          AND cd_gender = 'M' AND cd_marital_status = 'S'
+          AND cd_education_status = 'College'
+          AND p_channel_email = 'N' AND d_year = 2000
+        GROUP BY i_item_id
+        ORDER BY i_item_id
+        LIMIT 100
+    """),
+    ("q12", """
+        SELECT i_item_id, i_category, sum(ws_ext_sales_price) AS itemrevenue
+        FROM web_sales, item, date_dim
+        WHERE ws_item_sk = i_item_sk
+          AND i_category IN ('Sports', 'Books', 'Home')
+          AND ws_sold_date_sk = d_date_sk
+          AND d_date BETWEEN 10774 AND 10804
+        GROUP BY i_item_id, i_category
+        ORDER BY i_category, i_item_id
+        LIMIT 100
+    """),
+    ("q13", """
+        SELECT avg(ss_quantity), avg(ss_ext_sales_price), avg(ss_net_profit)
+        FROM store_sales, store, customer_demographics,
+             household_demographics, customer_address, date_dim
+        WHERE s_store_sk = ss_store_sk AND ss_sold_date_sk = d_date_sk
+          AND d_year = 2001 AND ss_hdemo_sk = hd_demo_sk
+          AND ss_cdemo_sk = cd_demo_sk AND ss_addr_sk = ca_address_sk
+          AND ca_country = 'United States'
+          AND cd_marital_status = 'M' AND cd_education_status = 'Advanced Degree'
+          AND hd_dep_count = 3 AND ca_state IN ('TX', 'OH', 'TX')
+    """),
+    ("q19", """
+        SELECT i_brand_id, i_brand, i_manufact_id, sum(ss_ext_sales_price) AS ext_price
+        FROM date_dim, store_sales, item, customer, customer_address, store
+        WHERE d_date_sk = ss_sold_date_sk AND ss_item_sk = i_item_sk
+          AND i_manager_id = 8 AND d_moy = 11 AND d_year = 1998
+          AND ss_customer_sk = c_customer_sk
+          AND c_current_addr_sk = ca_address_sk AND ss_store_sk = s_store_sk
+        GROUP BY i_brand_id, i_brand, i_manufact_id
+        ORDER BY ext_price DESC, i_brand_id
+        LIMIT 100
+    """),
+    ("q25", """
+        SELECT i_item_id, s_store_name, sum(ss_net_profit) AS store_sales_profit
+        FROM store_sales, store_returns, date_dim d1, date_dim d2,
+             store, item
+        WHERE d1.d_moy = 4 AND d1.d_year = 2001
+          AND d1.d_date_sk = ss_sold_date_sk AND i_item_sk = ss_item_sk
+          AND s_store_sk = ss_store_sk AND ss_customer_sk = sr_customer_sk
+          AND ss_item_sk = sr_item_sk AND ss_ticket_number = sr_ticket_number
+          AND sr_returned_date_sk = d2.d_date_sk AND d2.d_moy BETWEEN 4 AND 10
+        GROUP BY i_item_id, s_store_name
+        ORDER BY i_item_id, s_store_name
+        LIMIT 100
+    """),
+    ("q26", """
+        SELECT i_item_id, avg(cs_quantity), avg(cs_sales_price)
+        FROM catalog_sales, customer_demographics, date_dim, item, promotion
+        WHERE cs_sold_date_sk = d_date_sk AND cs_item_sk = i_item_sk
+          AND cs_bill_cdemo_sk = cd_demo_sk AND cs_promo_sk = p_promo_sk
+          AND cd_gender = 'M' AND cd_marital_status = 'S'
+          AND cd_education_status = 'College'
+          AND p_channel_email = 'N' AND d_year = 2000
+        GROUP BY i_item_id
+        ORDER BY i_item_id
+        LIMIT 100
+    """),
+    ("q29", """
+        SELECT i_item_id, s_store_name, sum(ss_quantity) AS store_sales_quantity
+        FROM store_sales, store_returns, date_dim d1, date_dim d2,
+             store, item
+        WHERE d1.d_moy = 9 AND d1.d_year = 1999
+          AND d1.d_date_sk = ss_sold_date_sk AND i_item_sk = ss_item_sk
+          AND s_store_sk = ss_store_sk AND ss_customer_sk = sr_customer_sk
+          AND ss_item_sk = sr_item_sk AND ss_ticket_number = sr_ticket_number
+          AND sr_returned_date_sk = d2.d_date_sk
+        GROUP BY i_item_id, s_store_name
+        ORDER BY i_item_id, s_store_name
+        LIMIT 100
+    """),
+    ("q37", """
+        SELECT i_item_id, i_item_sk, i_current_price
+        FROM item, inventory, date_dim, catalog_sales
+        WHERE i_current_price BETWEEN 68 AND 98
+          AND inv_item_sk = i_item_sk AND d_date_sk = inv_date_sk
+          AND d_date BETWEEN 11000 AND 11060
+          AND i_manufact_id IN (677, 940, 694, 808)
+          AND inv_quantity_on_hand BETWEEN 100 AND 500
+          AND cs_item_sk = i_item_sk
+        GROUP BY i_item_id, i_item_sk, i_current_price
+        ORDER BY i_item_id
+        LIMIT 100
+    """),
+    ("q42", """
+        SELECT d_year, i_category, sum(ss_ext_sales_price) AS total_sales
+        FROM date_dim, store_sales, item
+        WHERE d_date_sk = ss_sold_date_sk AND ss_item_sk = i_item_sk
+          AND i_manager_id = 1 AND d_moy = 11 AND d_year = 2000
+        GROUP BY d_year, i_category
+        ORDER BY total_sales DESC, d_year, i_category
+        LIMIT 100
+    """),
+    ("q43", """
+        SELECT s_store_name, s_store_sk, sum(ss_sales_price) AS total
+        FROM date_dim, store_sales, store
+        WHERE d_date_sk = ss_sold_date_sk AND s_store_sk = ss_store_sk
+          AND s_gmt_offset = -5 AND d_year = 2000
+        GROUP BY s_store_name, s_store_sk
+        ORDER BY s_store_name
+        LIMIT 100
+    """),
+    ("q45", """
+        SELECT ca_city, sum(ws_sales_price) AS city_sales
+        FROM web_sales, customer, customer_address, date_dim, item
+        WHERE ws_bill_customer_sk = c_customer_sk
+          AND c_current_addr_sk = ca_address_sk
+          AND ws_item_sk = i_item_sk
+          AND ws_sold_date_sk = d_date_sk
+          AND d_qoy = 2 AND d_year = 2001
+          AND i_item_id IN ('AAAAAAAABAAAAAAA', 'AAAAAAAACAAAAAAA')
+        GROUP BY ca_city
+        ORDER BY ca_city
+        LIMIT 100
+    """),
+    ("q48", """
+        SELECT sum(ss_quantity) AS total_quantity
+        FROM store_sales, store, customer_demographics,
+             customer_address, date_dim
+        WHERE s_store_sk = ss_store_sk AND ss_sold_date_sk = d_date_sk
+          AND d_year = 2000 AND ss_cdemo_sk = cd_demo_sk
+          AND cd_marital_status = 'M' AND cd_education_status = '4 yr Degree'
+          AND ss_addr_sk = ca_address_sk AND ca_country = 'United States'
+          AND ca_state IN ('CO', 'OH', 'TX')
+          AND ss_net_profit BETWEEN 0 AND 2000
+    """),
+    ("q52", """
+        SELECT d_year, i_brand_id, i_brand, sum(ss_ext_sales_price) AS ext_price
+        FROM date_dim, store_sales, item
+        WHERE d_date_sk = ss_sold_date_sk AND ss_item_sk = i_item_sk
+          AND i_manager_id = 1 AND d_moy = 11 AND d_year = 2000
+        GROUP BY d_year, i_brand_id, i_brand
+        ORDER BY d_year, ext_price DESC, i_brand_id
+        LIMIT 100
+    """),
+    ("q55", """
+        SELECT i_brand_id, i_brand, sum(ss_ext_sales_price) AS ext_price
+        FROM date_dim, store_sales, item
+        WHERE d_date_sk = ss_sold_date_sk AND ss_item_sk = i_item_sk
+          AND i_manager_id = 28 AND d_moy = 11 AND d_year = 1999
+        GROUP BY i_brand_id, i_brand
+        ORDER BY ext_price DESC, i_brand_id
+        LIMIT 100
+    """),
+    ("q61", """
+        SELECT sum(ss_ext_sales_price) AS promotions
+        FROM store_sales, store, promotion, date_dim, customer,
+             customer_address, item
+        WHERE ss_sold_date_sk = d_date_sk AND ss_store_sk = s_store_sk
+          AND ss_promo_sk = p_promo_sk AND ss_customer_sk = c_customer_sk
+          AND ca_address_sk = c_current_addr_sk AND ss_item_sk = i_item_sk
+          AND ca_gmt_offset = -5 AND i_category = 'Jewelry'
+          AND p_channel_event = 'N' AND d_year = 1998 AND d_moy = 11
+          AND s_gmt_offset = -5
+    """),
+    ("q62", """
+        SELECT sm_type, web_name, count(*) AS cnt
+        FROM web_sales, warehouse, ship_mode, web_site, date_dim
+        WHERE d_moy BETWEEN 1 AND 2 AND ws_ship_mode_sk = sm_ship_mode_sk
+          AND ws_web_site_sk = web_site_sk AND ws_sold_date_sk = d_date_sk
+        GROUP BY sm_type, web_name
+        ORDER BY sm_type, web_name
+        LIMIT 100
+    """),
+    ("q65", """
+        SELECT s_store_name, i_item_id, sum(ss_sales_price) AS revenue
+        FROM store, item, store_sales, date_dim
+        WHERE ss_store_sk = s_store_sk AND ss_item_sk = i_item_sk
+          AND ss_sold_date_sk = d_date_sk AND d_moy BETWEEN 1 AND 6
+        GROUP BY s_store_name, i_item_id
+        ORDER BY s_store_name, i_item_id
+        LIMIT 100
+    """),
+    ("q68", """
+        SELECT c_last_name, c_first_name, ca_city, sum(ss_ext_sales_price)
+        FROM store_sales, date_dim, store, household_demographics,
+             customer_address, customer
+        WHERE ss_sold_date_sk = d_date_sk AND ss_store_sk = s_store_sk
+          AND ss_hdemo_sk = hd_demo_sk AND ss_addr_sk = ca_address_sk
+          AND ss_customer_sk = c_customer_sk
+          AND d_dom BETWEEN 1 AND 2 AND hd_dep_count = 4
+          AND d_year IN (1999, 2000, 2001) AND ca_city = 'Fairview'
+        GROUP BY c_last_name, c_first_name, ca_city
+        ORDER BY c_last_name
+        LIMIT 100
+    """),
+    ("q71", """
+        SELECT i_brand_id, i_brand, t_hour, sum(ws_ext_sales_price) AS ext_price
+        FROM item, web_sales, date_dim, time_dim
+        WHERE ws_sold_date_sk = d_date_sk AND ws_item_sk = i_item_sk
+          AND i_manager_id = 1 AND d_moy = 11 AND d_year = 1999
+          AND t_hour IN (8, 9)
+          AND ws_sold_date_sk = t_time_sk
+        GROUP BY i_brand_id, i_brand, t_hour
+        ORDER BY ext_price DESC, i_brand_id
+    """),
+    ("q72", """
+        SELECT i_item_id, w_warehouse_name, d1.d_year, count(*) AS no_promo
+        FROM catalog_sales, inventory, warehouse, item, customer_demographics,
+             household_demographics, date_dim d1, date_dim d2
+        WHERE cs_item_sk = i_item_sk AND inv_item_sk = cs_item_sk
+          AND w_warehouse_sk = inv_warehouse_sk
+          AND cs_bill_cdemo_sk = cd_demo_sk
+          AND cs_sold_date_sk = d1.d_date_sk
+          AND inv_date_sk = d2.d_date_sk
+          AND hd_buy_potential = '>10000' AND d1.d_year = 1999
+          AND cd_marital_status = 'D' AND hd_dep_count = 5
+        GROUP BY i_item_id, w_warehouse_name, d1.d_year
+        ORDER BY no_promo DESC, i_item_id
+        LIMIT 100
+    """),
+    ("q82", """
+        SELECT i_item_id, i_item_sk, i_current_price
+        FROM item, inventory, date_dim, store_sales
+        WHERE i_current_price BETWEEN 62 AND 92
+          AND inv_item_sk = i_item_sk AND d_date_sk = inv_date_sk
+          AND d_date BETWEEN 10988 AND 11048
+          AND i_manufact_id IN (129, 270, 821, 423)
+          AND inv_quantity_on_hand BETWEEN 100 AND 500
+          AND ss_item_sk = i_item_sk
+        GROUP BY i_item_id, i_item_sk, i_current_price
+        ORDER BY i_item_id
+        LIMIT 100
+    """),
+    ("q91", """
+        SELECT count(*) AS returns_count
+        FROM catalog_returns, date_dim, customer, customer_address
+        WHERE cr_returned_date_sk = d_date_sk
+          AND cr_item_sk > 0 AND d_year = 1998 AND d_moy = 11
+          AND cr_returned_date_sk = c_customer_sk
+          AND c_current_addr_sk = ca_address_sk
+          AND ca_gmt_offset = -7
+    """),
+    ("q96", """
+        SELECT count(*) AS cnt
+        FROM store_sales, household_demographics, time_dim, store
+        WHERE ss_sold_time_sk = t_time_sk
+          AND ss_hdemo_sk = hd_demo_sk AND ss_store_sk = s_store_sk
+          AND t_hour = 20 AND t_minute >= 30 AND hd_dep_count = 7
+          AND s_store_name = 'ese'
+        GROUP BY t_hour
+        ORDER BY cnt
+        LIMIT 100
+    """),
+    ("q99", """
+        SELECT w_warehouse_name, sm_type, count(*) AS cnt
+        FROM catalog_sales, warehouse, ship_mode, date_dim
+        WHERE cs_ship_date_sk = d_date_sk
+          AND cs_warehouse_sk = w_warehouse_sk
+          AND cs_ship_mode_sk = sm_ship_mode_sk
+          AND d_moy BETWEEN 1 AND 6
+        GROUP BY w_warehouse_name, sm_type
+        ORDER BY w_warehouse_name, sm_type
+        LIMIT 100
+    """),
+]
+
+
+def tpcds_queries(catalog: Catalog) -> list[Query]:
+    return build_queries(catalog, _QUERIES)
+
+
+def tpcds_workload(scale_factor: float = 1.0) -> Workload:
+    """Build the TPC-DS workload at the given scale factor."""
+    catalog = tpcds_catalog(scale_factor)
+    return Workload(
+        name=f"tpcds-sf{scale_factor:g}",
+        catalog=catalog,
+        queries=tpcds_queries(catalog),
+    )

@@ -1,0 +1,357 @@
+"""The TPC-H benchmark: schema, statistics, and the 22 analytical queries.
+
+Row counts and column statistics follow the TPC-H specification at scale
+factor 1 (6M lineitem rows); other scale factors multiply cardinalities.
+The queries keep the official join and predicate structure; date
+arithmetic is pre-evaluated to plain literals because the simulator's
+planner only consumes structure, not values.
+"""
+
+from __future__ import annotations
+
+from repro.db.catalog import Catalog, Column
+from repro.workloads.base import Query, Workload, build_queries
+
+
+def tpch_catalog(scale_factor: float = 1.0) -> Catalog:
+    """TPC-H schema with statistics for the given scale factor."""
+    catalog = Catalog(f"tpch-sf{scale_factor:g}")
+    C = Column
+
+    catalog.add_table("region", 5, [
+        C("r_regionkey", 4, is_primary_key=True),
+        C("r_name", 12, 5),
+        C("r_comment", 80, 5),
+    ])
+    catalog.add_table("nation", 25, [
+        C("n_nationkey", 4, is_primary_key=True),
+        C("n_name", 12, 25),
+        C("n_regionkey", 4, 5),
+        C("n_comment", 80, 25),
+    ])
+    catalog.add_table("supplier", 10_000, [
+        C("s_suppkey", 4, is_primary_key=True),
+        C("s_name", 18, -1),
+        C("s_address", 25, -1),
+        C("s_nationkey", 4, 25),
+        C("s_phone", 15, -1),
+        C("s_acctbal", 8, 9_000),
+        C("s_comment", 60, -1),
+    ])
+    catalog.add_table("customer", 150_000, [
+        C("c_custkey", 4, is_primary_key=True),
+        C("c_name", 18, -1),
+        C("c_address", 25, -1),
+        C("c_nationkey", 4, 25),
+        C("c_phone", 15, -1),
+        C("c_acctbal", 8, 100_000),
+        C("c_mktsegment", 10, 5),
+        C("c_comment", 70, -1),
+    ])
+    catalog.add_table("part", 200_000, [
+        C("p_partkey", 4, is_primary_key=True),
+        C("p_name", 35, -1),
+        C("p_mfgr", 25, 5),
+        C("p_brand", 10, 25),
+        C("p_type", 25, 150),
+        C("p_size", 4, 50),
+        C("p_container", 10, 40),
+        C("p_retailprice", 8, 20_000),
+        C("p_comment", 15, -1),
+    ])
+    catalog.add_table("partsupp", 800_000, [
+        C("ps_partkey", 4, 200_000),
+        C("ps_suppkey", 4, 10_000),
+        C("ps_availqty", 4, 10_000),
+        C("ps_supplycost", 8, 100_000),
+        C("ps_comment", 125, -1),
+    ])
+    catalog.add_table("orders", 1_500_000, [
+        C("o_orderkey", 4, is_primary_key=True),
+        C("o_custkey", 4, 100_000),
+        C("o_orderstatus", 1, 3),
+        C("o_totalprice", 8, 1_400_000),
+        C("o_orderdate", 4, 2_400),
+        C("o_orderpriority", 15, 5),
+        C("o_clerk", 15, 1_000),
+        C("o_shippriority", 4, 1),
+        C("o_comment", 50, -1),
+    ])
+    catalog.add_table("lineitem", 6_001_215, [
+        C("l_orderkey", 4, 1_500_000),
+        C("l_partkey", 4, 200_000),
+        C("l_suppkey", 4, 10_000),
+        C("l_linenumber", 4, 7),
+        C("l_quantity", 8, 50),
+        C("l_extendedprice", 8, 1_000_000),
+        C("l_discount", 8, 11),
+        C("l_tax", 8, 9),
+        C("l_returnflag", 1, 3),
+        C("l_linestatus", 1, 2),
+        C("l_shipdate", 4, 2_500),
+        C("l_commitdate", 4, 2_500),
+        C("l_receiptdate", 4, 2_500),
+        C("l_shipinstruct", 25, 4),
+        C("l_shipmode", 10, 7),
+        C("l_comment", 27, -1),
+    ])
+    if scale_factor != 1.0:
+        return catalog.scaled(scale_factor, f"tpch-sf{scale_factor:g}")
+    return catalog
+
+
+_QUERIES: list[tuple[str, str]] = [
+    ("q1", """
+        SELECT l_returnflag, l_linestatus, sum(l_quantity) AS sum_qty,
+               sum(l_extendedprice) AS sum_base_price,
+               sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+               sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+               avg(l_quantity) AS avg_qty, avg(l_extendedprice) AS avg_price,
+               avg(l_discount) AS avg_disc, count(*) AS count_order
+        FROM lineitem
+        WHERE l_shipdate <= date '1998-09-02'
+        GROUP BY l_returnflag, l_linestatus
+        ORDER BY l_returnflag, l_linestatus
+    """),
+    ("q2", """
+        SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment
+        FROM part, supplier, partsupp, nation, region
+        WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey
+          AND p_size = 15 AND p_type LIKE '%BRASS'
+          AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+          AND r_name = 'EUROPE'
+          AND ps_supplycost = (
+            SELECT min(ps_supplycost) FROM partsupp, supplier, nation, region
+            WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey
+              AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+              AND r_name = 'EUROPE')
+        ORDER BY s_acctbal DESC, n_name, s_name, p_partkey
+        LIMIT 100
+    """),
+    ("q3", """
+        SELECT l_orderkey, sum(l_extendedprice * (1 - l_discount)) AS revenue,
+               o_orderdate, o_shippriority
+        FROM customer, orders, lineitem
+        WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey
+          AND l_orderkey = o_orderkey AND o_orderdate < date '1995-03-15'
+          AND l_shipdate > date '1995-03-15'
+        GROUP BY l_orderkey, o_orderdate, o_shippriority
+        ORDER BY revenue DESC, o_orderdate
+        LIMIT 10
+    """),
+    ("q4", """
+        SELECT o_orderpriority, count(*) AS order_count
+        FROM orders
+        WHERE o_orderdate >= date '1993-07-01' AND o_orderdate < date '1993-10-01'
+          AND EXISTS (SELECT 1 FROM lineitem
+                      WHERE l_orderkey = o_orderkey AND l_commitdate < l_receiptdate)
+        GROUP BY o_orderpriority
+        ORDER BY o_orderpriority
+    """),
+    ("q5", """
+        SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
+        FROM customer, orders, lineitem, supplier, nation, region
+        WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+          AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey
+          AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+          AND r_name = 'ASIA'
+          AND o_orderdate >= date '1994-01-01' AND o_orderdate < date '1995-01-01'
+        GROUP BY n_name
+        ORDER BY revenue DESC
+    """),
+    ("q6", """
+        SELECT sum(l_extendedprice * l_discount) AS revenue
+        FROM lineitem
+        WHERE l_shipdate >= date '1994-01-01' AND l_shipdate < date '1995-01-01'
+          AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24
+    """),
+    ("q7", """
+        SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+               sum(l_extendedprice * (1 - l_discount)) AS revenue
+        FROM supplier, lineitem, orders, customer, nation n1, nation n2
+        WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey
+          AND c_custkey = o_custkey AND s_nationkey = n1.n_nationkey
+          AND c_nationkey = n2.n_nationkey
+          AND n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY'
+          AND l_shipdate BETWEEN date '1995-01-01' AND date '1996-12-31'
+        GROUP BY n1.n_name, n2.n_name
+        ORDER BY supp_nation, cust_nation
+    """),
+    ("q8", """
+        SELECT o_orderdate, sum(l_extendedprice * (1 - l_discount)) AS volume
+        FROM part, supplier, lineitem, orders, customer, nation n1, nation n2, region
+        WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey
+          AND l_orderkey = o_orderkey AND o_custkey = c_custkey
+          AND c_nationkey = n1.n_nationkey AND n1.n_regionkey = r_regionkey
+          AND r_name = 'AMERICA' AND s_nationkey = n2.n_nationkey
+          AND o_orderdate BETWEEN date '1995-01-01' AND date '1996-12-31'
+          AND p_type = 'ECONOMY ANODIZED STEEL'
+        GROUP BY o_orderdate
+        ORDER BY o_orderdate
+    """),
+    ("q9", """
+        SELECT n_name, o_orderdate,
+               sum(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) AS amount
+        FROM part, supplier, lineitem, partsupp, orders, nation
+        WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey
+          AND ps_partkey = l_partkey AND p_partkey = l_partkey
+          AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey
+          AND p_name LIKE '%green%'
+        GROUP BY n_name, o_orderdate
+        ORDER BY n_name, o_orderdate DESC
+    """),
+    ("q10", """
+        SELECT c_custkey, c_name, sum(l_extendedprice * (1 - l_discount)) AS revenue,
+               c_acctbal, n_name, c_address, c_phone, c_comment
+        FROM customer, orders, lineitem, nation
+        WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+          AND o_orderdate >= date '1993-10-01' AND o_orderdate < date '1994-01-01'
+          AND l_returnflag = 'R' AND c_nationkey = n_nationkey
+        GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+        ORDER BY revenue DESC
+        LIMIT 20
+    """),
+    ("q11", """
+        SELECT ps_partkey, sum(ps_supplycost * ps_availqty) AS value
+        FROM partsupp, supplier, nation
+        WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey
+          AND n_name = 'GERMANY'
+        GROUP BY ps_partkey
+        HAVING sum(ps_supplycost * ps_availqty) > (
+            SELECT sum(ps_supplycost * ps_availqty) * 0.0001
+            FROM partsupp, supplier, nation
+            WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey
+              AND n_name = 'GERMANY')
+        ORDER BY value DESC
+    """),
+    ("q12", """
+        SELECT l_shipmode, count(*) AS line_count
+        FROM orders, lineitem
+        WHERE o_orderkey = l_orderkey AND l_shipmode IN ('MAIL', 'SHIP')
+          AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate
+          AND l_receiptdate >= date '1994-01-01' AND l_receiptdate < date '1995-01-01'
+        GROUP BY l_shipmode
+        ORDER BY l_shipmode
+    """),
+    ("q13", """
+        SELECT c_custkey, count(o_orderkey) AS c_count
+        FROM customer LEFT OUTER JOIN orders ON c_custkey = o_custkey
+           AND o_comment NOT LIKE '%special%requests%'
+        GROUP BY c_custkey
+        ORDER BY c_count DESC
+    """),
+    ("q14", """
+        SELECT sum(l_extendedprice * (1 - l_discount)) AS promo_revenue
+        FROM lineitem, part
+        WHERE l_partkey = p_partkey
+          AND l_shipdate >= date '1995-09-01' AND l_shipdate < date '1995-10-01'
+          AND p_type LIKE 'PROMO%'
+    """),
+    ("q15", """
+        SELECT s_suppkey, s_name, s_address, s_phone,
+               sum(l_extendedprice * (1 - l_discount)) AS total_revenue
+        FROM supplier, lineitem
+        WHERE s_suppkey = l_suppkey
+          AND l_shipdate >= date '1996-01-01' AND l_shipdate < date '1996-04-01'
+        GROUP BY s_suppkey, s_name, s_address, s_phone
+        ORDER BY total_revenue DESC
+        LIMIT 1
+    """),
+    ("q16", """
+        SELECT p_brand, p_type, p_size, count(distinct ps_suppkey) AS supplier_cnt
+        FROM partsupp, part
+        WHERE p_partkey = ps_partkey AND p_brand <> 'Brand#45'
+          AND p_type NOT LIKE 'MEDIUM POLISHED%'
+          AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9)
+          AND ps_suppkey NOT IN (
+            SELECT s_suppkey FROM supplier WHERE s_comment LIKE '%Complaints%')
+        GROUP BY p_brand, p_type, p_size
+        ORDER BY supplier_cnt DESC, p_brand, p_type, p_size
+    """),
+    ("q17", """
+        SELECT sum(l_extendedprice) AS avg_yearly
+        FROM lineitem, part
+        WHERE p_partkey = l_partkey AND p_brand = 'Brand#23'
+          AND p_container = 'MED BOX'
+          AND l_quantity < (
+            SELECT 0.2 * avg(l_quantity) FROM lineitem
+            WHERE l_partkey = p_partkey)
+    """),
+    ("q18", """
+        SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, sum(l_quantity)
+        FROM customer, orders, lineitem
+        WHERE o_orderkey IN (
+            SELECT l_orderkey FROM lineitem
+            GROUP BY l_orderkey HAVING sum(l_quantity) > 300)
+          AND c_custkey = o_custkey AND o_orderkey = l_orderkey
+        GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+        ORDER BY o_totalprice DESC, o_orderdate
+        LIMIT 100
+    """),
+    ("q19", """
+        SELECT sum(l_extendedprice * (1 - l_discount)) AS revenue
+        FROM lineitem, part
+        WHERE p_partkey = l_partkey
+          AND p_brand = 'Brand#12' AND l_quantity BETWEEN 1 AND 11
+          AND p_size BETWEEN 1 AND 5 AND l_shipmode IN ('AIR', 'AIR REG')
+          AND l_shipinstruct = 'DELIVER IN PERSON'
+    """),
+    ("q20", """
+        SELECT s_name, s_address
+        FROM supplier, nation
+        WHERE s_suppkey IN (
+            SELECT ps_suppkey FROM partsupp
+            WHERE ps_partkey IN (
+                SELECT p_partkey FROM part WHERE p_name LIKE 'forest%')
+              AND ps_availqty > (
+                SELECT 0.5 * sum(l_quantity) FROM lineitem
+                WHERE l_partkey = ps_partkey AND l_suppkey = ps_suppkey
+                  AND l_shipdate >= date '1994-01-01'
+                  AND l_shipdate < date '1995-01-01'))
+          AND s_nationkey = n_nationkey AND n_name = 'CANADA'
+        ORDER BY s_name
+    """),
+    ("q21", """
+        SELECT s_name, count(*) AS numwait
+        FROM supplier, lineitem l1, orders, nation
+        WHERE s_suppkey = l1.l_suppkey AND o_orderkey = l1.l_orderkey
+          AND o_orderstatus = 'F' AND l1.l_receiptdate > l1.l_commitdate
+          AND EXISTS (SELECT 1 FROM lineitem l2
+                      WHERE l2.l_orderkey = l1.l_orderkey
+                        AND l2.l_suppkey <> l1.l_suppkey)
+          AND NOT EXISTS (SELECT 1 FROM lineitem l3
+                          WHERE l3.l_orderkey = l1.l_orderkey
+                            AND l3.l_suppkey <> l1.l_suppkey
+                            AND l3.l_receiptdate > l3.l_commitdate)
+          AND s_nationkey = n_nationkey AND n_name = 'SAUDI ARABIA'
+        GROUP BY s_name
+        ORDER BY numwait DESC, s_name
+        LIMIT 100
+    """),
+    ("q22", """
+        SELECT c_phone, count(*) AS numcust, sum(c_acctbal) AS totacctbal
+        FROM customer
+        WHERE c_phone IN ('13', '31', '23', '29', '30', '18', '17')
+          AND c_acctbal > (
+            SELECT avg(c_acctbal) FROM customer
+            WHERE c_acctbal > 0.00)
+          AND NOT EXISTS (SELECT 1 FROM orders WHERE o_custkey = c_custkey)
+        GROUP BY c_phone
+        ORDER BY c_phone
+    """),
+]
+
+
+def tpch_queries(catalog: Catalog) -> list[Query]:
+    """The 22 TPC-H queries analyzed against a catalog."""
+    return build_queries(catalog, _QUERIES)
+
+
+def tpch_workload(scale_factor: float = 1.0) -> Workload:
+    """Build the TPC-H workload at the given scale factor."""
+    catalog = tpch_catalog(scale_factor)
+    return Workload(
+        name=f"tpch-sf{scale_factor:g}",
+        catalog=catalog,
+        queries=tpch_queries(catalog),
+    )

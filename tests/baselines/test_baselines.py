@@ -1,0 +1,184 @@
+"""Baseline tuner tests against the tiny workload."""
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    DB2Advisor,
+    DBBertTuner,
+    DexterAdvisor,
+    GPTunerTuner,
+    LlamaTuneTuner,
+    ParamTreeTuner,
+    UDOTuner,
+)
+from repro.baselines.base import measure_configuration, offline_workload_time
+from repro.baselines.dexter import candidate_indexes
+from repro.db.indexes import Index
+
+
+BUDGET = 120.0
+
+
+class TestMeasureConfiguration:
+    def test_complete_measurement(self, pg_engine, tiny_workload):
+        completed, total = measure_configuration(
+            pg_engine, list(tiny_workload.queries), {"work_mem": "64MB"}
+        )
+        assert completed
+        assert total > 0
+        assert pg_engine.clock.now >= total  # includes restart time
+
+    def test_trial_timeout_aborts(self, pg_engine, tiny_workload):
+        completed, total = measure_configuration(
+            pg_engine,
+            list(tiny_workload.queries),
+            {"shared_buffers": "58GB", "work_mem": "8GB"},
+            trial_timeout=0.5,
+        )
+        assert not completed
+        assert math.isinf(total)
+
+    def test_invalid_settings_fail_gracefully(self, pg_engine, tiny_workload):
+        completed, total = measure_configuration(
+            pg_engine, list(tiny_workload.queries), {"work_mem": "garbage"}
+        )
+        assert not completed
+
+    def test_trial_indexes_dropped(self, pg_engine, tiny_workload):
+        measure_configuration(
+            pg_engine,
+            list(tiny_workload.queries),
+            {},
+            [Index("events", ("user_id2",))],
+        )
+        assert pg_engine.indexes == []
+
+    def test_offline_measure_is_clock_free(self, pg_engine, tiny_workload):
+        before_config = pg_engine.config
+        time = offline_workload_time(
+            pg_engine,
+            list(tiny_workload.queries),
+            {"work_mem": "1GB"},
+            [Index("events", ("user_id2",))],
+        )
+        assert time > 0
+        assert pg_engine.clock.now == 0.0
+        assert pg_engine.config == before_config
+
+
+class TestSearchTuners:
+    @pytest.mark.parametrize(
+        "tuner_class", [UDOTuner, DBBertTuner, GPTunerTuner, LlamaTuneTuner]
+    )
+    def test_tuner_produces_valid_result(
+        self, tuner_class, pg_engine, tiny_workload
+    ):
+        tuner = tuner_class(seed=0, trial_timeout=30.0)
+        result = tuner.tune(tiny_workload, pg_engine, BUDGET)
+        assert result.tuner == tuner.name
+        assert result.configs_evaluated > 0
+        assert result.tuning_seconds >= BUDGET * 0.5
+        assert math.isfinite(result.best_time)
+        assert result.best_config is not None
+
+    @pytest.mark.parametrize(
+        "tuner_class", [UDOTuner, DBBertTuner, GPTunerTuner, LlamaTuneTuner]
+    )
+    def test_tuner_deterministic_per_seed(
+        self, tuner_class, tiny_catalog, tiny_workload
+    ):
+        from repro.db.postgres import PostgresEngine
+
+        results = []
+        for _ in range(2):
+            engine = PostgresEngine(tiny_catalog)
+            tuner = tuner_class(seed=3, trial_timeout=30.0)
+            results.append(tuner.tune(tiny_workload, engine, 60.0))
+        assert results[0].best_time == results[1].best_time
+        assert results[0].configs_evaluated == results[1].configs_evaluated
+
+    def test_tuner_improves_over_default(self, pg_engine, tiny_workload):
+        default_time = sum(
+            pg_engine.estimate_seconds(q) for q in tiny_workload.queries
+        )
+        tuner = GPTunerTuner(seed=0, trial_timeout=30.0)
+        result = tuner.tune(tiny_workload, pg_engine, BUDGET)
+        assert result.best_time <= default_time * 1.05
+
+    def test_udo_can_tune_indexes(self, pg_engine, tiny_workload):
+        tuner = UDOTuner(seed=1, trial_timeout=30.0, tune_indexes=True)
+        result = tuner.tune(tiny_workload, pg_engine, BUDGET)
+        assert result.best_config is not None
+
+    def test_udo_index_tuning_can_be_disabled(self, pg_engine, tiny_workload):
+        tuner = UDOTuner(seed=1, trial_timeout=30.0, tune_indexes=False)
+        result = tuner.tune(tiny_workload, pg_engine, 60.0)
+        assert result.best_config.indexes == []
+
+    def test_mysql_supported(self, mysql_engine, tiny_workload):
+        tuner = DBBertTuner(seed=0, trial_timeout=60.0)
+        result = tuner.tune(tiny_workload, mysql_engine, BUDGET)
+        assert math.isfinite(result.best_time)
+
+
+class TestParamTree:
+    def test_single_trial(self, pg_engine, tiny_workload):
+        result = ParamTreeTuner(seed=0).tune(tiny_workload, pg_engine, BUDGET)
+        assert result.configs_evaluated == 1
+
+    def test_only_optimizer_constants_touched(self, pg_engine, tiny_workload):
+        result = ParamTreeTuner(seed=0).tune(tiny_workload, pg_engine, BUDGET)
+        allowed = {
+            "seq_page_cost", "random_page_cost", "cpu_tuple_cost",
+            "cpu_index_tuple_cost", "cpu_operator_cost",
+        }
+        assert set(result.best_config.settings) <= allowed
+
+    def test_mysql_degenerates_to_default_run(self, mysql_engine, tiny_workload):
+        result = ParamTreeTuner(seed=0).tune(tiny_workload, mysql_engine, BUDGET)
+        assert result.configs_evaluated == 1
+        assert result.best_config.settings == {}
+
+
+class TestIndexAdvisors:
+    def test_candidates_from_predicates(self, tiny_workload):
+        candidates = candidate_indexes(tiny_workload)
+        names = {index.name for index in candidates}
+        assert "idx_events_user_id2" in names
+        assert "idx_users_country" in names
+
+    def test_dexter_reduces_cost(self, pg_engine, tiny_workload):
+        recommendation = DexterAdvisor().recommend(tiny_workload, pg_engine)
+        assert recommendation.final_cost <= recommendation.initial_cost
+        assert pg_engine.clock.now == 0.0  # advisory only
+
+    def test_dexter_respects_max_indexes(self, pg_engine, tiny_workload):
+        recommendation = DexterAdvisor(max_indexes=1).recommend(
+            tiny_workload, pg_engine
+        )
+        assert len(recommendation.indexes) <= 1
+
+    def test_db2advis_respects_space_budget(self, pg_engine, tiny_workload):
+        advisor = DB2Advisor(space_budget_fraction=0.2)
+        recommendation = advisor.recommend(tiny_workload, pg_engine)
+        total_size = sum(
+            index.size_bytes(pg_engine.catalog)
+            for index in recommendation.indexes
+        )
+        assert total_size <= pg_engine.catalog.total_size_bytes * 0.2 + 1
+
+    def test_db2advis_improvement_non_negative(self, pg_engine, tiny_workload):
+        recommendation = DB2Advisor().recommend(tiny_workload, pg_engine)
+        assert recommendation.improvement >= 0.0
+
+    def test_advisors_on_tpch(self, tpch):
+        from repro.db.postgres import PostgresEngine
+
+        engine = PostgresEngine(tpch.catalog)
+        dexter = DexterAdvisor().recommend(tpch, engine)
+        assert dexter.improvement > 0.2  # indexes matter on TPC-H
+        assert all(
+            engine.catalog.has_table(index.table) for index in dexter.indexes
+        )

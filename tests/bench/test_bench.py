@@ -1,0 +1,151 @@
+"""Harness tests: scenarios, runner, tables, figures, reporting."""
+
+import json
+import math
+
+import pytest
+
+from repro.bench.reporting import format_table, save_json
+from repro.bench.runner import run_lambda_tune, run_scenario
+from repro.bench.scenarios import (
+    SCENARIOS,
+    Scenario,
+    default_indexes,
+    make_engine,
+    prepare_scenario,
+)
+from repro.core.tuner import LambdaTuneOptions
+from repro.workloads import load_workload
+
+FAST_OPTIONS = LambdaTuneOptions(
+    token_budget=300, initial_timeout=0.1, alpha=2.0
+)
+
+
+class TestScenarios:
+    def test_fourteen_scenarios_like_table3(self):
+        assert len(SCENARIOS) == 14
+        assert len({scenario.key for scenario in SCENARIOS}) == 14
+
+    def test_half_with_initial_indexes(self):
+        with_indexes = [s for s in SCENARIOS if s.initial_indexes]
+        assert len(with_indexes) == 6  # paper rows 1-6
+
+    def test_labels(self):
+        scenario = Scenario("tpch-sf1", "postgres", True)
+        assert scenario.label == "TPC-H 1GB PG"
+        assert scenario.key == "tpch-sf1-postgres-idx"
+
+    def test_make_engine_systems(self, tpch):
+        assert make_engine(tpch, "postgres").system == "postgres"
+        assert make_engine(tpch, "mysql").system == "mysql"
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            make_engine(tpch, "oracle")
+
+    def test_default_indexes_cover_join_columns(self, tpch):
+        indexes = default_indexes(tpch)
+        names = {index.name for index in indexes}
+        assert "idx_lineitem_l_orderkey" in names
+        assert "idx_orders_o_orderkey" in names
+
+    def test_prepare_scenario_with_indexes_resets_clock(self):
+        scenario = Scenario("tpch-sf1", "postgres", True)
+        workload, engine = prepare_scenario(scenario)
+        assert engine.indexes
+        assert engine.clock.now == 0.0
+
+    def test_prepare_scenario_without_indexes(self):
+        scenario = Scenario("tpch-sf1", "postgres", False)
+        _, engine = prepare_scenario(scenario)
+        assert engine.indexes == []
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def quick_run(self):
+        scenario = Scenario("tpch-sf1", "postgres", False)
+        return run_scenario(
+            scenario,
+            budget_seconds=150.0,
+            seed=0,
+            tuners=["lambda-tune", "gptuner", "paramtree"],
+            lambda_options=FAST_OPTIONS,
+        )
+
+    def test_selected_tuners_present(self, quick_run):
+        assert set(quick_run.results) == {"lambda-tune", "gptuner", "paramtree"}
+
+    def test_default_time_recorded(self, quick_run):
+        assert quick_run.default_time > 0
+
+    def test_scaled_costs_at_least_one(self, quick_run):
+        scaled = quick_run.scaled_costs()
+        assert all(value >= 1.0 - 1e-9 for value in scaled.values())
+        assert min(scaled.values()) == pytest.approx(1.0)
+
+    def test_lambda_tune_evaluates_exactly_five(self, quick_run):
+        assert quick_run.results["lambda-tune"].configs_evaluated == 5
+
+    def test_paramtree_single_trial(self, quick_run):
+        assert quick_run.results["paramtree"].configs_evaluated == 1
+
+    def test_paramtree_is_worst(self, quick_run):
+        scaled = quick_run.scaled_costs()
+        assert scaled["paramtree"] == max(scaled.values())
+
+    def test_run_lambda_tune_respects_parameter_scope(self):
+        scenario = Scenario("tpch-sf1", "postgres", True)
+        workload = load_workload("tpch-sf1")
+        result = run_lambda_tune(scenario, workload, options=FAST_OPTIONS)
+        assert result.best_config.indexes == []
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["x", 1.5], ["yy", float("inf")]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "1.50" in text
+        assert "-" in lines[3]
+
+    def test_save_json_roundtrip(self, tmp_path):
+        path = tmp_path / "deep" / "result.json"
+        save_json(path, {"value": 1.5, "missing": float("inf")})
+        loaded = json.loads(path.read_text())
+        assert loaded == {"value": 1.5, "missing": None}
+
+
+class TestFigureBuilders:
+    def test_figure5_shape(self):
+        from repro.bench.figures import figure5
+
+        figure = figure5()
+        assert len(figure.per_query) == 22
+        names = [name for name, _, _ in figure.per_query]
+        assert names[0] == "q1"
+        # Paper Fig. 5: gains or at least equal performance per query.
+        improved = sum(
+            1 for _, default, tuned in figure.per_query if tuned <= default * 1.1
+        )
+        assert improved >= 18
+        text = figure.to_text()
+        assert "Query" in text
+
+    def test_figure7_full_sql_is_worst(self):
+        from repro.bench.figures import figure7
+
+        figure = figure7(workload_name="tpch-sf1", budgets=(196, 800))
+        by_variant = {p["variant"]: p for p in figure.points}
+        assert by_variant["full-sql"]["tokens"] > by_variant["compressed-800"]["tokens"] * 5
+        assert math.isfinite(by_variant["compressed-196"]["best_time"])
+
+    def test_figure8_indexes_help_tpch(self):
+        from repro.bench.figures import figure8
+
+        figure = figure8(workload_names=("tpch-sf1",))
+        row = figure.rows[0]
+        assert row["lambda-tune"] < row["no_indexes"]
+        assert row["dexter"] < row["no_indexes"]
+        assert row["db2advis"] < row["no_indexes"]

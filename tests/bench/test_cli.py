@@ -1,0 +1,33 @@
+"""CLI smoke tests."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_experiment_choices_cover_all_artifacts(self):
+        assert set(EXPERIMENTS) == {
+            "table3", "table4", "table5",
+            "figure3", "figure4", "figure5", "figure6", "figure7", "figure8",
+        }
+
+    def test_table5_run(self, tmp_path, capsys):
+        code = main(["--experiment", "table5", "--out", str(tmp_path)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "shared_buffers" in output
+        payload = json.loads((tmp_path / "table5.json").read_text())
+        assert payload["best_time"] > 0
+
+    def test_figure8_quick_run(self, tmp_path, capsys):
+        code = main(["--experiment", "figure8", "--out", str(tmp_path)])
+        assert code == 0
+        rows = json.loads((tmp_path / "figure8.json").read_text())
+        assert rows and "lambda-tune" in rows[0]
+
+    def test_invalid_experiment_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--experiment", "table99", "--out", str(tmp_path)])

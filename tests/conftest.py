@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.catalog import Catalog, Column
+from repro.db.hardware import HardwareSpec
+from repro.db.mysql import MySQLEngine
+from repro.db.postgres import PostgresEngine
+from repro.workloads.base import Query, Workload
+from repro.workloads.job import job_workload
+from repro.workloads.tpch import tpch_workload
+
+
+@pytest.fixture()
+def tiny_catalog() -> Catalog:
+    """A two-table schema small enough to reason about by hand."""
+    catalog = Catalog("tiny")
+    catalog.add_table("users", 10_000, [
+        Column("user_id", 4, is_primary_key=True),
+        Column("country", 2, 50),
+        Column("age", 4, 80),
+    ])
+    catalog.add_table("events", 500_000, [
+        Column("event_id", 4, is_primary_key=True),
+        Column("user_id2", 4, 10_000),
+        Column("kind", 8, 20),
+        Column("payload", 60, 100_000),
+    ])
+    return catalog
+
+
+@pytest.fixture()
+def tiny_workload(tiny_catalog: Catalog) -> Workload:
+    queries = [
+        Query.from_sql(
+            "by_country",
+            "SELECT count(*) FROM users WHERE country = 'US'",
+            tiny_catalog,
+        ),
+        Query.from_sql(
+            "join_all",
+            "SELECT u.country, count(*) FROM users u, events e "
+            "WHERE u.user_id = e.user_id2 GROUP BY u.country",
+            tiny_catalog,
+        ),
+        Query.from_sql(
+            "kind_filter",
+            "SELECT count(*) FROM events WHERE kind = 'click' AND payload LIKE 'a%'",
+            tiny_catalog,
+        ),
+    ]
+    return Workload(name="tiny", catalog=tiny_catalog, queries=queries)
+
+
+@pytest.fixture()
+def pg_engine(tiny_catalog: Catalog) -> PostgresEngine:
+    return PostgresEngine(tiny_catalog, HardwareSpec(memory_gb=61.0, cores=8))
+
+
+@pytest.fixture()
+def mysql_engine(tiny_catalog: Catalog) -> MySQLEngine:
+    return MySQLEngine(tiny_catalog, HardwareSpec(memory_gb=61.0, cores=8))
+
+
+@pytest.fixture(scope="session")
+def tpch() -> Workload:
+    return tpch_workload(1.0)
+
+
+@pytest.fixture(scope="session")
+def job() -> Workload:
+    return job_workload()

@@ -1,0 +1,134 @@
+"""Query clustering tests (paper §5.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.clustering import (
+    QueryCluster,
+    cluster_queries,
+    index_vectors,
+    kmeans,
+)
+from repro.core.scheduler import MAX_DP_INPUT
+from repro.errors import SchedulerError
+
+
+class TestIndexVectors:
+    def test_binary_matrix(self):
+        index_map = {"q1": frozenset({"a"}), "q2": frozenset({"a", "b"})}
+        matrix, indexes = index_vectors(["q1", "q2"], index_map)
+        assert matrix.shape == (2, 2)
+        assert indexes == ["a", "b"]
+        assert matrix.tolist() == [[1.0, 0.0], [1.0, 1.0]]
+
+    def test_queries_without_indexes(self):
+        matrix, indexes = index_vectors(["q"], {})
+        assert matrix.shape == (1, 1)
+        assert indexes == []
+
+
+class TestKMeans:
+    def test_k_at_least_points_identity(self):
+        points = np.array([[0.0], [1.0]])
+        labels = kmeans(points, 5)
+        assert list(labels) == [0, 1]
+
+    def test_invalid_k(self):
+        with pytest.raises(SchedulerError):
+            kmeans(np.zeros((3, 1)), 0)
+
+    def test_separable_clusters_found(self):
+        points = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]])
+        labels = kmeans(points, 2, seed=1)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_deterministic_for_seed(self):
+        points = np.random.default_rng(0).random((20, 3))
+        assert np.array_equal(kmeans(points, 4, seed=7), kmeans(points, 4, seed=7))
+
+    def test_identical_points_handled(self):
+        points = np.ones((6, 2))
+        labels = kmeans(points, 2, seed=0)
+        assert len(labels) == 6
+
+
+class TestClusterQueries:
+    def test_empty(self):
+        assert cluster_queries([], {}) == []
+
+    def test_identical_signatures_merge(self):
+        """The paper's q1:A, q2:A example -- one cluster labelled A."""
+        index_map = {"q1": frozenset({"a"}), "q2": frozenset({"a"})}
+        clusters = cluster_queries(["q1", "q2"], index_map)
+        assert len(clusters) == 1
+        assert set(clusters[0].queries) == {"q1", "q2"}
+        assert clusters[0].indexes == frozenset({"a"})
+
+    def test_distinct_signatures_stay_apart_under_cap(self):
+        index_map = {
+            "q1": frozenset({"a"}),
+            "q2": frozenset({"b"}),
+            "q3": frozenset(),
+        }
+        clusters = cluster_queries(["q1", "q2", "q3"], index_map)
+        assert len(clusters) == 3
+
+    def test_cap_enforced(self):
+        index_map = {
+            f"q{i}": frozenset({f"i{i}"}) for i in range(MAX_DP_INPUT + 10)
+        }
+        clusters = cluster_queries(list(index_map), index_map)
+        assert len(clusters) <= MAX_DP_INPUT
+
+    def test_all_queries_assigned_exactly_once(self):
+        index_map = {
+            f"q{i}": frozenset({f"i{i % 20}", f"i{(i * 7) % 20}"})
+            for i in range(40)
+        }
+        clusters = cluster_queries(list(index_map), index_map, max_clusters=5)
+        assigned = [query for cluster in clusters for query in cluster.queries]
+        assert sorted(assigned) == sorted(index_map)
+
+    def test_cluster_indexes_are_union_of_members(self):
+        index_map = {
+            f"q{i}": frozenset({f"i{i % 18}"}) for i in range(30)
+        }
+        clusters = cluster_queries(list(index_map), index_map, max_clusters=4)
+        for cluster in clusters:
+            union = frozenset().union(
+                *(index_map[query] for query in cluster.queries)
+            )
+            assert cluster.indexes == union
+
+    def test_deterministic(self):
+        index_map = {
+            f"q{i}": frozenset({f"i{(i * 3) % 17}"}) for i in range(25)
+        }
+        a = cluster_queries(list(index_map), index_map, max_clusters=6, seed=2)
+        b = cluster_queries(list(index_map), index_map, max_clusters=6, seed=2)
+        assert [c.queries for c in a] == [c.queries for c in b]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.dictionaries(
+            st.integers(0, 30),
+            st.frozensets(st.integers(0, 8), max_size=4),
+            max_size=30,
+        ),
+        st.integers(min_value=1, max_value=MAX_DP_INPUT),
+    )
+    def test_partition_property(self, raw_map, cap):
+        index_map = {f"q{k}": v for k, v in raw_map.items()}
+        clusters = cluster_queries(list(index_map), index_map, max_clusters=cap)
+        assert len(clusters) <= max(cap, 1)
+        assigned = [q for cluster in clusters for q in cluster.queries]
+        assert sorted(assigned) == sorted(index_map)
+
+
+class TestQueryClusterObject:
+    def test_hashable(self):
+        cluster = QueryCluster(queries=["a"], indexes=frozenset({"x"}))
+        assert hash(cluster) == hash(QueryCluster(queries=["a"]))

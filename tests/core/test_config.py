@@ -1,0 +1,176 @@
+"""Configuration parsing tests (LLM script -> Configuration)."""
+
+import pytest
+
+from repro.core.config import Configuration, parse_config_script
+from repro.db.indexes import Index
+from repro.db.knobs import GB
+
+
+@pytest.fixture()
+def knob_space(pg_engine):
+    return pg_engine.knob_space
+
+
+class TestSettingParsing:
+    def test_alter_system_set(self, knob_space, tiny_catalog):
+        config = parse_config_script(
+            "ALTER SYSTEM SET work_mem = '1GB';", knob_space, tiny_catalog
+        )
+        assert config.settings == {"work_mem": 1 * GB}
+
+    def test_case_insensitive(self, knob_space, tiny_catalog):
+        config = parse_config_script(
+            "alter system set WORK_MEM = '64MB';", knob_space, tiny_catalog
+        )
+        assert "work_mem" in config.settings
+
+    def test_plain_set_accepted(self, knob_space, tiny_catalog):
+        config = parse_config_script(
+            "SET random_page_cost = 1.1;", knob_space, tiny_catalog
+        )
+        assert config.settings["random_page_cost"] == 1.1
+
+    def test_set_global_for_mysql(self, mysql_engine, tiny_catalog):
+        config = parse_config_script(
+            "SET GLOBAL innodb_buffer_pool_size = '40GB';",
+            mysql_engine.knob_space,
+            tiny_catalog,
+        )
+        assert config.settings["innodb_buffer_pool_size"] == 40 * GB
+
+    def test_unknown_knob_rejected_not_fatal(self, knob_space, tiny_catalog):
+        config = parse_config_script(
+            "ALTER SYSTEM SET magic_turbo = on;\n"
+            "ALTER SYSTEM SET work_mem = '8MB';",
+            knob_space,
+            tiny_catalog,
+        )
+        assert config.settings == {"work_mem": 8 * 1024**2}
+        assert len(config.rejected) == 1
+
+    def test_invalid_value_rejected(self, knob_space, tiny_catalog):
+        config = parse_config_script(
+            "ALTER SYSTEM SET work_mem = 'lots and lots';",
+            knob_space,
+            tiny_catalog,
+        )
+        assert not config.settings
+        assert config.rejected
+
+    def test_prose_between_commands_ignored(self, knob_space, tiny_catalog):
+        text = (
+            "Here are my recommendations:\n\n"
+            "ALTER SYSTEM SET work_mem = '16MB';\n"
+            "This should improve sort performance.\n"
+            "ALTER SYSTEM SET jit = off;\n"
+        )
+        config = parse_config_script(text, knob_space, tiny_catalog)
+        assert set(config.settings) == {"work_mem", "jit"}
+        assert config.settings["jit"] is False
+
+
+class TestIndexParsing:
+    def test_create_index(self, knob_space, tiny_catalog):
+        config = parse_config_script(
+            "CREATE INDEX idx_age ON users (age);", knob_space, tiny_catalog
+        )
+        assert config.indexes == [Index("users", ("age",), name="idx_age")]
+
+    def test_anonymous_index(self, knob_space, tiny_catalog):
+        config = parse_config_script(
+            "CREATE INDEX ON users (age);", knob_space, tiny_catalog
+        )
+        assert config.indexes[0].key == ("users", ("age",))
+
+    def test_multi_column_index(self, knob_space, tiny_catalog):
+        config = parse_config_script(
+            "CREATE INDEX ON events (kind, payload);", knob_space, tiny_catalog
+        )
+        assert config.indexes[0].columns == ("kind", "payload")
+
+    def test_if_not_exists_and_unique(self, knob_space, tiny_catalog):
+        config = parse_config_script(
+            "CREATE UNIQUE INDEX IF NOT EXISTS u ON users (user_id);",
+            knob_space,
+            tiny_catalog,
+        )
+        assert config.indexes
+
+    def test_unknown_table_rejected(self, knob_space, tiny_catalog):
+        config = parse_config_script(
+            "CREATE INDEX ON ghosts (x);", knob_space, tiny_catalog
+        )
+        assert not config.indexes
+        assert config.rejected
+
+    def test_unknown_column_rejected(self, knob_space, tiny_catalog):
+        config = parse_config_script(
+            "CREATE INDEX ON users (salary);", knob_space, tiny_catalog
+        )
+        assert not config.indexes
+
+    def test_duplicate_indexes_deduplicated(self, knob_space, tiny_catalog):
+        config = parse_config_script(
+            "CREATE INDEX a ON users (age);\nCREATE INDEX b ON users (age);",
+            knob_space,
+            tiny_catalog,
+        )
+        assert len(config.indexes) == 1
+
+
+class TestConfigurationObject:
+    def test_identity_by_name(self):
+        assert Configuration("a") == Configuration("a")
+        assert Configuration("a") != Configuration("b")
+        assert len({Configuration("a"), Configuration("a")}) == 1
+
+    def test_is_empty(self):
+        assert Configuration("x").is_empty
+        assert not Configuration("x", settings={"work_mem": 1}).is_empty
+
+    def test_without_indexes(self, knob_space, tiny_catalog):
+        config = parse_config_script(
+            "ALTER SYSTEM SET work_mem = '8MB';\nCREATE INDEX ON users (age);",
+            knob_space,
+            tiny_catalog,
+        )
+        stripped = config.without_indexes()
+        assert stripped.settings and not stripped.indexes
+        assert config.indexes  # original untouched
+
+    def test_indexes_only(self, knob_space, tiny_catalog):
+        config = parse_config_script(
+            "ALTER SYSTEM SET work_mem = '8MB';\nCREATE INDEX ON users (age);",
+            knob_space,
+            tiny_catalog,
+        )
+        stripped = config.indexes_only()
+        assert stripped.indexes and not stripped.settings
+
+    def test_apply_settings(self, pg_engine, tiny_catalog):
+        config = parse_config_script(
+            "ALTER SYSTEM SET work_mem = '8MB';",
+            pg_engine.knob_space,
+            tiny_catalog,
+        )
+        elapsed = config.apply_settings(pg_engine)
+        assert elapsed == pg_engine.restart_seconds
+        assert pg_engine.get("work_mem") == 8 * 1024**2
+
+
+class TestEndToEndWithSimulatedLLM:
+    def test_llm_output_parses_cleanly(self, pg_engine, tiny_workload):
+        from repro.core.prompt.template import PromptGenerator
+        from repro.llm import SimulatedLLM
+
+        prompt = PromptGenerator(pg_engine).generate(
+            list(tiny_workload.queries), 300
+        )
+        for seed in range(5):
+            response = SimulatedLLM().complete(prompt.text, seed=seed)
+            config = parse_config_script(
+                response.text, pg_engine.knob_space, pg_engine.catalog
+            )
+            assert config.settings
+            assert not config.rejected

@@ -1,0 +1,151 @@
+"""Edge-case and failure-injection tests across the core pipeline."""
+
+import pytest
+
+from repro.core.config import Configuration, parse_config_script
+from repro.core.evaluator import ConfigMeta, ConfigurationEvaluator
+from repro.core.selector import ConfigurationSelector
+from repro.core.tuner import LambdaTune, LambdaTuneOptions
+from repro.errors import BudgetExceededError, LLMError
+from repro.llm.client import LLMClient
+
+
+class BrokenLLM(LLMClient):
+    """An LLM that returns prose with no usable commands."""
+
+    model = "broken"
+
+    def complete(self, prompt, *, temperature=0.7, seed=0):
+        return self._make_response(
+            prompt,
+            "I am sorry, as a language model I cannot recommend settings "
+            "without more information about your workload.",
+        )
+
+
+class HalfBrokenLLM(LLMClient):
+    """Returns garbage for even seeds, a valid script for odd seeds."""
+
+    model = "half-broken"
+
+    def complete(self, prompt, *, temperature=0.7, seed=0):
+        if seed % 2 == 0:
+            return self._make_response(prompt, "no commands here")
+        return self._make_response(
+            prompt, "ALTER SYSTEM SET work_mem = '64MB';"
+        )
+
+
+class FailingLLM(LLMClient):
+    model = "failing"
+
+    def complete(self, prompt, *, temperature=0.7, seed=0):
+        raise LLMError("service unavailable")
+
+
+class TestLLMFailureModes:
+    def test_unusable_scripts_yield_empty_configs_but_still_tune(
+        self, pg_engine, tiny_workload
+    ):
+        # All k configs are empty -> they all equal the default config;
+        # selection still completes and returns "a" configuration.
+        tuner = LambdaTune(
+            pg_engine,
+            BrokenLLM(),
+            LambdaTuneOptions(initial_timeout=0.5, alpha=2.0, num_configs=2),
+        )
+        result = tuner.tune(list(tiny_workload.queries))
+        assert result.best_config is not None
+        assert result.best_config.is_empty
+
+    def test_partially_broken_llm_still_finds_valid_config(
+        self, pg_engine, tiny_workload
+    ):
+        tuner = LambdaTune(
+            pg_engine,
+            HalfBrokenLLM(),
+            LambdaTuneOptions(initial_timeout=0.5, alpha=2.0, num_configs=4),
+        )
+        result = tuner.tune(list(tiny_workload.queries))
+        assert result.best_config is not None
+
+    def test_llm_exception_propagates(self, pg_engine, tiny_workload):
+        tuner = LambdaTune(pg_engine, FailingLLM(), LambdaTuneOptions())
+        with pytest.raises(LLMError):
+            tuner.tune(list(tiny_workload.queries))
+
+
+class TestSelectorEdgeCases:
+    def test_empty_candidate_list_rejected(self, pg_engine, tiny_workload):
+        selector = ConfigurationSelector(
+            pg_engine,
+            ConfigurationEvaluator(pg_engine),
+            initial_timeout=1.0,
+            alpha=2.0,
+        )
+        with pytest.raises(BudgetExceededError):
+            selector.select(list(tiny_workload.queries), [])
+
+    def test_duplicate_equivalent_configs(self, pg_engine, tiny_workload):
+        configs = [
+            Configuration(f"same-{i}", settings={"work_mem": "64MB"})
+            for i in range(3)
+        ]
+        selector = ConfigurationSelector(
+            pg_engine,
+            ConfigurationEvaluator(pg_engine),
+            initial_timeout=0.5,
+            alpha=2.0,
+        )
+        result = selector.select(list(tiny_workload.queries), configs)
+        assert result.best.config is not None
+
+    def test_empty_workload_selects_trivially(self, pg_engine):
+        selector = ConfigurationSelector(
+            pg_engine,
+            ConfigurationEvaluator(pg_engine),
+            initial_timeout=0.5,
+            alpha=2.0,
+        )
+        result = selector.select([], [Configuration("only")])
+        assert result.best.config.name == "only"
+        assert result.best.time == 0.0
+
+
+class TestEvaluatorEdgeCases:
+    def test_evaluate_empty_query_list_completes(self, pg_engine):
+        evaluator = ConfigurationEvaluator(pg_engine)
+        meta = ConfigMeta()
+        evaluator.evaluate(Configuration("c"), [], 1.0, meta)
+        assert meta.is_complete
+        assert meta.time == 0.0
+
+    def test_invalid_index_in_config_rejected_at_parse(self, pg_engine):
+        config = parse_config_script(
+            "CREATE INDEX ON missing_table (col);",
+            pg_engine.knob_space,
+            pg_engine.catalog,
+        )
+        assert not config.indexes  # never reaches the evaluator
+
+
+class TestConfigurationRobustness:
+    def test_empty_script(self, pg_engine):
+        config = parse_config_script("", pg_engine.knob_space, pg_engine.catalog)
+        assert config.is_empty
+
+    def test_sql_injectionish_text_ignored(self, pg_engine):
+        config = parse_config_script(
+            "DROP TABLE users; -- hostile\nALTER SYSTEM SET work_mem = '8MB';",
+            pg_engine.knob_space,
+            pg_engine.catalog,
+        )
+        assert config.settings == {"work_mem": 8 * 1024**2}
+
+    def test_weird_whitespace_tolerated(self, pg_engine):
+        config = parse_config_script(
+            "ALTER   SYSTEM\n  SET   work_mem   =   '8MB'  ;",
+            pg_engine.knob_space,
+            pg_engine.catalog,
+        )
+        assert "work_mem" in config.settings

@@ -1,0 +1,199 @@
+"""Configuration evaluator tests (Algorithm 3)."""
+
+import pytest
+
+from repro.core.config import Configuration
+from repro.core.evaluator import ConfigMeta, ConfigurationEvaluator
+from repro.db.indexes import Index
+
+
+@pytest.fixture()
+def config_with_index():
+    return Configuration(
+        name="c1",
+        settings={"work_mem": "64MB"},
+        indexes=[Index("events", ("user_id2",)), Index("users", ("age",))],
+    )
+
+
+class TestConfigMeta:
+    def test_initial_state_matches_paper_table2(self):
+        meta = ConfigMeta()
+        assert meta.time == 0.0
+        assert meta.is_complete is False
+        assert meta.index_time == 0.0
+        assert meta.completed_queries == set()
+
+    def test_throughput(self):
+        meta = ConfigMeta(time=2.0, completed_queries={"a", "b"})
+        assert meta.throughput() == 1.0
+        assert ConfigMeta().throughput() == 0.0
+
+
+class TestQueryIndexMap:
+    def test_join_column_index_is_relevant(
+        self, pg_engine, tiny_workload, config_with_index
+    ):
+        evaluator = ConfigurationEvaluator(pg_engine)
+        mapping = evaluator.query_index_map(
+            list(tiny_workload.queries), config_with_index
+        )
+        join_indexes = {index.name for index in mapping["join_all"]}
+        assert "idx_events_user_id2" in join_indexes
+
+    def test_unrelated_index_not_relevant(
+        self, pg_engine, tiny_workload, config_with_index
+    ):
+        evaluator = ConfigurationEvaluator(pg_engine)
+        mapping = evaluator.query_index_map(
+            list(tiny_workload.queries), config_with_index
+        )
+        # kind_filter touches events.kind/payload only.
+        assert all(
+            index.name != "idx_users_age" for index in mapping["kind_filter"]
+        )
+
+    def test_filter_column_index_is_relevant(self, pg_engine, tiny_workload):
+        config = Configuration("c", indexes=[Index("users", ("country",))])
+        evaluator = ConfigurationEvaluator(pg_engine)
+        mapping = evaluator.query_index_map(list(tiny_workload.queries), config)
+        assert mapping["by_country"]
+
+
+class TestEvaluate:
+    def test_complete_run_updates_meta(
+        self, pg_engine, tiny_workload, config_with_index
+    ):
+        evaluator = ConfigurationEvaluator(pg_engine)
+        meta = ConfigMeta()
+        evaluator.evaluate(
+            config_with_index, list(tiny_workload.queries), 1e9, meta
+        )
+        assert meta.is_complete
+        assert meta.completed_queries == {q.name for q in tiny_workload.queries}
+        assert meta.time > 0
+
+    def test_settings_applied(self, pg_engine, tiny_workload, config_with_index):
+        evaluator = ConfigurationEvaluator(pg_engine)
+        evaluator.evaluate(
+            config_with_index, list(tiny_workload.queries), 1e9, ConfigMeta()
+        )
+        assert pg_engine.get("work_mem") == 64 * 1024**2
+
+    def test_indexes_dropped_after_evaluation(
+        self, pg_engine, tiny_workload, config_with_index
+    ):
+        evaluator = ConfigurationEvaluator(pg_engine)
+        evaluator.evaluate(
+            config_with_index, list(tiny_workload.queries), 1e9, ConfigMeta()
+        )
+        assert pg_engine.indexes == []
+
+    def test_preexisting_indexes_survive(self, pg_engine, tiny_workload):
+        existing = Index("users", ("user_id",))
+        pg_engine.create_index(existing)
+        config = Configuration(
+            "c", indexes=[Index("events", ("user_id2",)), existing]
+        )
+        evaluator = ConfigurationEvaluator(pg_engine)
+        evaluator.evaluate(config, list(tiny_workload.queries), 1e9, ConfigMeta())
+        assert pg_engine.has_index(existing)
+        assert len(pg_engine.indexes) == 1
+
+    def test_timeout_interrupts_and_flags_incomplete(
+        self, pg_engine, tiny_workload, config_with_index
+    ):
+        evaluator = ConfigurationEvaluator(pg_engine)
+        meta = ConfigMeta()
+        evaluator.evaluate(
+            config_with_index, list(tiny_workload.queries), 1e-4, meta
+        )
+        assert not meta.is_complete
+        assert len(meta.completed_queries) < len(tiny_workload.queries)
+
+    def test_index_time_tracked_separately(
+        self, pg_engine, tiny_workload, config_with_index
+    ):
+        evaluator = ConfigurationEvaluator(pg_engine)
+        meta = ConfigMeta()
+        evaluator.evaluate(
+            config_with_index, list(tiny_workload.queries), 1e9, meta
+        )
+        assert meta.index_time > 0
+        # Query time excludes index builds and reconfiguration.
+        assert meta.time < pg_engine.clock.now
+
+    def test_lazy_creation_skips_unreached_indexes(
+        self, pg_engine, tiny_workload
+    ):
+        # An index relevant only to the join query; timeout so small that
+        # only the cheapest no-index cluster runs first.
+        config = Configuration("c", indexes=[Index("events", ("user_id2",))])
+        evaluator = ConfigurationEvaluator(pg_engine)
+        meta = ConfigMeta()
+        evaluator.evaluate(config, list(tiny_workload.queries), 1e-4, meta)
+        # Scheduler puts index-free queries first; the expensive events
+        # index must not have been built for an interrupted run.
+        assert meta.index_time == 0.0
+
+    def test_eager_mode_builds_everything_upfront(
+        self, pg_engine, tiny_workload, config_with_index
+    ):
+        evaluator = ConfigurationEvaluator(pg_engine, lazy_indexes=False)
+        meta = ConfigMeta()
+        evaluator.evaluate(
+            config_with_index, list(tiny_workload.queries), 1e-4, meta
+        )
+        assert meta.index_time > 0  # paid despite the interrupt
+
+    def test_resume_skips_completed_queries(
+        self, pg_engine, tiny_workload, config_with_index
+    ):
+        evaluator = ConfigurationEvaluator(pg_engine)
+        meta = ConfigMeta()
+        all_queries = list(tiny_workload.queries)
+        evaluator.evaluate(config_with_index, all_queries, 1e9, meta)
+        first_time = meta.time
+        pending = [
+            q for q in all_queries if q.name not in meta.completed_queries
+        ]
+        assert pending == []
+        evaluator.evaluate(config_with_index, pending, 1e9, meta)
+        assert meta.time == first_time
+
+
+class TestPlanOrder:
+    def test_scheduler_puts_cheap_index_clusters_first(
+        self, pg_engine, tiny_workload, config_with_index
+    ):
+        evaluator = ConfigurationEvaluator(pg_engine)
+        order = evaluator.plan_order(list(tiny_workload.queries), config_with_index)
+        names = [query.name for query in order]
+        # by_country and kind_filter need no (or cheap) indexes; the
+        # events join needs the expensive one and must come last.
+        assert names[-1] == "join_all"
+
+    def test_scheduler_disabled_preserves_order(
+        self, pg_engine, tiny_workload, config_with_index
+    ):
+        evaluator = ConfigurationEvaluator(pg_engine, use_scheduler=False)
+        order = evaluator.plan_order(list(tiny_workload.queries), config_with_index)
+        assert [q.name for q in order] == [q.name for q in tiny_workload.queries]
+
+    def test_large_workload_scheduling_within_cap(self, job, config_with_index):
+        from repro.db.postgres import PostgresEngine
+
+        engine = PostgresEngine(job.catalog)
+        config = Configuration(
+            "c",
+            indexes=[
+                Index("cast_info", ("movie_id",)),
+                Index("movie_info", ("movie_id",)),
+                Index("title", ("id",)),
+            ],
+        )
+        evaluator = ConfigurationEvaluator(engine)
+        order = evaluator.plan_order(list(job.queries), config)
+        assert sorted(q.name for q in order) == sorted(
+            q.name for q in job.queries
+        )

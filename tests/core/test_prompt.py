@@ -1,0 +1,250 @@
+"""Prompt generation tests: tokens, ILP selection, compression, template."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.prompt.compression import WorkloadCompressor, render_lines
+from repro.core.prompt.ilp import build_snippet_ilp, select_snippets
+from repro.core.prompt.obfuscate import Obfuscator
+from repro.core.prompt.template import PromptGenerator, render_prompt
+from repro.core.prompt.tokens import column_tokens, count_tokens
+from repro.db.hardware import HardwareSpec
+from repro.db.postgres import PostgresEngine
+from repro.sql.analyzer import JoinCondition
+
+
+class TestTokens:
+    def test_empty(self):
+        assert count_tokens("") == 0
+
+    def test_words_and_punctuation(self):
+        assert count_tokens("a b") == 2
+        assert count_tokens("a.b") == 3
+
+    def test_long_words_cost_more(self):
+        assert count_tokens("effective_cache_size") > count_tokens("x")
+
+    def test_monotone_in_text(self):
+        assert count_tokens("abc def") <= count_tokens("abc def ghi")
+
+    def test_column_tokens_includes_separator(self):
+        assert column_tokens("t.c") == count_tokens("t.c") + 1
+
+    @given(st.text(max_size=200))
+    def test_never_negative(self, text):
+        assert count_tokens(text) >= 0
+
+
+def make_values(*triples):
+    return {
+        JoinCondition.make(left, right): value for left, right, value in triples
+    }
+
+
+class TestSnippetILP:
+    def test_empty_values(self):
+        selection = select_snippets({}, 100)
+        assert selection.lines == {}
+        assert selection.value == 0.0
+
+    def test_zero_budget(self):
+        values = make_values(("a.x", "b.y", 10.0))
+        assert select_snippets(values, 0).lines == {}
+
+    def test_single_condition_selected(self):
+        values = make_values(("a.x", "b.y", 10.0))
+        selection = select_snippets(values, 100)
+        assert selection.conditions == set(values)
+        assert selection.value == pytest.approx(10.0)
+
+    def test_merging_shares_line_head(self):
+        # A joins B, C, D: one line "a.x: b.y, c.y, d.y" is cheaper than
+        # three separate lines.
+        values = make_values(
+            ("a.x", "b.y", 5.0), ("a.x", "c.y", 5.0), ("a.x", "d.y", 5.0)
+        )
+        selection = select_snippets(values, 1000)
+        assert len(selection.lines) == 1
+        head, partners = next(iter(selection.lines.items()))
+        assert head == "a.x"
+        assert len(partners) == 3
+
+    def test_budget_prefers_high_value(self):
+        cheap_budget = column_tokens("a.x") + column_tokens("b.y")
+        values = make_values(("a.x", "b.y", 100.0), ("c.z", "d.w", 1.0))
+        selection = select_snippets(values, cheap_budget)
+        assert selection.conditions == {JoinCondition.make("a.x", "b.y")}
+
+    def test_no_symmetric_duplicates(self):
+        values = make_values(("a.x", "b.y", 10.0))
+        selection = select_snippets(values, 1000)
+        rendered = render_lines(selection, values)
+        text = "\n".join(rendered)
+        assert text.count("a.x") + text.count("b.y") == 2
+
+    def test_tokens_used_within_budget(self):
+        values = make_values(
+            ("a.x", "b.y", 3.0), ("b.y", "c.z", 2.0), ("c.z", "d.w", 1.0)
+        )
+        for budget in (5, 10, 20, 50):
+            selection = select_snippets(values, budget)
+            assert selection.tokens_used <= budget
+
+    def test_greedy_method_feasible(self):
+        values = make_values(("a.x", "b.y", 3.0), ("c.z", "d.w", 2.0))
+        selection = select_snippets(values, 12, method="greedy")
+        assert selection.tokens_used <= 12
+
+    def test_model_constraint_structure(self):
+        values = make_values(("a.x", "b.y", 1.0))
+        model, left_vars, right_vars = build_snippet_ilp(values, 10)
+        # 2 columns => 2 L vars; 1 condition => 2 directed R vars.
+        assert len(left_vars) == 2
+        assert len(right_vars) == 2
+        assert model.variable_count == 4
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.dictionaries(
+            st.tuples(
+                st.sampled_from(["a.c1", "b.c2", "c.c3", "d.c4"]),
+                st.sampled_from(["e.k1", "f.k2", "g.k3"]),
+            ),
+            st.floats(0.1, 100.0, allow_nan=False),
+            max_size=8,
+        ),
+        st.integers(min_value=0, max_value=80),
+    )
+    def test_selection_always_within_budget(self, pairs, budget):
+        values = {
+            JoinCondition.make(left, right): value
+            for (left, right), value in pairs.items()
+        }
+        selection = select_snippets(values, budget)
+        assert selection.tokens_used <= budget
+        assert selection.value <= sum(values.values()) + 1e-9
+
+
+class TestCompressor:
+    def test_compress_tiny_workload(self, pg_engine, tiny_workload):
+        compressor = WorkloadCompressor(pg_engine)
+        result = compressor.compress(list(tiny_workload.queries), 200)
+        assert result.lines
+        assert "users.user_id" in result.text or "events.user_id2" in result.text
+
+    def test_coverage_fraction(self, pg_engine, tiny_workload):
+        compressor = WorkloadCompressor(pg_engine)
+        full = compressor.compress(list(tiny_workload.queries), 10_000)
+        assert full.coverage == pytest.approx(1.0)
+        nothing = compressor.compress(list(tiny_workload.queries), 0)
+        assert nothing.coverage == 0.0
+
+    def test_lines_ordered_by_value(self, tpch):
+        engine = PostgresEngine(tpch.catalog)
+        compressor = WorkloadCompressor(engine)
+        result = compressor.compress(list(tpch.queries), 10_000)
+        values = compressor.snippet_values(list(tpch.queries))
+
+        def line_total(line):
+            head, _, rest = line.partition(":")
+            return sum(
+                values.get(JoinCondition.make(head.strip(), p.strip()), 0.0)
+                for p in rest.split(",")
+            )
+
+        totals = [line_total(line) for line in result.lines]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_co_occurrence_relation(self, pg_engine, tiny_workload):
+        compressor = WorkloadCompressor(pg_engine, relation="co_occurrence")
+        values = compressor.snippet_values(list(tiny_workload.queries))
+        assert any("_table" in c.left for c in values)
+
+    def test_column_usage_relation(self, pg_engine, tiny_workload):
+        compressor = WorkloadCompressor(pg_engine, relation="column_usage")
+        values = compressor.snippet_values(list(tiny_workload.queries))
+        assert values
+
+    def test_unknown_relation_rejected(self, pg_engine):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            WorkloadCompressor(pg_engine, relation="astrology")
+
+    def test_expensive_joins_survive_small_budget(self, tpch):
+        engine = PostgresEngine(tpch.catalog)
+        compressor = WorkloadCompressor(engine)
+        values = compressor.snippet_values(list(tpch.queries))
+        top_condition = max(values, key=values.get)
+        result = compressor.compress(list(tpch.queries), 60)
+        assert any(
+            top_condition.left in line and "." in line for line in result.lines
+        ) or any(top_condition.right in line for line in result.lines)
+
+
+class TestTemplate:
+    def test_listing1_structure(self):
+        text = render_prompt("postgres", "a.x: b.y", HardwareSpec(61, 8))
+        assert "Recommend some configuration parameters for PostgreSQL" in text
+        assert "a.x: b.y" in text
+        assert "memory: 61GB" in text
+        assert "cores: 8" in text
+
+    def test_mysql_name(self):
+        text = render_prompt("mysql", "", HardwareSpec(16, 4))
+        assert "MySQL" in text
+
+    def test_generator_compressed(self, pg_engine, tiny_workload):
+        prompt = PromptGenerator(pg_engine).generate(
+            list(tiny_workload.queries), 300
+        )
+        assert prompt.compression is not None
+        assert prompt.tokens > 0
+
+    def test_generator_raw_sql_mode(self, pg_engine, tiny_workload):
+        prompt = PromptGenerator(pg_engine, use_compressor=False).generate(
+            list(tiny_workload.queries), 10_000
+        )
+        assert prompt.compression is None
+        assert "SELECT" in prompt.text
+
+    def test_raw_sql_respects_budget(self, pg_engine, tiny_workload):
+        prompt = PromptGenerator(pg_engine, use_compressor=False).generate(
+            list(tiny_workload.queries), 15
+        )
+        assert prompt.text.count("SELECT") <= 1
+
+
+class TestObfuscator:
+    def test_encode_deterministic(self):
+        obfuscator = Obfuscator()
+        assert obfuscator.encode_qualified("lineitem.l_orderkey") == "t1.c1"
+        assert obfuscator.encode_qualified("lineitem.l_partkey") == "t1.c2"
+        assert obfuscator.encode_qualified("orders.o_orderkey") == "t2.c3"
+
+    def test_encode_line(self):
+        obfuscator = Obfuscator()
+        line = obfuscator.encode_line("a.x: b.y, c.z")
+        assert line == "t1.c1: t2.c2, t3.c3"
+
+    def test_decode_round_trip(self):
+        obfuscator = Obfuscator()
+        obfuscator.encode_line("lineitem.l_orderkey: orders.o_orderkey")
+        encoded = "CREATE INDEX ON t1 (c1); ALTER SYSTEM SET work_mem = '1GB';"
+        decoded = obfuscator.decode_text(encoded)
+        assert "ON lineitem (l_orderkey)" in decoded
+        assert "work_mem" in decoded
+
+    def test_decode_handles_double_digit_codes(self):
+        obfuscator = Obfuscator()
+        for i in range(12):
+            obfuscator.encode_table(f"table{i}")
+        decoded = obfuscator.decode_text("t12 t1")
+        assert decoded == "table11 table0"
+
+    def test_obfuscated_prompt_hides_names(self, pg_engine, tiny_workload):
+        prompt = PromptGenerator(pg_engine, obfuscate=True).generate(
+            list(tiny_workload.queries), 300
+        )
+        assert "users" not in prompt.text.split("Recommend")[1].split("memory")[0]
+        assert prompt.obfuscator is not None

@@ -1,0 +1,37 @@
+"""TuningResult/TracePoint tests."""
+
+import math
+
+from repro.core.result import TracePoint, TuningResult
+
+
+def make_result():
+    return TuningResult(
+        tuner="x", workload="w", system="postgres",
+        best_time=float("inf"), best_config=None,
+    )
+
+
+class TestRecord:
+    def test_record_improves_best(self):
+        result = make_result()
+        result.record(10.0, 5.0)
+        assert result.best_time == 5.0
+        result.record(20.0, 7.0)  # worse, best unchanged
+        assert result.best_time == 5.0
+        result.record(30.0, 3.0)
+        assert result.best_time == 3.0
+        assert len(result.trace) == 3
+
+    def test_best_time_until(self):
+        result = make_result()
+        result.record(10.0, 5.0)
+        result.record(30.0, 3.0)
+        assert math.isinf(result.best_time_until(5.0))
+        assert result.best_time_until(15.0) == 5.0
+        assert result.best_time_until(100.0) == 3.0
+
+    def test_trace_point_immutable(self):
+        point = TracePoint(time=1.0, best_time=2.0)
+        assert point.time == 1.0
+        assert point.best_time == 2.0

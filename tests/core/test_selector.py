@@ -1,0 +1,161 @@
+"""Configuration selector tests (Algorithm 2 and Theorem 4.3)."""
+
+import math
+
+import pytest
+
+from repro.core.config import Configuration
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.selector import BestConfig, ConfigurationSelector
+from repro.db.indexes import Index
+from repro.errors import BudgetExceededError
+
+
+def make_selector(engine, **kwargs):
+    evaluator = ConfigurationEvaluator(engine)
+    defaults = {"initial_timeout": 0.05, "alpha": 2.0}
+    defaults.update(kwargs)
+    return ConfigurationSelector(engine, evaluator, **defaults)
+
+
+def configs(*specs):
+    return [
+        Configuration(name=name, settings=dict(settings))
+        for name, settings in specs
+    ]
+
+
+class TestValidation:
+    def test_bad_initial_timeout(self, pg_engine):
+        with pytest.raises(BudgetExceededError):
+            make_selector(pg_engine, initial_timeout=0.0)
+
+    def test_bad_alpha(self, pg_engine):
+        with pytest.raises(BudgetExceededError):
+            make_selector(pg_engine, alpha=1.0)
+
+    def test_max_rounds_guard(self, pg_engine, tiny_workload):
+        selector = make_selector(
+            pg_engine, initial_timeout=1e-9, alpha=1.0001, max_rounds=3
+        )
+        with pytest.raises(BudgetExceededError):
+            selector.select(
+                list(tiny_workload.queries),
+                configs(("slow", {"work_mem": "64kB"})),
+            )
+
+
+class TestSelection:
+    def test_single_config_selected(self, pg_engine, tiny_workload):
+        selector = make_selector(pg_engine)
+        result = selector.select(
+            list(tiny_workload.queries), configs(("only", {}))
+        )
+        assert result.best.config.name == "only"
+        assert math.isfinite(result.best.time)
+
+    def test_best_of_good_and_terrible(self, pg_engine, tiny_workload):
+        candidates = configs(
+            ("good", {"work_mem": "256MB", "shared_buffers": "4GB"}),
+            ("swapping", {"shared_buffers": "55GB", "work_mem": "8GB"}),
+        )
+        selector = make_selector(pg_engine)
+        result = selector.select(list(tiny_workload.queries), candidates)
+        assert result.best.config.name == "good"
+
+    def test_best_time_is_full_workload_time(self, pg_engine, tiny_workload):
+        selector = make_selector(pg_engine)
+        result = selector.select(
+            list(tiny_workload.queries), configs(("only", {}))
+        )
+        meta = result.meta["only"]
+        assert meta.is_complete
+        assert result.best.time == pytest.approx(meta.time)
+        assert meta.completed_queries == {q.name for q in tiny_workload.queries}
+
+    def test_all_configs_get_final_chance(self, pg_engine, tiny_workload):
+        candidates = configs(
+            ("a", {}), ("b", {"work_mem": "128MB"}), ("c", {"work_mem": "64MB"})
+        )
+        selector = make_selector(pg_engine)
+        result = selector.select(list(tiny_workload.queries), candidates)
+        # Everyone either completed or provably exceeded the best time.
+        for name, meta in result.meta.items():
+            if name != result.best.config.name and not meta.is_complete:
+                assert meta.time <= result.best.time + 1e-6
+
+    def test_trace_is_monotone_improving(self, pg_engine, tiny_workload):
+        candidates = configs(
+            ("a", {}), ("b", {"work_mem": "512MB", "shared_buffers": "8GB"})
+        )
+        selector = make_selector(pg_engine)
+        result = selector.select(list(tiny_workload.queries), candidates)
+        best_values = [best for _, best in result.trace]
+        assert best_values == sorted(best_values, reverse=True)
+        times = [time for time, _ in result.trace]
+        assert times == sorted(times)
+
+    def test_example_4_1_first_finisher_not_necessarily_best(self):
+        """Paper Example 4.1: the first configuration to finish a round
+        is not necessarily optimal; the selector must still return the
+        globally fastest one."""
+        from repro.db.catalog import Catalog, Column
+        from repro.db.postgres import PostgresEngine
+
+        catalog = Catalog("ex41")
+        catalog.add_table("t", 2_000_000, [
+            Column("k", 8, is_primary_key=True),
+            Column("v", 100, 1_000_000),
+        ])
+        engine = PostgresEngine(catalog)
+        queries = []
+        from repro.workloads.base import Query
+
+        for i in range(3):
+            queries.append(
+                Query.from_sql(
+                    f"q{i}",
+                    f"SELECT count(*) FROM t WHERE t.v = 'x{i}'",
+                    catalog,
+                )
+            )
+        slow_then_fast = Configuration(
+            "tuned", settings={"shared_buffers": "8GB", "work_mem": "256MB"}
+        )
+        default = Configuration("default", settings={})
+        selector = make_selector(engine, initial_timeout=0.05, alpha=2.0)
+        result = selector.select(queries, [default, slow_then_fast])
+        # Whichever finished first, the returned config must have the
+        # minimum total completed time among complete configs.
+        complete = {
+            name: meta.time
+            for name, meta in result.meta.items()
+            if meta.is_complete
+        }
+        assert result.best.config.name == min(complete, key=complete.get)
+
+
+class TestTheorem43:
+    def test_total_time_bounded_by_k_alpha_best(self, pg_engine, tiny_workload):
+        """Theorem 4.3: query-evaluation time is O(k * alpha * C_best)."""
+        alpha = 2.0
+        candidates = configs(
+            ("c1", {}),
+            ("c2", {"work_mem": "64MB"}),
+            ("c3", {"work_mem": "256MB"}),
+            ("c4", {"shared_buffers": "2GB"}),
+        )
+        selector = make_selector(pg_engine, initial_timeout=0.05, alpha=alpha)
+        result = selector.select(list(tiny_workload.queries), candidates)
+        best_time = result.best.time
+        total_query_time = sum(meta.time for meta in result.meta.values())
+        k = len(candidates)
+        # Constant 2: final round plus the geometric sum of prior rounds.
+        assert total_query_time <= 2 * k * alpha * best_time + k * 0.05
+
+
+class TestBestConfigObject:
+    def test_defaults(self):
+        best = BestConfig()
+        assert math.isinf(best.time)
+        assert best.config is None

@@ -1,0 +1,69 @@
+"""Virtual clock tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db.clock import VirtualClock
+from repro.errors import ReproError
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ReproError):
+            VirtualClock(-1.0)
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(2.5)
+        assert clock.now == pytest.approx(4.0)
+
+    def test_advance_returns_new_time(self):
+        clock = VirtualClock()
+        assert clock.advance(3.0) == pytest.approx(3.0)
+
+    def test_negative_advance_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ReproError):
+            clock.advance(-0.1)
+        assert clock.now == 0.0
+
+    def test_zero_advance_allowed(self):
+        clock = VirtualClock()
+        clock.advance(0.0)
+        assert clock.now == 0.0
+
+    def test_elapsed_since(self):
+        clock = VirtualClock()
+        start = clock.now
+        clock.advance(7.0)
+        assert clock.elapsed_since(start) == pytest.approx(7.0)
+
+    def test_reset(self):
+        clock = VirtualClock(10.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+    def test_reset_below_zero_rejected(self):
+        with pytest.raises(ReproError):
+            VirtualClock().reset(-5.0)
+
+    def test_repr_contains_time(self):
+        assert "3.000" in repr(VirtualClock(3.0))
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), max_size=50))
+    def test_monotone_under_any_advances(self, durations):
+        clock = VirtualClock()
+        previous = clock.now
+        for duration in durations:
+            clock.advance(duration)
+            assert clock.now >= previous
+            previous = clock.now
+        assert clock.now == pytest.approx(sum(durations), abs=1e-6)

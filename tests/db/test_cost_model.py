@@ -1,0 +1,132 @@
+"""Physical cost primitive tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db.cost_model import (
+    RuntimeEnv,
+    cache_hit_ratio,
+    deterministic_noise,
+    oversubscription_penalty,
+    parallel_speedup,
+    spill_passes,
+)
+from repro.db.hardware import GIB, HardwareSpec
+
+
+def make_env(pool_gb=1.0, memory_gb=61.0, workers=1):
+    return RuntimeEnv(
+        buffer_pool_bytes=int(pool_gb * GIB),
+        sort_hash_mem_bytes=4 * 1024**2,
+        agg_mem_bytes=4 * 1024**2,
+        maintenance_mem_bytes=64 * 1024**2,
+        parallel_workers=workers,
+        io_concurrency=1.0,
+        logging_factor=1.0,
+        swap_factor=1.0,
+        hardware=HardwareSpec(memory_gb=memory_gb, cores=8),
+    )
+
+
+class TestCacheHitRatio:
+    def test_empty_working_set_fully_cached(self):
+        assert cache_hit_ratio(make_env(), 0) == 1.0
+
+    def test_bigger_pool_hits_more(self):
+        working_set = 100 * GIB
+        small = cache_hit_ratio(make_env(pool_gb=1), working_set)
+        large = cache_hit_ratio(make_env(pool_gb=32), working_set)
+        assert large > small
+
+    def test_capped_below_one(self):
+        assert cache_hit_ratio(make_env(pool_gb=32), 1024) == pytest.approx(0.99)
+
+    @given(st.integers(min_value=1, max_value=2**45))
+    def test_always_in_unit_interval(self, working_set):
+        ratio = cache_hit_ratio(make_env(), working_set)
+        assert 0.0 <= ratio <= 0.99
+
+
+class TestSpillPasses:
+    def test_fits_in_memory_no_spill(self):
+        assert spill_passes(100, 1000) == 0.0
+
+    def test_exceeding_memory_spills(self):
+        assert spill_passes(10_000_000, 1_000_000) > 1.0
+
+    def test_spill_grows_logarithmically(self):
+        small = spill_passes(2**21, 2**20)
+        large = spill_passes(2**30, 2**20)
+        assert large > small
+        assert large < small * 12
+
+    def test_zero_bytes_no_spill(self):
+        assert spill_passes(0, 100) == 0.0
+
+    @given(
+        st.integers(min_value=1, max_value=2**40),
+        st.integers(min_value=1, max_value=2**40),
+    )
+    def test_more_memory_never_spills_more(self, data, memory):
+        assert spill_passes(data, memory * 2) <= spill_passes(data, memory)
+
+
+class TestParallelSpeedup:
+    def test_single_worker_no_speedup(self):
+        assert parallel_speedup(1, 8) == 1.0
+
+    def test_sublinear(self):
+        assert 1.0 < parallel_speedup(4, 8) < 4.0
+
+    def test_capped_by_cores(self):
+        assert parallel_speedup(64, 8) == parallel_speedup(8, 8)
+
+    def test_monotone_in_workers(self):
+        values = [parallel_speedup(w, 16) for w in range(1, 16)]
+        assert values == sorted(values)
+
+
+class TestOversubscription:
+    def test_no_penalty_below_80_percent(self):
+        assert oversubscription_penalty(int(0.5 * GIB), GIB) == 1.0
+        assert oversubscription_penalty(int(0.8 * GIB), GIB) == 1.0
+
+    def test_penalty_above_threshold(self):
+        assert oversubscription_penalty(int(0.95 * GIB), GIB) > 1.0
+
+    def test_catastrophic_beyond_ram(self):
+        assert oversubscription_penalty(2 * GIB, GIB) > 50.0
+
+    def test_monotone(self):
+        penalties = [
+            oversubscription_penalty(int(f * GIB), GIB)
+            for f in (0.5, 0.8, 0.9, 1.0, 1.2, 2.0)
+        ]
+        assert penalties == sorted(penalties)
+
+
+class TestDeterministicNoise:
+    def test_reproducible(self):
+        assert deterministic_noise("a", 1) == deterministic_noise("a", 1)
+
+    def test_varies_with_inputs(self):
+        assert deterministic_noise("a", 1) != deterministic_noise("a", 2)
+
+    def test_bounded(self):
+        for seed in range(200):
+            value = deterministic_noise("q", seed, amplitude=0.03)
+            assert 0.97 <= value <= 1.03
+
+    def test_custom_amplitude(self):
+        for seed in range(50):
+            value = deterministic_noise("q", seed, amplitude=0.5)
+            assert 0.5 <= value <= 1.5
+
+
+class TestRuntimeEnv:
+    def test_seconds_per_cost_unit_anchored_to_disk(self):
+        env = make_env()
+        # One 8KiB page at 500 MB/s.
+        assert env.seconds_per_cost_unit == pytest.approx(
+            8192 / (500 * 1024**2)
+        )

@@ -1,0 +1,83 @@
+"""EXPLAIN cost extraction and plan formatting tests."""
+
+import pytest
+
+from repro.db.explain import (
+    format_plan,
+    join_condition_values,
+    workload_join_conditions,
+)
+from repro.db.indexes import Index
+from repro.sql.analyzer import JoinCondition
+
+
+JOIN_SQL = (
+    "SELECT u.country, count(*) FROM users u, events e "
+    "WHERE u.user_id = e.user_id2 GROUP BY u.country"
+)
+
+
+class TestJoinConditionValues:
+    def test_values_positive_per_condition(self, pg_engine, tiny_workload):
+        values = join_condition_values(pg_engine, list(tiny_workload.queries))
+        condition = JoinCondition.make("users.user_id", "events.user_id2")
+        assert condition in values
+        assert values[condition] > 0
+
+    def test_values_accumulate_over_queries(self, pg_engine, tiny_workload):
+        single = join_condition_values(
+            pg_engine, [tiny_workload.query("join_all")]
+        )
+        double = join_condition_values(
+            pg_engine,
+            [tiny_workload.query("join_all"), tiny_workload.query("join_all")],
+        )
+        condition = JoinCondition.make("users.user_id", "events.user_id2")
+        assert double[condition] == pytest.approx(2 * single[condition])
+
+    def test_workload_join_conditions(self, pg_engine, tiny_workload):
+        conditions = workload_join_conditions(
+            pg_engine, list(tiny_workload.queries)
+        )
+        assert len(conditions) == 1
+
+    def test_tpch_values_rank_expensive_joins(self, tpch):
+        from repro.db.postgres import PostgresEngine
+
+        engine = PostgresEngine(tpch.catalog)
+        values = join_condition_values(engine, list(tpch.queries))
+        top = max(values, key=values.get)
+        # lineitem joins dominate TPC-H cost.
+        assert "lineitem" in top.left or "lineitem" in top.right
+
+
+class TestFormatPlan:
+    def test_scan_only_query(self, pg_engine):
+        text = format_plan(pg_engine, "SELECT count(*) FROM events WHERE events.kind = 'x'")
+        assert "Seq Scan on events" in text
+        assert "est=" in text and "act=" in text
+
+    def test_join_query_shows_pipeline(self, pg_engine):
+        text = format_plan(pg_engine, JOIN_SQL)
+        assert "Hash Join" in text
+        assert "Aggregate/Sort" in text
+        assert "users" in text and "events" in text
+
+    def test_index_plan_labelled(self, pg_engine):
+        pg_engine.create_index(Index("events", ("user_id2",)))
+        pg_engine.set_many(
+            {"random_page_cost": 1.1, "effective_cache_size": "45GB"}
+        )
+        text = format_plan(pg_engine, JOIN_SQL)
+        assert "Nested Loop" in text
+        assert "idx_events_user_id2" in text
+
+    def test_trivial_query(self, pg_engine):
+        assert "Result" in format_plan(pg_engine, "SELECT 1")
+
+    def test_costs_in_output_are_numbers(self, pg_engine):
+        import re
+
+        text = format_plan(pg_engine, JOIN_SQL)
+        for match in re.finditer(r"(est|act)=([0-9.]+)", text):
+            assert float(match.group(2)) >= 0

@@ -1,0 +1,176 @@
+"""Knob space tests: units, validation, PG/MySQL definitions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db.knobs import (
+    GB,
+    MB,
+    Knob,
+    KnobCategory,
+    KnobKind,
+    format_size,
+    mysql_knob_space,
+    parse_size,
+    postgres_knob_space,
+)
+from repro.errors import KnobError
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("16MB", 16 * MB),
+            ("2GB", 2 * GB),
+            ("1024", 1024),
+            ("128kB", 128 * 1024),
+            ("1.5GB", int(1.5 * GB)),
+            ("4g", 4 * GB),
+            ("512m", 512 * MB),
+            ("7B", 7),
+            (" 8 MB ", 8 * MB),
+        ],
+    )
+    def test_valid_sizes(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_plain_numbers_pass_through(self):
+        assert parse_size(4096) == 4096
+        assert parse_size(1.5) == 1
+
+    @pytest.mark.parametrize("text", ["banana", "12XB", "", "MB"])
+    def test_invalid_sizes_raise(self, text):
+        with pytest.raises(KnobError):
+            parse_size(text)
+
+    @given(st.integers(min_value=0, max_value=2**50))
+    def test_format_parse_round_trip_is_close(self, size):
+        rendered = format_size(size)
+        parsed = parse_size(rendered)
+        # format_size rounds to one decimal of the chosen unit.
+        assert parsed == pytest.approx(size, rel=0.06, abs=1024)
+
+
+class TestKnobCoercion:
+    def test_size_knob_accepts_strings(self):
+        knob = Knob("mem", KnobKind.SIZE, 1, KnobCategory.MEMORY,
+                    minimum=0, maximum=10 * GB)
+        assert knob.coerce("2GB") == 2 * GB
+
+    def test_size_bounds_enforced(self):
+        knob = Knob("mem", KnobKind.SIZE, 1, KnobCategory.MEMORY,
+                    minimum=MB, maximum=GB)
+        with pytest.raises(KnobError):
+            knob.coerce("2GB")
+        with pytest.raises(KnobError):
+            knob.coerce(1024)
+
+    def test_integer_knob(self):
+        knob = Knob("n", KnobKind.INTEGER, 1, KnobCategory.IO,
+                    minimum=0, maximum=100)
+        assert knob.coerce("42") == 42
+        assert knob.coerce(7.0) == 7
+        with pytest.raises(KnobError):
+            knob.coerce("lots")
+
+    def test_float_knob(self):
+        knob = Knob("f", KnobKind.FLOAT, 1.0, KnobCategory.OPTIMIZER,
+                    minimum=0.0, maximum=10.0)
+        assert knob.coerce("1.5") == 1.5
+        with pytest.raises(KnobError):
+            knob.coerce("NaN-ish-word")
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("on", True), ("ON", True), ("true", True), ("1", True), (True, True),
+        ("off", False), ("false", False), ("0", False), (False, False),
+    ])
+    def test_bool_knob(self, raw, expected):
+        knob = Knob("b", KnobKind.BOOL, True, KnobCategory.LOGGING)
+        assert knob.coerce(raw) is expected
+
+    def test_bool_rejects_garbage(self):
+        knob = Knob("b", KnobKind.BOOL, True, KnobCategory.LOGGING)
+        with pytest.raises(KnobError):
+            knob.coerce("maybe")
+
+    def test_enum_knob(self):
+        knob = Knob("e", KnobKind.ENUM, "fsync", KnobCategory.IO,
+                    choices=("fsync", "o_direct"))
+        assert knob.coerce("O_DIRECT") == "o_direct"
+        with pytest.raises(KnobError):
+            knob.coerce("turbo")
+
+    def test_clamp(self):
+        knob = Knob("n", KnobKind.INTEGER, 5, KnobCategory.IO,
+                    minimum=1, maximum=10)
+        assert knob.clamp(-5) == 1
+        assert knob.clamp(50) == 10
+        assert knob.clamp(7.9) == 7  # integers truncate
+
+
+class TestKnobSpaces:
+    def test_postgres_space_has_paper_knobs(self):
+        space = postgres_knob_space()
+        for name in ("shared_buffers", "work_mem", "effective_cache_size",
+                     "maintenance_work_mem", "checkpoint_completion_target",
+                     "wal_buffers", "default_statistics_target",
+                     "random_page_cost", "effective_io_concurrency"):
+            assert name in space
+
+    def test_postgres_paramtree_constants_present(self):
+        space = postgres_knob_space()
+        for name in ("cpu_tuple_cost", "cpu_operator_cost",
+                     "cpu_index_tuple_cost", "seq_page_cost",
+                     "random_page_cost"):
+            assert name in space
+
+    def test_mysql_space_has_core_knobs(self):
+        space = mysql_knob_space()
+        for name in ("innodb_buffer_pool_size", "join_buffer_size",
+                     "sort_buffer_size", "tmp_table_size",
+                     "innodb_flush_method"):
+            assert name in space
+
+    def test_defaults_are_valid(self):
+        for space in (postgres_knob_space(), mysql_knob_space()):
+            for knob in space:
+                assert knob.coerce(knob.default) == knob.default or isinstance(
+                    knob.default, (int, float)
+                )
+
+    def test_postgres_defaults_match_real_system(self):
+        space = postgres_knob_space()
+        assert space.knob("shared_buffers").default == 128 * MB
+        assert space.knob("work_mem").default == 4 * MB
+        assert space.knob("random_page_cost").default == 4.0
+        assert space.knob("effective_io_concurrency").default == 1
+
+    def test_mysql_defaults_match_real_system(self):
+        space = mysql_knob_space()
+        assert space.knob("innodb_buffer_pool_size").default == 128 * MB
+        assert space.knob("sort_buffer_size").default == 256 * 1024
+
+    def test_unknown_knob_raises(self):
+        with pytest.raises(KnobError):
+            postgres_knob_space().knob("does_not_exist")
+
+    def test_lookup_case_insensitive(self):
+        assert postgres_knob_space().knob("SHARED_BUFFERS").name == "shared_buffers"
+
+    def test_len_and_iteration(self):
+        space = postgres_knob_space()
+        assert len(space) == len(list(space)) == len(space.names())
+
+    def test_duplicate_knobs_rejected(self):
+        knob = Knob("x", KnobKind.INTEGER, 1, KnobCategory.IO)
+        from repro.db.knobs import KnobSpace
+
+        with pytest.raises(KnobError):
+            KnobSpace("test", [knob, knob])
+
+    def test_categories_cover_table5_groups(self):
+        space = postgres_knob_space()
+        categories = {knob.category for knob in space}
+        assert {KnobCategory.MEMORY, KnobCategory.OPTIMIZER,
+                KnobCategory.IO, KnobCategory.LOGGING} <= categories

@@ -1,0 +1,90 @@
+"""MySQL/InnoDB-specific knob semantics."""
+
+import pytest
+
+from repro.db.mysql import MySQLEngine, recommended_buffer_pool
+
+
+JOIN_SQL = (
+    "SELECT u.country, count(*) FROM users u, events e "
+    "WHERE u.user_id = e.user_id2 GROUP BY u.country"
+)
+
+
+class TestBufferPool:
+    def test_bigger_pool_is_faster(self, tiny_catalog):
+        from repro.db.hardware import HardwareSpec
+
+        # RAM barely above the ~38MB working set so the pool size
+        # actually moves the hit ratio.
+        engine = MySQLEngine(tiny_catalog, HardwareSpec(0.04, 4))
+        engine.set_many({
+            "sort_buffer_size": "32kB",
+            "join_buffer_size": "1kB",
+            "innodb_log_buffer_size": "1MB",
+            "innodb_buffer_pool_size": "5MB",
+        })
+        cold = engine.estimate_seconds(JOIN_SQL)
+        engine.set_many({"innodb_buffer_pool_size": "24MB"})
+        warm = engine.estimate_seconds(JOIN_SQL)
+        assert warm < cold
+
+    def test_o_direct_improves_pool_effectiveness(self, mysql_engine):
+        mysql_engine.set_many({"innodb_buffer_pool_size": "256MB"})
+        double_buffered = mysql_engine._runtime_env().buffer_pool_bytes  # noqa: SLF001
+        mysql_engine.set_many({"innodb_flush_method": "o_direct"})
+        direct = mysql_engine._runtime_env().buffer_pool_bytes  # noqa: SLF001
+        assert direct > double_buffered
+
+    def test_manual_recommendation_helper(self):
+        assert recommended_buffer_pool(10 * 1024**3) == 7 * 1024**3
+
+
+class TestJoinBuffers:
+    def test_join_buffer_fixes_spills(self, mysql_engine):
+        tiny = mysql_engine.estimate_seconds(JOIN_SQL)
+        mysql_engine.set_many({"join_buffer_size": "512MB",
+                               "sort_buffer_size": "128MB"})
+        big = mysql_engine.estimate_seconds(JOIN_SQL)
+        assert big < tiny
+
+    def test_default_mysql_slower_than_default_postgres(
+        self, mysql_engine, pg_engine
+    ):
+        # Tiny default join/sort buffers make untuned MySQL the slower
+        # OLAP system, as in the paper's experiments.
+        assert mysql_engine.estimate_seconds(JOIN_SQL) > pg_engine.estimate_seconds(
+            JOIN_SQL
+        )
+
+
+class TestConnectionsOversubscription:
+    def test_many_connections_with_big_buffers_swaps(self, mysql_engine):
+        sane = mysql_engine.estimate_seconds(JOIN_SQL)
+        mysql_engine.set_many({
+            "join_buffer_size": "2GB",
+            "sort_buffer_size": "2GB",
+            "max_connections": 1000,
+        })
+        swapped = mysql_engine.estimate_seconds(JOIN_SQL)
+        assert swapped > sane
+
+
+class TestOptimizerSearchDepth:
+    def test_depth_changes_join_order_quality(self, tpch):
+        engine_full = MySQLEngine(tpch.catalog)
+        engine_greedy = MySQLEngine(tpch.catalog)
+        engine_greedy.set_many({"optimizer_search_depth": 1})
+        query = tpch.query("q5")
+        assert engine_greedy.estimate_seconds(query) >= engine_full.estimate_seconds(
+            query
+        )
+
+
+class TestSystemIdentity:
+    def test_system_name(self, mysql_engine):
+        assert mysql_engine.system == "mysql"
+
+    def test_no_parallel_query(self, mysql_engine):
+        env = mysql_engine._runtime_env()  # noqa: SLF001
+        assert env.parallel_workers == 1

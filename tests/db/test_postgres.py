@@ -1,0 +1,84 @@
+"""PostgreSQL-specific knob semantics."""
+
+import pytest
+
+from repro.db.hardware import HardwareSpec
+from repro.db.postgres import PostgresEngine, recommended_shared_buffers
+
+
+JOIN_SQL = (
+    "SELECT u.country, count(*) FROM users u, events e "
+    "WHERE u.user_id = e.user_id2 GROUP BY u.country"
+)
+SCAN_SQL = "SELECT count(*) FROM events WHERE events.kind = 'x'"
+
+
+class TestMemorySemantics:
+    def test_more_shared_buffers_speeds_scans(self, tiny_catalog):
+        # A machine small enough that the events table (~38MB) does not
+        # fit in cache: growing the pool must raise the hit ratio.
+        engine = PostgresEngine(tiny_catalog, HardwareSpec(0.03, 4))
+        engine.set_many({"shared_buffers": "128kB", "work_mem": "64kB"})
+        cold = engine.estimate_seconds(SCAN_SQL)
+        engine.set_many({"shared_buffers": "8MB"})
+        warm = engine.estimate_seconds(SCAN_SQL)
+        assert warm < cold
+
+    def test_work_mem_fixes_spilling_join(self, tiny_catalog):
+        engine = PostgresEngine(tiny_catalog)
+        engine.set_many({"work_mem": "64kB"})
+        spilling = engine.estimate_seconds(JOIN_SQL)
+        engine.set_many({"work_mem": "1GB"})
+        in_memory = engine.estimate_seconds(JOIN_SQL)
+        assert in_memory < spilling
+
+    def test_oversubscription_is_catastrophic(self, pg_engine):
+        sane = pg_engine.estimate_seconds(JOIN_SQL)
+        pg_engine.set_many({"shared_buffers": "55GB", "work_mem": "8GB"})
+        swapped = pg_engine.estimate_seconds(JOIN_SQL)
+        assert swapped > sane * 5
+
+    def test_manual_recommendation_helper(self):
+        assert recommended_shared_buffers(64 * 1024**3) == 16 * 1024**3
+
+
+class TestParallelism:
+    def test_parallel_workers_speed_up_big_scans(self, pg_engine):
+        pg_engine.set_many({"max_parallel_workers_per_gather": 0})
+        serial = pg_engine.estimate_seconds(SCAN_SQL)
+        pg_engine.set_many({
+            "max_parallel_workers_per_gather": 8,
+            "max_parallel_workers": 8,
+            "max_worker_processes": 8,
+        })
+        parallel = pg_engine.estimate_seconds(SCAN_SQL)
+        assert parallel < serial
+
+    def test_workers_bounded_by_max_parallel_workers(self, pg_engine):
+        pg_engine.set_many({
+            "max_parallel_workers_per_gather": 8,
+            "max_parallel_workers": 0,
+        })
+        env = pg_engine._runtime_env()  # noqa: SLF001
+        assert env.parallel_workers == 1
+
+
+class TestLoggingKnobs:
+    def test_logging_knobs_have_marginal_effect(self, pg_engine):
+        base = pg_engine.estimate_seconds(JOIN_SQL)
+        pg_engine.set_many({
+            "checkpoint_completion_target": 0.9,
+            "wal_buffers": "16MB",
+            "synchronous_commit": False,
+            "max_wal_size": "8GB",
+        })
+        tweaked = pg_engine.estimate_seconds(JOIN_SQL)
+        assert tweaked == pytest.approx(base, rel=0.05)
+
+
+class TestSystemIdentity:
+    def test_system_name(self, pg_engine):
+        assert pg_engine.system == "postgres"
+
+    def test_restart_cost(self, pg_engine):
+        assert pg_engine.restart_seconds == 2.0

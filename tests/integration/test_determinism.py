@@ -1,0 +1,66 @@
+"""Cross-component determinism guarantees.
+
+Everything in the reproduction must be bit-stable for a given seed:
+engines (deterministic noise via content hashes, not ``hash()``),
+the LLM (seeded styles), K-means (seeded numpy RNG), and the tuners
+(seeded ``random.Random``).
+"""
+
+import subprocess
+import sys
+
+from repro.db.postgres import PostgresEngine
+from repro.workloads import tpch_workload
+
+
+class TestInProcessDeterminism:
+    def test_engine_times_stable_across_instances(self):
+        workload = tpch_workload()
+        times = []
+        for _ in range(2):
+            engine = PostgresEngine(workload.catalog)
+            engine.apply_config({"work_mem": "128MB"})
+            times.append(
+                [engine.estimate_seconds(q) for q in workload.queries]
+            )
+        assert times[0] == times[1]
+
+    def test_full_pipeline_stable_across_instances(self):
+        from repro.core import LambdaTune, LambdaTuneOptions
+        from repro.llm import SimulatedLLM
+
+        workload = tpch_workload()
+        results = []
+        for _ in range(2):
+            tuner = LambdaTune(
+                PostgresEngine(workload.catalog),
+                SimulatedLLM(),
+                LambdaTuneOptions(initial_timeout=0.5, alpha=2.0, seed=9),
+            )
+            results.append(tuner.tune(list(workload.queries)))
+        assert results[0].best_time == results[1].best_time
+        assert results[0].tuning_seconds == results[1].tuning_seconds
+
+
+class TestCrossProcessDeterminism:
+    SCRIPT = (
+        "from repro.db.postgres import PostgresEngine;"
+        "from repro.workloads import tpch_workload;"
+        "w = tpch_workload();"
+        "e = PostgresEngine(w.catalog);"
+        "print(sum(e.estimate_seconds(q) for q in w.queries))"
+    )
+
+    def test_times_identical_under_different_hash_seeds(self):
+        """PYTHONHASHSEED must not influence simulated timings."""
+        outputs = set()
+        for hash_seed in ("1", "2"):
+            result = subprocess.run(
+                [sys.executable, "-c", self.SCRIPT],
+                capture_output=True,
+                text=True,
+                env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+                check=True,
+            )
+            outputs.add(result.stdout.strip())
+        assert len(outputs) == 1

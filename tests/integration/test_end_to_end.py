@@ -1,0 +1,141 @@
+"""End-to-end integration tests across the whole stack."""
+
+import math
+
+import pytest
+
+from repro.bench.runner import run_lambda_tune, run_scenario
+from repro.bench.scenarios import Scenario
+from repro.core.tuner import LambdaTune, LambdaTuneOptions
+from repro.db.mysql import MySQLEngine
+from repro.db.postgres import PostgresEngine
+from repro.llm import SimulatedLLM
+from repro.workloads import load_workload
+
+FAST = LambdaTuneOptions(token_budget=400, initial_timeout=0.5, alpha=2.0)
+
+
+class TestLambdaTuneOnRealWorkloads:
+    @pytest.mark.parametrize("workload_name", ["tpch-sf1", "tpcds-sf1"])
+    def test_postgres_speedup(self, workload_name):
+        workload = load_workload(workload_name)
+        engine = PostgresEngine(workload.catalog)
+        default_time = sum(
+            engine.estimate_seconds(query) for query in workload.queries
+        )
+        tuner = LambdaTune(PostgresEngine(workload.catalog), SimulatedLLM(), FAST)
+        result = tuner.tune(list(workload.queries))
+        assert result.best_time < default_time
+
+    def test_job_speedup_is_large(self, job):
+        engine = PostgresEngine(job.catalog)
+        default_time = sum(engine.estimate_seconds(query) for query in job.queries)
+        tuner = LambdaTune(PostgresEngine(job.catalog), SimulatedLLM(), FAST)
+        result = tuner.tune(list(job.queries))
+        # JOB is index-dominated: expect at least 5x.
+        assert result.best_time * 5 < default_time
+
+    def test_mysql_tpch(self, tpch):
+        tuner = LambdaTune(MySQLEngine(tpch.catalog), SimulatedLLM(), FAST)
+        result = tuner.tune(list(tpch.queries))
+        default_engine = MySQLEngine(tpch.catalog)
+        default_time = sum(
+            default_engine.estimate_seconds(query) for query in tpch.queries
+        )
+        assert result.best_time < default_time
+
+    def test_best_config_reproducible_on_fresh_engine(self, tpch):
+        tuner = LambdaTune(PostgresEngine(tpch.catalog), SimulatedLLM(), FAST)
+        result = tuner.tune(list(tpch.queries))
+        fresh = PostgresEngine(tpch.catalog)
+        fresh.set_many(result.best_config.settings)
+        for index in result.best_config.indexes:
+            fresh.create_index(index)
+        replayed = sum(fresh.estimate_seconds(query) for query in tpch.queries)
+        # Selection may have completed some queries before all lazy
+        # indexes existed, so the recorded best time and a replay under
+        # the final physical design agree only approximately.
+        assert replayed == pytest.approx(result.best_time, rel=0.15)
+
+
+class TestScenarioProtocol:
+    def test_full_scenario_comparison(self):
+        run = run_scenario(
+            Scenario("tpch-sf1", "postgres", False),
+            budget_seconds=200.0,
+            tuners=["lambda-tune", "udo", "paramtree"],
+            lambda_options=FAST,
+        )
+        scaled = run.scaled_costs()
+        assert all(math.isfinite(v) for v in scaled.values())
+        # lambda-Tune is never the worst in this scenario.
+        assert scaled["lambda-tune"] <= scaled["paramtree"]
+
+    def test_initial_indexes_scenario_restricts_scope(self):
+        workload = load_workload("tpch-sf1")
+        result = run_lambda_tune(
+            Scenario("tpch-sf1", "postgres", True), workload, options=FAST
+        )
+        assert result.best_config.indexes == []
+
+    def test_mysql_scenario(self):
+        run = run_scenario(
+            Scenario("tpch-sf1", "mysql", True),
+            budget_seconds=150.0,
+            tuners=["lambda-tune", "db-bert"],
+            lambda_options=FAST,
+        )
+        assert set(run.results) == {"lambda-tune", "db-bert"}
+
+
+class TestPaperHeadlineClaims:
+    """The qualitative claims of §6 that must hold in the reproduction."""
+
+    def test_lambda_tune_sample_efficiency_table4(self):
+        """Table 4: lambda-Tune evaluates 5 configs; search baselines
+        evaluate an order of magnitude more."""
+        run = run_scenario(
+            Scenario("tpch-sf1", "postgres", True),
+            budget_seconds=400.0,
+            tuners=["lambda-tune", "udo", "gptuner"],
+            lambda_options=FAST,
+        )
+        lt = run.results["lambda-tune"].configs_evaluated
+        assert lt == 5
+        assert run.results["udo"].configs_evaluated > 3 * lt
+        assert run.results["gptuner"].configs_evaluated > lt
+
+    def test_lambda_tune_reaches_near_optimal_faster(self):
+        """Figures 3/4: lambda-Tune reaches near-optimal quality no
+        later than the projection-based search baseline."""
+        run = run_scenario(
+            Scenario("tpch-sf1", "postgres", False),
+            budget_seconds=300.0,
+            tuners=["lambda-tune", "llamatune"],
+            lambda_options=FAST,
+        )
+        threshold = run.best_overall() * 1.3
+
+        def time_to_quality(result):
+            for point in result.trace:
+                if point.best_time <= threshold:
+                    return point.time
+            return math.inf
+
+        lt_time = time_to_quality(run.results["lambda-tune"])
+        other_time = time_to_quality(run.results["llamatune"])
+        assert math.isfinite(lt_time)
+        assert lt_time <= other_time
+
+    def test_token_budget_ablation_direction(self, tpch):
+        """Figure 7: a starved token budget degrades configuration
+        quality; a moderate one recovers it."""
+        workload = tpch
+        scenario = Scenario("tpch-sf1", "postgres", False)
+        tiny = run_lambda_tune(
+            scenario, workload, options=FAST.ablated(token_budget=40)
+        )
+        normal = run_lambda_tune(
+            scenario, workload, options=FAST.ablated(token_budget=800)
+        )
+        assert normal.best_time <= tiny.best_time * 1.05

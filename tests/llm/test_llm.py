@@ -1,0 +1,192 @@
+"""LLM layer tests: client contract, simulated LLM, script rendering."""
+
+import pytest
+
+from repro.db.hardware import HardwareSpec
+from repro.db.indexes import Index
+from repro.db.knobs import GB, MB
+from repro.errors import LLMError
+from repro.llm import SimulatedLLM, render_script
+from repro.llm.corpus import hint_setting, hints_for
+from repro.llm.scripts import render_index, render_setting
+
+PROMPT = """Recommend some configuration parameters for PostgreSQL to
+optimize the system's performance.
+Each row in the following list has the following format:
+{a join key A}:{all the joins with A in the workload}
+lineitem.l_orderkey: orders.o_orderkey
+orders.o_custkey: customer.c_custkey
+The workload runs on a system with the following specs:
+memory: 61GB
+cores: 8
+"""
+
+MYSQL_PROMPT = PROMPT.replace("PostgreSQL", "MySQL")
+
+
+class TestScriptRendering:
+    def test_postgres_setting(self):
+        line = render_setting("postgres", "work_mem", 1 * GB)
+        assert line == "ALTER SYSTEM SET work_mem = '1GB';"
+
+    def test_mysql_setting(self):
+        line = render_setting("mysql", "innodb_buffer_pool_size", 42 * GB)
+        assert line == "SET GLOBAL innodb_buffer_pool_size = '42GB';"
+
+    def test_bool_rendering(self):
+        assert "= on;" in render_setting("postgres", "jit", True)
+        assert "= OFF;" in render_setting("mysql", "flag", False)
+
+    def test_float_rendering(self):
+        assert "1.1" in render_setting("postgres", "random_page_cost", 1.1)
+
+    def test_non_size_int_not_unitized(self):
+        line = render_setting("postgres", "effective_io_concurrency", 200)
+        assert line.endswith("= 200;")
+
+    def test_index_rendering(self):
+        line = render_index(Index("lineitem", ("l_orderkey",)))
+        assert line == (
+            "CREATE INDEX idx_lineitem_l_orderkey ON lineitem (l_orderkey);"
+        )
+
+    def test_full_script(self):
+        text = render_script(
+            "postgres",
+            {"work_mem": 64 * MB},
+            [Index("t", ("a",))],
+            commentary="-- hello",
+        )
+        assert text.startswith("-- hello")
+        assert "ALTER SYSTEM SET work_mem" in text
+        assert "CREATE INDEX" in text
+
+
+class TestSimulatedLLMPromptReading:
+    def test_empty_prompt_rejected(self):
+        with pytest.raises(LLMError):
+            SimulatedLLM().complete("   ")
+
+    def test_detects_mysql(self):
+        response = SimulatedLLM().complete(MYSQL_PROMPT, temperature=0.0)
+        assert "SET GLOBAL innodb_buffer_pool_size" in response.text
+
+    def test_detects_postgres(self):
+        response = SimulatedLLM().complete(PROMPT, temperature=0.0)
+        assert "ALTER SYSTEM SET shared_buffers" in response.text
+
+    def test_applies_25_percent_rule(self):
+        # The paper's §6.3 observation: shared_buffers = 25% of 61GB.
+        response = SimulatedLLM().complete(PROMPT, temperature=0.0)
+        assert "shared_buffers = '15GB'" in response.text
+
+    def test_indexes_derived_from_prompt_columns(self):
+        response = SimulatedLLM().complete(PROMPT, temperature=0.0)
+        assert "ON lineitem (l_orderkey)" in response.text
+        assert "ON customer (c_custkey)" in response.text
+
+    def test_no_workload_lines_no_indexes(self):
+        bare = (
+            "Recommend some configuration parameters for PostgreSQL.\n"
+            "memory: 61GB\ncores: 8\n"
+        )
+        response = SimulatedLLM().complete(bare, temperature=0.0)
+        assert "CREATE INDEX" not in response.text
+
+    def test_raw_sql_fallback_finds_joins(self):
+        prompt = (
+            "Recommend configuration for PostgreSQL.\n"
+            "SELECT 1 FROM a, b WHERE a.x = b.y;\n"
+            "memory: 61GB\ncores: 8\n"
+        )
+        response = SimulatedLLM().complete(prompt, temperature=0.0)
+        assert "ON a (x)" in response.text or "ON b (y)" in response.text
+
+    def test_token_accounting(self):
+        response = SimulatedLLM().complete(PROMPT, temperature=0.0)
+        assert response.prompt_tokens > 0
+        assert response.completion_tokens > 0
+        assert response.total_tokens == (
+            response.prompt_tokens + response.completion_tokens
+        )
+
+
+class TestSampling:
+    def test_deterministic_per_seed(self):
+        llm = SimulatedLLM()
+        a = llm.complete(PROMPT, seed=3).text
+        b = llm.complete(PROMPT, seed=3).text
+        assert a == b
+
+    def test_different_seeds_vary(self):
+        llm = SimulatedLLM()
+        texts = {llm.complete(PROMPT, seed=seed).text for seed in range(8)}
+        assert len(texts) > 1
+
+    def test_temperature_zero_is_stable_balanced(self):
+        llm = SimulatedLLM()
+        texts = {
+            llm.complete(PROMPT, temperature=0.0, seed=seed).text
+            for seed in range(5)
+        }
+        assert len(texts) == 1
+
+    def test_sample_returns_n(self):
+        responses = SimulatedLLM().sample(PROMPT, 5)
+        assert len(responses) == 5
+
+    def test_sample_rejects_zero(self):
+        with pytest.raises(LLMError):
+            SimulatedLLM().sample(PROMPT, 0)
+
+    def test_outliers_appear_at_high_temperature(self):
+        llm = SimulatedLLM()
+        oversubscribed = 0
+        for seed in range(30):
+            text = llm.complete(PROMPT, temperature=0.7, seed=seed).text
+            if "effective_cache_size = '122GB'" in text:
+                oversubscribed += 1
+        # ~20% outlier rate over 30 seeds.
+        assert 1 <= oversubscribed <= 15
+
+    def test_style_independent_of_prompt_text(self):
+        # Equivalent prompts (e.g. obfuscated identifiers) must draw the
+        # same style sequence.
+        llm = SimulatedLLM()
+        plain = llm.complete(PROMPT, seed=4).text
+        renamed = llm.complete(PROMPT.replace("lineitem", "t1"), seed=4).text
+        assert ("outlier" in plain) == ("outlier" in renamed)
+
+
+class TestManualCorpus:
+    def test_hints_per_system(self):
+        assert all(h.system == "postgres" for h in hints_for("postgres"))
+        assert all(h.system == "mysql" for h in hints_for("mysql"))
+        assert hints_for("postgres") and hints_for("mysql")
+
+    def test_fraction_hint_scales_with_hardware(self):
+        hint = next(
+            h for h in hints_for("postgres")
+            if h.parameter == "shared_buffers" and h.value == 0.25
+        )
+        hardware = HardwareSpec(memory_gb=64, cores=8)
+        assert hint.concrete_value(hardware) == 16 * GB
+
+    def test_cores_hint(self):
+        hint = next(
+            h for h in hints_for("postgres")
+            if h.parameter == "max_parallel_workers"
+        )
+        assert hint.concrete_value(HardwareSpec(8, 16)) == 16
+
+    def test_flush_method_translated_to_enum(self):
+        hint = next(
+            h for h in hints_for("mysql") if h.parameter == "innodb_flush_method"
+        )
+        parameter, value = hint_setting(hint, HardwareSpec(8, 4))
+        assert value == "o_direct"
+
+    def test_every_hint_has_text(self):
+        from repro.llm.corpus import MANUAL_CORPUS
+
+        assert all(hint.text for hint in MANUAL_CORPUS)

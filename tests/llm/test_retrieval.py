@@ -1,0 +1,78 @@
+"""Retrieval-augmented prompting tests."""
+
+from repro.llm.corpus import MANUAL_CORPUS
+from repro.llm.retrieval import RetrievalAugmenter
+
+
+class TestRetrieve:
+    def test_relevant_passage_found(self):
+        augmenter = RetrievalAugmenter()
+        passages = augmenter.retrieve(
+            "recommend shared_buffers memory settings", system="postgres"
+        )
+        assert passages
+        assert passages[0].hint.parameter == "shared_buffers"
+
+    def test_system_filter(self):
+        augmenter = RetrievalAugmenter()
+        passages = augmenter.retrieve("buffer pool memory", system="mysql")
+        assert all(p.hint.system == "mysql" for p in passages)
+
+    def test_top_k_respected(self):
+        augmenter = RetrievalAugmenter()
+        passages = augmenter.retrieve("memory settings for indexes", top_k=2)
+        assert len(passages) <= 2
+
+    def test_scores_descending(self):
+        augmenter = RetrievalAugmenter()
+        passages = augmenter.retrieve(
+            "memory cache index parallel workers", top_k=5
+        )
+        scores = [p.score for p in passages]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_no_match_returns_empty(self):
+        augmenter = RetrievalAugmenter()
+        assert augmenter.retrieve("zzzz qqqq xxxx") == []
+
+    def test_custom_corpus(self):
+        augmenter = RetrievalAugmenter(corpus=MANUAL_CORPUS[:3])
+        passages = augmenter.retrieve("shared_buffers memory", top_k=10)
+        assert len(passages) <= 3
+
+
+class TestAugment:
+    def test_appends_documentation_section(self):
+        augmenter = RetrievalAugmenter()
+        prompt = "Recommend configuration for PostgreSQL shared_buffers memory."
+        augmented = augmenter.augment(prompt, system="postgres")
+        assert augmented.startswith(prompt)
+        assert "Relevant documentation:" in augmented
+
+    def test_budget_limits_passages(self):
+        augmenter = RetrievalAugmenter()
+        prompt = "memory cache index parallel random_page_cost work_mem"
+        tight = augmenter.augment(prompt, token_budget=30, top_k=5)
+        loose = augmenter.augment(prompt, token_budget=500, top_k=5)
+        assert len(tight) <= len(loose)
+
+    def test_no_match_leaves_prompt_untouched(self):
+        augmenter = RetrievalAugmenter()
+        assert augmenter.augment("zzzz qqqq") == "zzzz qqqq"
+
+    def test_zero_budget_leaves_prompt_untouched(self):
+        augmenter = RetrievalAugmenter()
+        prompt = "shared_buffers memory"
+        assert augmenter.augment(prompt, token_budget=0) == prompt
+
+    def test_augmented_prompt_still_drives_llm(self):
+        from repro.llm import SimulatedLLM
+
+        augmenter = RetrievalAugmenter()
+        prompt = (
+            "Recommend configuration parameters for PostgreSQL.\n"
+            "a.x: b.y\nmemory: 61GB\ncores: 8\n"
+        )
+        augmented = augmenter.augment(prompt, system="postgres")
+        response = SimulatedLLM().complete(augmented, temperature=0.0)
+        assert "ALTER SYSTEM SET" in response.text

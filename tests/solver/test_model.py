@@ -1,0 +1,97 @@
+"""ILP model container tests."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.solver import ILPModel, LinearConstraint
+
+
+class TestModelConstruction:
+    def test_add_variables(self):
+        model = ILPModel()
+        assert model.add_variable("a", 1.0) == 0
+        assert model.add_variable("b", 2.0) == 1
+        assert model.variable_count == 2
+
+    def test_duplicate_variable_rejected(self):
+        model = ILPModel()
+        model.add_variable("x")
+        with pytest.raises(SolverError):
+            model.add_variable("x")
+
+    def test_name_index_round_trip(self):
+        model = ILPModel()
+        index = model.add_variable("thing")
+        assert model.name_of(index) == "thing"
+        assert model.index_of("thing") == index
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SolverError):
+            ILPModel().index_of("ghost")
+
+    def test_set_objective(self):
+        model = ILPModel()
+        index = model.add_variable("x")
+        model.set_objective(index, 5.0)
+        assert model.objective == [5.0]
+
+    def test_empty_constraint_rejected(self):
+        with pytest.raises(SolverError):
+            ILPModel().add_constraint({}, 1.0)
+
+    def test_constraint_on_unknown_variable_rejected(self):
+        model = ILPModel()
+        model.add_variable("x")
+        with pytest.raises(SolverError):
+            model.add_constraint({5: 1.0}, 1.0)
+
+
+class TestFeasibility:
+    def make_model(self):
+        model = ILPModel()
+        a = model.add_variable("a", 3.0)
+        b = model.add_variable("b", 2.0)
+        model.add_constraint({a: 1.0, b: 1.0}, 1.0)  # at most one
+        return model
+
+    def test_feasible_assignments(self):
+        model = self.make_model()
+        assert model.is_feasible([0, 0])
+        assert model.is_feasible([1, 0])
+        assert not model.is_feasible([1, 1])
+
+    def test_wrong_length_infeasible(self):
+        assert not self.make_model().is_feasible([1])
+
+    def test_non_binary_infeasible(self):
+        assert not self.make_model().is_feasible([2, 0])
+
+    def test_objective_value(self):
+        model = self.make_model()
+        assert model.objective_value([1, 0]) == 3.0
+        assert model.objective_value([1, 1]) == 5.0
+
+    def test_constraint_satisfied_helper(self):
+        constraint = LinearConstraint({0: 2.0}, 1.0)
+        assert constraint.satisfied([0])
+        assert not constraint.satisfied([1])
+
+
+class TestSolveDispatch:
+    def test_unknown_method_rejected(self):
+        model = ILPModel()
+        model.add_variable("x", 1.0)
+        with pytest.raises(SolverError):
+            model.solve("quantum")
+
+    def test_empty_model_solves_trivially(self):
+        solution = ILPModel().solve()
+        assert solution.values == []
+        assert solution.objective == 0.0
+
+    def test_selected_indices(self):
+        model = ILPModel()
+        model.add_variable("a", 1.0)
+        model.add_variable("b", -1.0)
+        solution = model.solve()
+        assert solution.selected() == [0]

@@ -1,0 +1,87 @@
+"""AST unparse/walk tests: every query must survive a parse round-trip."""
+
+import pytest
+
+from repro.sql import ast
+from repro.sql.parser import parse_select
+
+
+QUERIES = [
+    "SELECT x FROM t",
+    "SELECT DISTINCT a, b AS c FROM t WHERE a > 5",
+    "SELECT sum(x * (1 - y)) FROM t GROUP BY z HAVING sum(x) > 0",
+    "SELECT 1 FROM a, b WHERE a.x = b.y AND a.z BETWEEN 1 AND 2",
+    "SELECT 1 FROM t WHERE x IN (1, 2) OR name LIKE 'A%'",
+    "SELECT 1 FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.k = t.k)",
+    "SELECT 1 FROM t WHERE x IN (SELECT y FROM u) ORDER BY x DESC LIMIT 5",
+    "SELECT 1 FROM a LEFT OUTER JOIN b ON a.x = b.x",
+    "SELECT CASE WHEN x > 0 THEN 1 ELSE 0 END FROM t",
+    "SELECT 1 FROM t WHERE x IS NOT NULL AND NOT y = 2",
+]
+
+
+class TestUnparseRoundTrip:
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_unparse_reparses_to_same_ast(self, sql):
+        first = parse_select(sql)
+        second = parse_select(first.unparse())
+        assert first == second
+
+    def test_unparse_escapes_string_quotes(self):
+        stmt = parse_select("SELECT 1 FROM t WHERE x = 'it''s'")
+        assert "it''s" in stmt.unparse()
+        assert parse_select(stmt.unparse()) == stmt
+
+
+class TestNodeRendering:
+    def test_column_ref(self):
+        assert ast.ColumnRef("t", "x").unparse() == "t.x"
+        assert ast.ColumnRef(None, "x").unparse() == "x"
+
+    def test_literals(self):
+        assert ast.Literal(5, "number").unparse() == "5"
+        assert ast.Literal("hi", "string").unparse() == "'hi'"
+        assert ast.Literal(None, "null").unparse() == "NULL"
+        assert ast.Literal(True, "bool").unparse() == "TRUE"
+
+    def test_star(self):
+        assert ast.Star().unparse() == "*"
+        assert ast.Star("t").unparse() == "t.*"
+
+    def test_func_call_distinct(self):
+        call = ast.FuncCall("count", (ast.ColumnRef(None, "x"),), distinct=True)
+        assert call.unparse() == "count(DISTINCT x)"
+
+    def test_cross_join_rendering(self):
+        join = ast.Join("cross", ast.TableRef("a"), ast.TableRef("b"), None)
+        assert join.unparse() == "a CROSS JOIN b"
+
+
+class TestWalk:
+    def test_walk_yields_all_column_refs(self):
+        stmt = parse_select(
+            "SELECT a.x FROM a, b WHERE a.y = b.z AND b.w IN (SELECT v FROM c)"
+        )
+        columns = {
+            node.column for node in ast.walk(stmt)
+            if isinstance(node, ast.ColumnRef)
+        }
+        assert columns == {"x", "y", "z", "w", "v"}
+
+    def test_walk_includes_root(self):
+        stmt = parse_select("SELECT 1")
+        assert stmt in list(ast.walk(stmt))
+
+    def test_walk_enters_case_branches(self):
+        stmt = parse_select(
+            "SELECT CASE WHEN a = 1 THEN b ELSE c END FROM t"
+        )
+        columns = {
+            node.column for node in ast.walk(stmt)
+            if isinstance(node, ast.ColumnRef)
+        }
+        assert columns == {"a", "b", "c"}
+
+    def test_nodes_are_hashable(self):
+        stmt = parse_select("SELECT x FROM t WHERE y = 1")
+        assert len({stmt, stmt}) == 1

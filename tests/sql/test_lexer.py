@@ -1,0 +1,178 @@
+"""Lexer unit tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SQLError
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [token.type for token in tokenize(text)]
+
+
+def values(text):
+    return [token.value for token in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_whitespace_only_yields_eof(self):
+        assert kinds("  \t\n ") == [TokenType.EOF]
+
+    def test_keyword_recognition(self):
+        tokens = tokenize("SELECT FROM WHERE")
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_keywords_are_case_insensitive(self):
+        assert values("select SELECT SeLeCt") == ["select"] * 3
+
+    def test_identifier(self):
+        tokens = tokenize("lineitem")
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "lineitem"
+
+    def test_identifiers_fold_to_lowercase(self):
+        assert values("LineItem MY_COL") == ["lineitem", "my_col"]
+
+    def test_underscore_identifier(self):
+        assert tokenize("_private")[0].type is TokenType.IDENT
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"Mixed Case"')
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "mixed case"
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(SQLError):
+            tokenize('"oops')
+
+
+class TestNumbers:
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.type is TokenType.NUMBER
+        assert token.value == "42"
+
+    def test_decimal(self):
+        assert tokenize("3.14")[0].value == "3.14"
+
+    def test_leading_dot_decimal(self):
+        assert tokenize(".5")[0].value == ".5"
+
+    def test_scientific_notation(self):
+        assert tokenize("1e6")[0].value == "1e6"
+        assert tokenize("2.5E-3")[0].value == "2.5E-3"
+
+    def test_number_with_second_dot_splits(self):
+        tokens = tokenize("1.2.3")
+        # "1.2" then ".3" (a dot followed by a digit starts a number).
+        assert tokens[0].value == "1.2"
+        assert tokens[1].value == ".3"
+
+    def test_e_without_digits_is_identifier_boundary(self):
+        tokens = tokenize("12e")
+        assert tokens[0].value == "12"
+        assert tokens[1].value == "e"
+
+
+class TestStrings:
+    def test_simple_string(self):
+        token = tokenize("'hello'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "hello"
+
+    def test_string_preserves_case(self):
+        assert tokenize("'BUILDING'")[0].value == "BUILDING"
+
+    def test_escaped_quote(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].value == ""
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLError) as excinfo:
+            tokenize("'oops")
+        assert excinfo.value.position == 0
+
+
+class TestOperatorsAndPunctuation:
+    @pytest.mark.parametrize("op", ["<=", ">=", "<>", "!=", "=", "<", ">", "+",
+                                    "-", "*", "/", "%", "||"])
+    def test_operator(self, op):
+        token = tokenize(op)[0]
+        assert token.type is TokenType.OPERATOR
+        assert token.value == op
+
+    def test_two_char_operators_not_split(self):
+        assert values("a <= b") == ["a", "<=", "b"]
+
+    @pytest.mark.parametrize("char", ["(", ")", ",", ".", ";"])
+    def test_punctuation(self, char):
+        assert tokenize(char)[0].type is TokenType.PUNCT
+
+    def test_unknown_character_raises_with_position(self):
+        with pytest.raises(SQLError) as excinfo:
+            tokenize("a @ b")
+        assert excinfo.value.position == 2
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert values("a -- comment\n b") == ["a", "b"]
+
+    def test_line_comment_at_eof(self):
+        assert values("a -- trailing") == ["a"]
+
+    def test_block_comment_skipped(self):
+        assert values("a /* hi */ b") == ["a", "b"]
+
+    def test_multiline_block_comment(self):
+        assert values("a /* line1\nline2 */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(SQLError):
+            tokenize("a /* oops")
+
+
+class TestPositions:
+    def test_positions_point_into_source(self):
+        text = "SELECT  x"
+        tokens = tokenize(text)
+        assert tokens[0].position == 0
+        assert tokens[1].position == 8
+
+    def test_is_keyword_helper(self):
+        token = Token(TokenType.KEYWORD, "select", 0)
+        assert token.is_keyword("select")
+        assert token.is_keyword("select", "from")
+        assert not token.is_keyword("from")
+        ident = Token(TokenType.IDENT, "select_col", 0)
+        assert not ident.is_keyword("select")
+
+
+class TestPropertyBased:
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=20))
+    def test_any_word_tokenizes_to_single_token(self, word):
+        tokens = tokenize(word)
+        assert len(tokens) == 2  # word + EOF
+        assert tokens[0].value == word
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_any_integer_round_trips(self, number):
+        token = tokenize(str(number))[0]
+        assert token.type is TokenType.NUMBER
+        assert int(token.value) == number
+
+    @given(st.text(alphabet=st.characters(blacklist_characters="'",
+                                          min_codepoint=32, max_codepoint=126),
+                   max_size=30))
+    def test_any_quoteless_string_literal_round_trips(self, body):
+        token = tokenize(f"'{body}'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == body

@@ -1,0 +1,300 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import SQLError
+from repro.sql import ast
+from repro.sql.parser import parse_select
+
+
+class TestSelectList:
+    def test_single_column(self):
+        stmt = parse_select("SELECT x FROM t")
+        assert len(stmt.items) == 1
+        assert stmt.items[0].expr == ast.ColumnRef(None, "x")
+
+    def test_multiple_columns(self):
+        stmt = parse_select("SELECT a, b, c FROM t")
+        assert [item.expr.column for item in stmt.items] == ["a", "b", "c"]
+
+    def test_qualified_column(self):
+        stmt = parse_select("SELECT t.x FROM t")
+        assert stmt.items[0].expr == ast.ColumnRef("t", "x")
+
+    def test_alias_with_as(self):
+        stmt = parse_select("SELECT x AS total FROM t")
+        assert stmt.items[0].alias == "total"
+
+    def test_alias_without_as(self):
+        stmt = parse_select("SELECT x total FROM t")
+        assert stmt.items[0].alias == "total"
+
+    def test_star(self):
+        stmt = parse_select("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+
+    def test_qualified_star(self):
+        stmt = parse_select("SELECT t.* FROM t")
+        assert stmt.items[0].expr == ast.Star(table="t")
+
+    def test_distinct(self):
+        assert parse_select("SELECT DISTINCT x FROM t").distinct
+        assert not parse_select("SELECT x FROM t").distinct
+
+    def test_select_without_from(self):
+        stmt = parse_select("SELECT 1")
+        assert stmt.from_clause == ()
+
+
+class TestFromClause:
+    def test_comma_join(self):
+        stmt = parse_select("SELECT 1 FROM a, b, c")
+        assert [ref.table for ref in stmt.from_clause] == ["a", "b", "c"]
+
+    def test_table_alias(self):
+        stmt = parse_select("SELECT 1 FROM lineitem l")
+        assert stmt.from_clause[0] == ast.TableRef("lineitem", "l")
+
+    def test_table_alias_with_as(self):
+        stmt = parse_select("SELECT 1 FROM lineitem AS l")
+        assert stmt.from_clause[0].alias == "l"
+
+    def test_inner_join(self):
+        stmt = parse_select("SELECT 1 FROM a JOIN b ON a.x = b.y")
+        join = stmt.from_clause[0]
+        assert isinstance(join, ast.Join)
+        assert join.kind == "inner"
+        assert isinstance(join.condition, ast.BinaryOp)
+
+    def test_left_outer_join(self):
+        stmt = parse_select("SELECT 1 FROM a LEFT OUTER JOIN b ON a.x = b.y")
+        assert stmt.from_clause[0].kind == "left"
+
+    def test_right_join_without_outer(self):
+        stmt = parse_select("SELECT 1 FROM a RIGHT JOIN b ON a.x = b.y")
+        assert stmt.from_clause[0].kind == "right"
+
+    def test_cross_join_has_no_condition(self):
+        stmt = parse_select("SELECT 1 FROM a CROSS JOIN b")
+        join = stmt.from_clause[0]
+        assert join.kind == "cross"
+        assert join.condition is None
+
+    def test_chained_joins_nest_left(self):
+        stmt = parse_select(
+            "SELECT 1 FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y"
+        )
+        outer = stmt.from_clause[0]
+        assert isinstance(outer.left, ast.Join)
+        assert outer.right.table == "c"
+
+    def test_join_requires_on(self):
+        with pytest.raises(SQLError):
+            parse_select("SELECT 1 FROM a JOIN b")
+
+
+class TestPredicates:
+    def test_comparison_operators_normalized(self):
+        stmt = parse_select("SELECT 1 FROM t WHERE a != b")
+        assert stmt.where.op == "<>"
+
+    def test_and_or_precedence(self):
+        stmt = parse_select("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        # OR binds loosest: (a=1) OR ((b=2) AND (c=3))
+        assert stmt.where.op == "or"
+        assert stmt.where.right.op == "and"
+
+    def test_not_precedence(self):
+        stmt = parse_select("SELECT 1 FROM t WHERE NOT a = 1 AND b = 2")
+        assert stmt.where.op == "and"
+        assert isinstance(stmt.where.left, ast.UnaryOp)
+
+    def test_between(self):
+        stmt = parse_select("SELECT 1 FROM t WHERE x BETWEEN 1 AND 10")
+        where = stmt.where
+        assert isinstance(where, ast.Between)
+        assert where.low == ast.Literal(1, "number")
+        assert where.high == ast.Literal(10, "number")
+
+    def test_not_between(self):
+        stmt = parse_select("SELECT 1 FROM t WHERE x NOT BETWEEN 1 AND 10")
+        assert stmt.where.negated
+
+    def test_in_list(self):
+        stmt = parse_select("SELECT 1 FROM t WHERE x IN (1, 2, 3)")
+        assert isinstance(stmt.where, ast.InList)
+        assert len(stmt.where.items) == 3
+
+    def test_not_in_list(self):
+        stmt = parse_select("SELECT 1 FROM t WHERE x NOT IN ('a', 'b')")
+        assert stmt.where.negated
+
+    def test_like(self):
+        stmt = parse_select("SELECT 1 FROM t WHERE name LIKE 'A%'")
+        assert stmt.where.op == "like"
+
+    def test_not_like(self):
+        stmt = parse_select("SELECT 1 FROM t WHERE name NOT LIKE '%x%'")
+        assert isinstance(stmt.where, ast.UnaryOp)
+        assert stmt.where.op == "not"
+
+    def test_is_null(self):
+        stmt = parse_select("SELECT 1 FROM t WHERE x IS NULL")
+        assert isinstance(stmt.where, ast.IsNull)
+        assert not stmt.where.negated
+
+    def test_is_not_null(self):
+        stmt = parse_select("SELECT 1 FROM t WHERE x IS NOT NULL")
+        assert stmt.where.negated
+
+    def test_dangling_not_raises(self):
+        with pytest.raises(SQLError):
+            parse_select("SELECT 1 FROM t WHERE x NOT 5")
+
+
+class TestSubqueries:
+    def test_exists(self):
+        stmt = parse_select(
+            "SELECT 1 FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.id = t.id)"
+        )
+        assert isinstance(stmt.where, ast.Exists)
+
+    def test_not_exists(self):
+        stmt = parse_select(
+            "SELECT 1 FROM t WHERE NOT EXISTS (SELECT 1 FROM u)"
+        )
+        assert isinstance(stmt.where, ast.UnaryOp)
+        assert isinstance(stmt.where.operand, ast.Exists)
+
+    def test_in_subquery(self):
+        stmt = parse_select(
+            "SELECT 1 FROM t WHERE x IN (SELECT y FROM u)"
+        )
+        assert isinstance(stmt.where, ast.InSubquery)
+
+    def test_scalar_subquery_in_comparison(self):
+        stmt = parse_select(
+            "SELECT 1 FROM t WHERE x > (SELECT avg(y) FROM u)"
+        )
+        assert isinstance(stmt.where.right, ast.ScalarSubquery)
+
+    def test_nested_subqueries(self):
+        stmt = parse_select(
+            "SELECT 1 FROM t WHERE x IN "
+            "(SELECT y FROM u WHERE y IN (SELECT z FROM v))"
+        )
+        inner = stmt.where.subquery.where
+        assert isinstance(inner, ast.InSubquery)
+
+
+class TestExpressions:
+    def test_arithmetic_precedence(self):
+        stmt = parse_select("SELECT a + b * c FROM t")
+        expr = stmt.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses_override_precedence(self):
+        stmt = parse_select("SELECT (a + b) * c FROM t")
+        assert stmt.items[0].expr.op == "*"
+
+    def test_unary_minus_folds_into_number(self):
+        stmt = parse_select("SELECT -5 FROM t")
+        assert stmt.items[0].expr == ast.Literal(-5, "number")
+
+    def test_unary_minus_on_column(self):
+        stmt = parse_select("SELECT -x FROM t")
+        assert isinstance(stmt.items[0].expr, ast.UnaryOp)
+
+    def test_function_call(self):
+        stmt = parse_select("SELECT sum(x) FROM t")
+        call = stmt.items[0].expr
+        assert call.name == "sum"
+        assert len(call.args) == 1
+
+    def test_count_star(self):
+        stmt = parse_select("SELECT count(*) FROM t")
+        assert isinstance(stmt.items[0].expr.args[0], ast.Star)
+
+    def test_count_distinct(self):
+        stmt = parse_select("SELECT count(DISTINCT x) FROM t")
+        assert stmt.items[0].expr.distinct
+
+    def test_zero_arg_function(self):
+        stmt = parse_select("SELECT now() FROM t")
+        assert stmt.items[0].expr.args == ()
+
+    def test_date_literal(self):
+        stmt = parse_select("SELECT 1 FROM t WHERE d < date '1995-01-01'")
+        assert stmt.where.right == ast.Literal("1995-01-01", "string")
+
+    def test_case_expression(self):
+        stmt = parse_select(
+            "SELECT CASE WHEN x > 0 THEN 'pos' ELSE 'neg' END FROM t"
+        )
+        case = stmt.items[0].expr
+        assert isinstance(case, ast.CaseExpr)
+        assert len(case.branches) == 1
+        assert case.default is not None
+
+    def test_case_requires_when(self):
+        with pytest.raises(SQLError):
+            parse_select("SELECT CASE END FROM t")
+
+    def test_boolean_literals(self):
+        stmt = parse_select("SELECT true, false FROM t")
+        assert stmt.items[0].expr == ast.Literal(True, "bool")
+        assert stmt.items[1].expr == ast.Literal(False, "bool")
+
+    def test_null_literal(self):
+        stmt = parse_select("SELECT NULL FROM t")
+        assert stmt.items[0].expr.kind == "null"
+
+    def test_string_concatenation(self):
+        stmt = parse_select("SELECT a || b FROM t")
+        assert stmt.items[0].expr.op == "||"
+
+
+class TestClauses:
+    def test_group_by(self):
+        stmt = parse_select("SELECT x, count(*) FROM t GROUP BY x, y")
+        assert len(stmt.group_by) == 2
+
+    def test_having(self):
+        stmt = parse_select(
+            "SELECT x FROM t GROUP BY x HAVING count(*) > 5"
+        )
+        assert stmt.having is not None
+
+    def test_order_by_with_directions(self):
+        stmt = parse_select("SELECT x FROM t ORDER BY a DESC, b ASC, c")
+        assert [o.descending for o in stmt.order_by] == [True, False, False]
+
+    def test_limit(self):
+        assert parse_select("SELECT x FROM t LIMIT 10").limit == 10
+
+    def test_limit_requires_number(self):
+        with pytest.raises(SQLError):
+            parse_select("SELECT x FROM t LIMIT all")
+
+    def test_trailing_semicolon_allowed(self):
+        assert parse_select("SELECT 1;").items
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(SQLError):
+            parse_select("SELECT 1 FROM t garbage extra tokens")
+
+
+class TestErrorMessages:
+    def test_error_carries_position(self):
+        with pytest.raises(SQLError) as excinfo:
+            parse_select("SELECT FROM t")
+        assert excinfo.value.position is not None
+
+    def test_empty_input_raises(self):
+        with pytest.raises(SQLError):
+            parse_select("")
+
+    def test_missing_closing_paren(self):
+        with pytest.raises(SQLError):
+            parse_select("SELECT (1 + 2 FROM t")

@@ -1,0 +1,37 @@
+"""Exception hierarchy tests."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.SQLError,
+            errors.CatalogError,
+            errors.ConfigurationError,
+            errors.KnobError,
+            errors.SolverError,
+            errors.LLMError,
+            errors.BudgetExceededError,
+            errors.SchedulerError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_knob_error_is_configuration_error(self):
+        assert issubclass(errors.KnobError, errors.ConfigurationError)
+
+    def test_sql_error_position(self):
+        error = errors.SQLError("bad", position=7)
+        assert error.position == 7
+        assert errors.SQLError("bad").position is None
+
+    def test_package_reexports(self):
+        import repro
+
+        assert repro.ReproError is errors.ReproError
+        assert repro.__version__

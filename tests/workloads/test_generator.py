@@ -1,0 +1,113 @@
+"""Synthetic workload generator tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.workloads.generator import (
+    GeneratorConfig,
+    WorkloadGenerator,
+    synthetic_workload,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        GeneratorConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fact_tables": 0},
+            {"dimension_tables": 0},
+            {"queries": 0},
+            {"max_joins_per_query": -1},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ReproError):
+            WorkloadGenerator(GeneratorConfig(**kwargs))
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        a = synthetic_workload(seed=7)
+        b = synthetic_workload(seed=7)
+        assert [q.sql for q in a.queries] == [q.sql for q in b.queries]
+        assert {t.name for t in a.catalog.tables} == {
+            t.name for t in b.catalog.tables
+        }
+
+    def test_different_seeds_differ(self):
+        a = synthetic_workload(seed=1)
+        b = synthetic_workload(seed=2)
+        assert [q.sql for q in a.queries] != [q.sql for q in b.queries]
+
+    def test_query_count_respected(self):
+        workload = synthetic_workload(seed=3, queries=7)
+        assert len(workload.queries) == 7
+
+    def test_schema_shape(self):
+        config = GeneratorConfig(fact_tables=2, dimension_tables=4, seed=5)
+        workload = WorkloadGenerator(config).generate()
+        facts = [t for t in workload.catalog.tables if t.name.startswith("fact_")]
+        dims = [t for t in workload.catalog.tables if t.name.startswith("dim_")]
+        assert len(facts) == 2
+        assert len(dims) == 4
+
+    def test_queries_analyze_with_joins(self):
+        workload = synthetic_workload(seed=11, queries=20)
+        joined = [q for q in workload.queries if q.info.join_conditions]
+        assert joined  # star joins must appear
+
+    def test_scale_parameter(self):
+        small = synthetic_workload(seed=4, scale=0.1)
+        large = synthetic_workload(seed=4, scale=10.0)
+        assert large.catalog.total_size_bytes > small.catalog.total_size_bytes
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_any_seed_generates_valid_workload(self, seed):
+        workload = synthetic_workload(seed=seed, queries=5)
+        assert len(workload.queries) == 5
+        for query in workload.queries:
+            assert query.info.tables
+            for table in query.info.tables:
+                assert workload.catalog.has_table(table)
+
+
+class TestGeneratedWorkloadsAreTunable:
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=0, max_value=500))
+    def test_lambda_tune_never_crashes_and_never_loses(self, seed):
+        """Property: on arbitrary synthetic workloads (which cannot be
+        in any training data), lambda-Tune completes and returns a
+        configuration no worse than ~the default."""
+        from repro.core import LambdaTune, LambdaTuneOptions
+        from repro.db.postgres import PostgresEngine
+        from repro.llm import SimulatedLLM
+
+        workload = synthetic_workload(seed=seed, queries=6, scale=0.3)
+        engine = PostgresEngine(workload.catalog)
+        default_time = sum(
+            engine.estimate_seconds(query) for query in workload.queries
+        )
+        tuner = LambdaTune(
+            PostgresEngine(workload.catalog),
+            SimulatedLLM(),
+            LambdaTuneOptions(initial_timeout=0.2, alpha=2.0, token_budget=300),
+        )
+        result = tuner.tune(list(workload.queries))
+        assert result.best_config is not None
+        assert result.best_time <= default_time * 1.1
+
+    def test_baselines_run_on_synthetic(self):
+        from repro.baselines import GPTunerTuner
+        from repro.db.postgres import PostgresEngine
+
+        workload = synthetic_workload(seed=42, queries=5, scale=0.2)
+        engine = PostgresEngine(workload.catalog)
+        result = GPTunerTuner(seed=0, trial_timeout=60.0).tune(
+            workload, engine, 60.0
+        )
+        assert result.configs_evaluated > 0

@@ -1,0 +1,128 @@
+"""Workload construction tests: TPC-H, TPC-DS, JOB."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads import WORKLOAD_NAMES, load_workload
+from repro.workloads.base import Query, Workload
+from repro.workloads.job import job_catalog, job_query_sql
+from repro.workloads.tpcds import tpcds_catalog
+from repro.workloads.tpch import tpch_catalog
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_all_registered_workloads_build(self, name):
+        workload = load_workload(name)
+        assert len(workload.queries) > 0
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ReproError):
+            load_workload("tpc-z")
+
+    def test_aliases(self):
+        assert load_workload("tpch").name == "tpch-sf1"
+
+
+class TestTPCH:
+    def test_official_query_count(self, tpch):
+        assert len(tpch.queries) == 22
+        assert [q.name for q in tpch.queries] == [f"q{i}" for i in range(1, 23)]
+
+    def test_official_table_cardinalities(self):
+        catalog = tpch_catalog(1.0)
+        assert catalog.table("lineitem").rows == 6_001_215
+        assert catalog.table("orders").rows == 1_500_000
+        assert catalog.table("region").rows == 5
+
+    def test_scale_factor_ten(self):
+        catalog = tpch_catalog(10.0)
+        assert catalog.table("lineitem").rows == 60_012_150
+
+    def test_q3_structure(self, tpch):
+        info = tpch.query("q3").info
+        assert info.tables == {"customer", "orders", "lineitem"}
+        assert len(info.join_conditions) == 2
+
+    def test_q1_has_no_joins(self, tpch):
+        info = tpch.query("q1").info
+        assert info.tables == {"lineitem"}
+        assert not info.join_conditions
+
+    def test_aggregates_present(self, tpch):
+        assert "sum" in tpch.query("q1").info.aggregates
+
+    def test_workload_join_conditions_union(self, tpch):
+        conditions = {str(c) for c in tpch.join_conditions}
+        assert "lineitem.l_orderkey = orders.o_orderkey" in conditions
+        assert "customer.c_custkey = orders.o_custkey" in conditions
+
+
+class TestJOB:
+    def test_official_query_count(self, job):
+        assert len(job.queries) == 113
+
+    def test_family_variant_naming(self, job):
+        names = [q.name for q in job.queries]
+        assert "1a" in names and "17f" in names and "33c" in names
+
+    def test_imdb_cardinalities(self):
+        catalog = job_catalog()
+        assert catalog.table("cast_info").rows == 36_244_344
+        assert catalog.table("title").rows == 2_528_312
+        assert len(catalog.tables) == 21
+
+    def test_queries_parse_uniquely(self):
+        pairs = job_query_sql()
+        names = [name for name, _ in pairs]
+        assert len(names) == len(set(names)) == 113
+
+    def test_every_query_joins_title_family(self, job):
+        # Every JOB query touches a movie-graph table.
+        for query in job.queries:
+            assert query.info.tables & {"title", "movie_link"}, query.name
+
+    def test_variants_share_structure_not_constants(self, job):
+        a = job.query("2a")
+        b = job.query("2b")
+        assert a.info.join_conditions == b.info.join_conditions
+        assert a.sql != b.sql
+
+
+class TestTPCDS:
+    def test_query_count(self):
+        workload = load_workload("tpcds-sf1")
+        assert len(workload.queries) == 25
+
+    def test_fact_table_cardinalities(self):
+        catalog = tpcds_catalog(1.0)
+        assert catalog.table("store_sales").rows == 2_880_404
+        assert catalog.table("inventory").rows == 11_745_000
+
+    def test_star_join_structure(self):
+        workload = load_workload("tpcds-sf1")
+        info = workload.query("q3").info
+        assert info.tables == {"date_dim", "store_sales", "item"}
+
+
+class TestWorkloadContainer:
+    def test_duplicate_query_names_rejected(self, tiny_catalog):
+        query = Query.from_sql("q", "SELECT count(*) FROM users", tiny_catalog)
+        with pytest.raises(ReproError):
+            Workload("w", tiny_catalog, [query, query])
+
+    def test_query_lookup(self, tiny_workload):
+        assert tiny_workload.query("join_all").name == "join_all"
+        with pytest.raises(ReproError):
+            tiny_workload.query("missing")
+
+    def test_subset(self, tiny_workload):
+        subset = tiny_workload.subset(["join_all", "by_country"])
+        assert [q.name for q in subset.queries] == ["join_all", "by_country"]
+
+    def test_from_sql_rejects_unknown_table(self, tiny_catalog):
+        with pytest.raises(ReproError):
+            Query.from_sql("bad", "SELECT 1 FROM ghosts", tiny_catalog)
+
+    def test_len(self, tiny_workload):
+        assert len(tiny_workload) == 3
