@@ -15,6 +15,8 @@ from repro.db.postgres import PostgresEngine
 from repro.sql.analyzer import JoinCondition
 from repro.workloads import load_workload
 
+pytestmark = pytest.mark.slow
+
 
 class TestTimeoutProgression:
     """Geometric vs linear timeout progressions (Theorem 4.3 motivates

@@ -7,12 +7,16 @@ quality but cost evaluation time; temperature 0 removes both outliers
 and diversity.
 """
 
+import pytest
+
 import math
 
 from repro.bench.runner import run_lambda_tune
 from repro.bench.scenarios import Scenario
 from repro.core.tuner import LambdaTuneOptions
 from repro.workloads import load_workload
+
+pytestmark = pytest.mark.slow
 
 BASE = LambdaTuneOptions(token_budget=400, initial_timeout=0.5, alpha=2.0)
 

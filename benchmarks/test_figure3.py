@@ -5,10 +5,14 @@ Paper shape: lambda-Tune's curve starts early and sits at or near the
 bottom; sampled-search baselines need longer to reach comparable quality.
 """
 
+import pytest
+
 import math
 
 from repro.bench.figures import convergence_figure
 from repro.bench.scenarios import Scenario
+
+pytestmark = pytest.mark.slow
 
 
 def test_figure3(benchmark, quick_budget, quick_options):

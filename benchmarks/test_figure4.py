@@ -6,11 +6,15 @@ Dexter's indexes reach far lower execution times than the no-index
 defaults; lambda-Tune converges fastest.
 """
 
+import pytest
+
 import math
 
 from repro.bench.figures import convergence_figure
 from repro.bench.runner import run_scenario
 from repro.bench.scenarios import Scenario
+
+pytestmark = pytest.mark.slow
 
 
 def test_figure4(benchmark, quick_budget, quick_options):

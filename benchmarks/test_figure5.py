@@ -4,7 +4,11 @@
 Paper shape: gains or at-least-equal performance for every single query.
 """
 
+import pytest
+
 from repro.bench.figures import figure5
+
+pytestmark = pytest.mark.slow
 
 
 def test_figure5(benchmark):

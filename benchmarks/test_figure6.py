@@ -8,11 +8,23 @@ Paper shapes:
 - obfuscating identifiers changes virtually nothing (§6.4.3),
 - disabling the compressor (raw SQL prompts) hurts both convergence and
   final quality (§6.4.4).
+
+A historical seed-time failure of the 6.4.1 assertion turned out to be
+``PYTHONHASHSEED`` sensitivity, not a selector bug: the planner's
+join-order start pick, the mock LLM's join-graph insertion order and the
+scheduler's marginal-cost summation all iterated sets, so timings (and
+hence the adaptive-timeout trajectory) varied per hash seed.  Those
+iteration orders are now canonical and the adaptive-timeout bookkeeping
+(cumulative ``index_time`` as a conservative per-round rebuild bound) is
+correct as written; the test passes under any hash seed, guarded by
+``tests/integration/test_determinism.py``.
 """
 
 import pytest
 
 from repro.bench.figures import figure6
+
+pytestmark = pytest.mark.slow
 
 
 def test_figure6(benchmark):

@@ -5,7 +5,11 @@ quality noticeably; moderate budgets are near-optimal; pasting full SQL
 costs >10x the tokens and performs worse.
 """
 
+import pytest
+
 from repro.bench.figures import figure7
+
+pytestmark = pytest.mark.slow
 
 
 def test_figure7(benchmark):

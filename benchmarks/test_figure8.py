@@ -5,7 +5,11 @@ the specialized advisors (Dexter, DB2) are at least as good as
 lambda-Tune on most benchmarks.
 """
 
+import pytest
+
 from repro.bench.figures import figure8
+
+pytestmark = pytest.mark.slow
 
 
 def test_figure8(benchmark):

@@ -1,0 +1,73 @@
+"""Perf-regression guards for the scheduler/evaluation hot path.
+
+Microbenchmarks the bitmask DP core at representative cluster counts
+(n = 8 / 11 / 13, the paper's §5.4 cap) on fixed randomized instances,
+plus the full ``tune()`` pipeline on TPC-H and JOB with the memoization
+layers on.  Run with ``--benchmark-json`` to feed ``scripts/bench.py``:
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_scheduler.py \
+        -m slow --benchmark-json=bench.json
+
+Each benchmark also asserts correctness (optimal-order equality with
+the executable specification; identical results across runs), so a
+perf run doubles as a regression test.
+"""
+
+import random
+
+import pytest
+
+from repro.core import LambdaTune
+from repro.core.scheduler import (
+    compute_order_dp,
+    compute_order_dp_reference,
+)
+from repro.db.postgres import PostgresEngine
+from repro.llm import SimulatedLLM
+from repro.workloads import job_workload, tpch_workload
+
+pytestmark = pytest.mark.slow
+
+
+def _instance(n_queries: int, seed: int = 99):
+    rng = random.Random(seed)
+    index_names = [f"i{k}" for k in range(2 * n_queries)]
+    costs = {name: rng.uniform(0.1, 30.0) for name in index_names}
+    index_map = {
+        f"q{q}": frozenset(rng.sample(index_names, rng.randint(1, 5)))
+        for q in range(n_queries)
+    }
+    return list(index_map), index_map, costs
+
+
+@pytest.mark.parametrize("n_queries", [8, 11, 13])
+def test_dp_bitmask(benchmark, n_queries):
+    queries, index_map, costs = _instance(n_queries)
+    order = benchmark(compute_order_dp, queries, index_map, costs)
+    assert order == compute_order_dp_reference(queries, index_map, costs)
+
+
+@pytest.mark.parametrize("n_queries", [13])
+def test_dp_reference(benchmark, n_queries):
+    """The pre-rewrite formulation, benchmarked for the speedup ratio."""
+    queries, index_map, costs = _instance(n_queries)
+    order = benchmark(compute_order_dp_reference, queries, index_map, costs)
+    assert order == compute_order_dp(queries, index_map, costs)
+
+
+@pytest.mark.parametrize("workload_name", ["tpch", "job"])
+def test_full_tune(benchmark, quick_options, workload_name):
+    workload = tpch_workload() if workload_name == "tpch" else job_workload()
+
+    def run():
+        tuner = LambdaTune(
+            PostgresEngine(workload.catalog),
+            SimulatedLLM(),
+            quick_options,
+        )
+        return tuner.tune(list(workload.queries))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    repeat = run()
+    assert repeat.best_time == result.best_time
+    assert repeat.tuning_seconds == result.tuning_seconds

@@ -4,8 +4,12 @@ Paper shape to verify: lambda-Tune has the lowest (or tied-lowest)
 average scaled cost and never degenerates badly; ParamTree is worst.
 """
 
+import pytest
+
 from repro.bench.scenarios import Scenario
 from repro.bench.tables import table3
+
+pytestmark = pytest.mark.slow
 
 SCENARIOS = [
     Scenario("tpch-sf1", "postgres", True),

@@ -5,9 +5,13 @@ ParamTree 1; the search-based baselines one to two orders of magnitude
 more at SF1.
 """
 
+import pytest
+
 from repro.bench.runner import run_scenario
 from repro.bench.scenarios import Scenario
 from repro.bench.tables import Table4
+
+pytestmark = pytest.mark.slow
 
 
 def test_table4(benchmark, quick_budget, quick_options):

@@ -7,7 +7,11 @@ index use (random_page_cost 1.1, large effective_cache_size), indexes on
 frequently-joined TPC-H columns.
 """
 
+import pytest
+
 from repro.bench.tables import table5
+
+pytestmark = pytest.mark.slow
 
 
 def test_table5(benchmark):

@@ -1,0 +1,289 @@
+#!/usr/bin/env python
+"""Perf-regression harness for the scheduler/evaluation hot path.
+
+Measures the optimized implementations against the retained reference
+implementations and verifies bit-identical results:
+
+1. DP microbench: ``compute_order_dp`` (bitmask core) vs
+   ``compute_order_dp_reference`` (pre-rewrite dict/frozenset spec) at
+   n = 8 / 11 / 13 clusters, asserting identical orders.
+2. Full ``tune()`` on TPC-H and JOB, optimized (engine + evaluator
+   caches on, bitmask DP) vs reference (all caches off, reference DP),
+   asserting byte-identical ``TuningResult`` fingerprints.
+3. Optionally consumes ``pytest-benchmark`` stats from
+   ``benchmarks/test_perf_scheduler.py`` via ``--benchmark-json``.
+
+Writes the combined report to ``BENCH_1.json`` (or ``--output``):
+
+    PYTHONPATH=src python scripts/bench.py
+    PYTHONPATH=src python scripts/bench.py --skip-pytest --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import json
+import os
+import random
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+import repro.core.evaluator as evaluator_module  # noqa: E402
+import repro.core.tuner as tuner_module  # noqa: E402
+import repro.db.engine as engine_module  # noqa: E402
+from repro.core import LambdaTune, LambdaTuneOptions  # noqa: E402
+from repro.core.evaluator import ConfigurationEvaluator  # noqa: E402
+from repro.core.scheduler import (  # noqa: E402
+    compute_order_dp,
+    compute_order_dp_reference,
+)
+from repro.db.postgres import PostgresEngine  # noqa: E402
+from repro.workloads import job_workload, tpch_workload  # noqa: E402
+
+TUNE_OPTIONS = LambdaTuneOptions(
+    token_budget=400, initial_timeout=0.5, alpha=2.0, seed=9
+)
+
+
+# -- DP microbench ------------------------------------------------------------
+
+
+def _dp_instance(n_queries: int, seed: int = 99):
+    rng = random.Random(seed)
+    index_names = [f"i{k}" for k in range(2 * n_queries)]
+    costs = {name: rng.uniform(0.1, 30.0) for name in index_names}
+    index_map = {
+        f"q{q}": frozenset(rng.sample(index_names, rng.randint(1, 5)))
+        for q in range(n_queries)
+    }
+    return list(index_map), index_map, costs
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best-of-N wall-clock seconds (insensitive to scheduler jitter)."""
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def dp_microbench(repeats: int) -> dict:
+    report = {}
+    for n_queries in (8, 11, 13):
+        queries, index_map, costs = _dp_instance(n_queries)
+        bitmask_order = compute_order_dp(queries, index_map, costs)
+        reference_order = compute_order_dp_reference(queries, index_map, costs)
+        assert bitmask_order == reference_order, "DP rewrite diverged from spec"
+        bitmask = _best_of(
+            lambda: compute_order_dp(queries, index_map, costs), repeats
+        )
+        reference = _best_of(
+            lambda: compute_order_dp_reference(queries, index_map, costs),
+            max(3, repeats // 4),
+        )
+        report[f"n={n_queries}"] = {
+            "reference_ms": round(reference * 1e3, 4),
+            "bitmask_ms": round(bitmask * 1e3, 4),
+            "speedup": round(reference / bitmask, 2),
+            "orders_identical": True,
+        }
+    return report
+
+
+# -- full tune() --------------------------------------------------------------
+
+
+def _fingerprint(result) -> dict:
+    """Deterministic, exact (repr of floats) digest of a TuningResult."""
+    meta = result.extras.get("meta", {})
+    return {
+        "best_time": repr(result.best_time),
+        "tuning_seconds": repr(result.tuning_seconds),
+        "best_config": result.best_config.name if result.best_config else None,
+        "configs_evaluated": result.configs_evaluated,
+        "rounds": result.extras.get("rounds"),
+        "trace": [
+            (repr(point.time), repr(point.best_time)) for point in result.trace
+        ],
+        "meta": {
+            name: {
+                "time": repr(m.time),
+                "is_complete": m.is_complete,
+                "index_time": repr(m.index_time),
+                "completed_queries": sorted(m.completed_queries),
+            }
+            for name, m in sorted(meta.items())
+        },
+    }
+
+
+def _tune_once(workload):
+    from repro.llm import SimulatedLLM
+
+    tuner = LambdaTune(
+        PostgresEngine(workload.catalog), SimulatedLLM(), TUNE_OPTIONS
+    )
+    return tuner.tune(list(workload.queries))
+
+
+def _timed_tune(workload) -> tuple[dict, float]:
+    start = time.perf_counter()
+    result = _tune_once(workload)
+    elapsed = time.perf_counter() - start
+    return _fingerprint(result), elapsed
+
+
+class _reference_mode:
+    """Disable every optimization: caches off, reference DP."""
+
+    def __enter__(self):
+        self._caches = engine_module.CACHES_ENABLED
+        self._dp = evaluator_module.compute_order_dp
+        self._evaluator = tuner_module.ConfigurationEvaluator
+        engine_module.CACHES_ENABLED = False
+        evaluator_module.compute_order_dp = compute_order_dp_reference
+        tuner_module.ConfigurationEvaluator = functools.partial(
+            ConfigurationEvaluator, enable_caches=False
+        )
+        return self
+
+    def __exit__(self, *exc):
+        engine_module.CACHES_ENABLED = self._caches
+        evaluator_module.compute_order_dp = self._dp
+        tuner_module.ConfigurationEvaluator = self._evaluator
+        return False
+
+
+def tune_benchmark(workload_name: str, rounds: int) -> dict:
+    workload = tpch_workload() if workload_name == "tpch" else job_workload()
+
+    optimized_prints, optimized_times = [], []
+    for _ in range(rounds):
+        fingerprint, elapsed = _timed_tune(workload)
+        optimized_prints.append(fingerprint)
+        optimized_times.append(elapsed)
+
+    with _reference_mode():
+        reference_print, reference_time = _timed_tune(workload)
+
+    assert all(p == optimized_prints[0] for p in optimized_prints), (
+        f"{workload_name}: optimized runs are not deterministic"
+    )
+    identical = optimized_prints[0] == reference_print
+    assert identical, (
+        f"{workload_name}: optimized TuningResult diverged from reference"
+    )
+    optimized = min(optimized_times)
+    return {
+        "optimized_s": round(optimized, 4),
+        "reference_s": round(reference_time, 4),
+        "speedup": round(reference_time / optimized, 2),
+        "result_identical": identical,
+        "best_time": optimized_prints[0]["best_time"],
+        "tuning_seconds": optimized_prints[0]["tuning_seconds"],
+    }
+
+
+# -- pytest-benchmark consumption ---------------------------------------------
+
+
+def pytest_benchmarks() -> dict | None:
+    """Run the perf suite with --benchmark-json and summarize its stats."""
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "pytest_bench.json"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                "benchmarks/test_perf_scheduler.py",
+                "-m",
+                "slow",
+                f"--benchmark-json={json_path}",
+            ],
+            cwd=REPO,
+            env={**os.environ, "PYTHONPATH": str(REPO / "src")},
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            print(proc.stdout[-2000:], file=sys.stderr)
+            raise SystemExit("pytest benchmark run failed")
+        data = json.loads(json_path.read_text())
+    return {
+        bench["name"]: {
+            "mean_ms": round(bench["stats"]["mean"] * 1e3, 4),
+            "min_ms": round(bench["stats"]["min"] * 1e3, 4),
+            "rounds": bench["stats"]["rounds"],
+        }
+        for bench in data["benchmarks"]
+    }
+
+
+# -- entry point --------------------------------------------------------------
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", type=Path, default=REPO / "BENCH_1.json",
+        help="report destination (default: BENCH_1.json at the repo root)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer repeats; for smoke-testing the harness itself",
+    )
+    parser.add_argument(
+        "--skip-pytest", action="store_true",
+        help="skip the pytest-benchmark suite (microbench + tune only)",
+    )
+    args = parser.parse_args()
+
+    if not args.output.parent.is_dir():
+        parser.error(f"output directory does not exist: {args.output.parent}")
+
+    dp_repeats = 5 if args.quick else 30
+    tune_rounds = 1 if args.quick else 3
+
+    print("== DP microbench (bitmask vs reference) ==")
+    dp_report = dp_microbench(dp_repeats)
+    for label, row in dp_report.items():
+        print(
+            f"  {label}: {row['reference_ms']:.2f} ms -> "
+            f"{row['bitmask_ms']:.2f} ms ({row['speedup']}x)"
+        )
+
+    tune_report = {}
+    for workload_name in ("tpch", "job"):
+        print(f"== full tune() on {workload_name} ==")
+        tune_report[workload_name] = tune_benchmark(workload_name, tune_rounds)
+        row = tune_report[workload_name]
+        print(
+            f"  {row['reference_s']:.2f} s -> {row['optimized_s']:.2f} s "
+            f"({row['speedup']}x), identical={row['result_identical']}"
+        )
+
+    report = {
+        "dp_microbench": dp_report,
+        "full_tune": tune_report,
+        "python": sys.version.split()[0],
+    }
+    if not args.skip_pytest:
+        print("== pytest-benchmark suite ==")
+        report["pytest_benchmarks"] = pytest_benchmarks()
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report written to {args.output}")
+
+
+if __name__ == "__main__":
+    main()

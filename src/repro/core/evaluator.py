@@ -14,6 +14,15 @@ not-yet-completed queries under a timeout:
 - per-configuration metadata -- completed query time, completion flag,
   cumulative index time, completed query set -- is updated in place,
   exactly the ``ConfigMeta`` of the paper's Table 2.
+
+Selection (Algorithm 2) calls ``evaluate`` for the same configurations
+round after round while the pending-query set only shrinks, so the
+expensive pure derivations -- query-index maps, index-creation-cost
+maps, clustering plus the 2^n-state DP order -- are memoized, keyed by
+``(configuration signature, engine state signature, pending queries)``.
+A cache hit returns exactly what recomputation would: every input that
+could change the result is part of the key, so the memoization is
+bit-transparent (same seed => identical ``TuningResult``).
 """
 
 from __future__ import annotations
@@ -26,6 +35,10 @@ from repro.core.scheduler import MAX_DP_INPUT, compute_order_dp, greedy_order
 from repro.db.engine import DatabaseEngine
 from repro.db.indexes import Index
 from repro.workloads.base import Query
+
+#: Safety valve: drop memoized derivations if a pathological workload
+#: would otherwise grow them without bound.
+_MAX_CACHE_ENTRIES = 4096
 
 
 @dataclass(slots=True)
@@ -55,12 +68,41 @@ class ConfigurationEvaluator:
         lazy_indexes: bool = True,
         max_dp_input: int = MAX_DP_INPUT,
         cluster_seed: int = 0,
+        enable_caches: bool = True,
     ) -> None:
         self._engine = engine
         self._use_scheduler = use_scheduler
         self._lazy_indexes = lazy_indexes
         self._max_dp_input = max_dp_input
         self._cluster_seed = cluster_seed
+        self._enable_caches = enable_caches
+        # query-name tuple + config signature -> {name: relevant indexes}
+        self._index_map_cache: dict[tuple, dict[str, frozenset]] = {}
+        # config signature + engine signature -> {index: creation seconds}
+        self._index_cost_cache: dict[tuple, dict[Index, float]] = {}
+        # query-name tuple + config signature + engine signature -> order
+        self._order_cache: dict[tuple, list[str]] = {}
+
+    # -- cache keys -----------------------------------------------------------------
+
+    @staticmethod
+    def _config_key(config: Configuration) -> tuple:
+        """Identity of a configuration's tuning content.
+
+        Covers name, parameter settings and the recommended index set,
+        so mutating a configuration mid-selection invalidates every
+        derived cache entry.
+        """
+        return (
+            config.name,
+            tuple(sorted(config.settings.items())),
+            tuple(index.key for index in config.indexes),
+        )
+
+    @staticmethod
+    def _evict_if_full(cache: dict) -> None:
+        if len(cache) > _MAX_CACHE_ENTRIES:
+            cache.clear()
 
     # -- index relevance ------------------------------------------------------------
 
@@ -71,7 +113,20 @@ class ConfigurationEvaluator:
 
         An index is potentially relevant when its indexed columns
         overlap the columns in the query's predicates (paper §5.1).
+        Memoized per (pending queries, configuration content): the
+        relevance relation reads only the analyzer facts and the config
+        index list, neither of which changes within a selection.
         """
+        key = None
+        if self._enable_caches:
+            key = (
+                tuple(query.name for query in queries),
+                self._config_key(config),
+            )
+            cached = self._index_map_cache.get(key)
+            if cached is not None:
+                return cached
+
         result: dict[str, frozenset] = {}
         for query in queries:
             predicate_columns = {
@@ -88,6 +143,35 @@ class ConfigurationEvaluator:
                 )
             )
             result[query.name] = relevant
+
+        if key is not None:
+            self._evict_if_full(self._index_map_cache)
+            self._index_map_cache[key] = result
+        return result
+
+    # -- index creation costs ---------------------------------------------------------
+
+    def index_cost_map(self, config: Configuration) -> dict[Index, float]:
+        """Estimated creation seconds per recommended index.
+
+        Memoized per (configuration content, engine state): the engine
+        signature covers both the knob settings (which size the
+        maintenance memory) and the current physical design (already
+        present indexes cost zero).
+        """
+        key = None
+        if self._enable_caches:
+            key = (self._config_key(config), self._engine.config_signature)
+            cached = self._index_cost_cache.get(key)
+            if cached is not None:
+                return cached
+        result = {
+            index: self._engine.index_creation_seconds(index)
+            for index in config.indexes
+        }
+        if key is not None:
+            self._evict_if_full(self._index_cost_cache)
+            self._index_cost_cache[key] = result
         return result
 
     # -- ordering -----------------------------------------------------------------------
@@ -95,15 +179,30 @@ class ConfigurationEvaluator:
     def plan_order(
         self, queries: list[Query], config: Configuration
     ) -> list[Query]:
-        """Choose the execution order (Algorithm 4 over clusters)."""
+        """Choose the execution order (Algorithm 4 over clusters).
+
+        The computed order is memoized keyed by (pending queries,
+        configuration content, engine state signature); repeated
+        ``evaluate`` calls across selection rounds rerun clustering and
+        the exponential DP only when an input actually changed.
+        """
         if not self._use_scheduler or len(queries) <= 1:
             return list(queries)
 
+        key = None
+        if self._enable_caches:
+            key = (
+                tuple(query.name for query in queries),
+                self._config_key(config),
+                self._engine.config_signature,
+            )
+            cached = self._order_cache.get(key)
+            if cached is not None:
+                by_name = {query.name: query for query in queries}
+                return [by_name[name] for name in cached]
+
         index_map = self.query_index_map(queries, config)
-        index_cost = {
-            index: self._engine.index_creation_seconds(index)
-            for index in config.indexes
-        }
+        index_cost = self.index_cost_map(config)
 
         clusters = cluster_queries(
             [query.name for query in queries],
@@ -129,6 +228,10 @@ class ConfigurationEvaluator:
         for handle in ordered_handles:
             for name in clusters[handle].queries:
                 ordered.append(by_name[name])
+
+        if key is not None:
+            self._evict_if_full(self._order_cache)
+            self._order_cache[key] = [query.name for query in ordered]
         return ordered
 
     # -- evaluation (Algorithm 3) ----------------------------------------------------------

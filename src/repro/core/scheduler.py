@@ -8,12 +8,34 @@ greedy/arbitrary orders used by the scheduler ablation.
 Queries are identified by opaque hashable handles; the caller supplies
 ``index_map`` (handle -> set of index keys potentially useful for that
 query) and ``index_cost`` (index key -> creation seconds).
+
+Two DP implementations are provided:
+
+- :func:`compute_order_dp` -- the production bitmask core.  Index sets
+  are encoded as integers over a canonical (str-sorted) index universe,
+  DP state lives in flat arrays of size ``2^n`` indexed by subset mask,
+  order reconstruction uses parent pointers instead of per-subset tuple
+  copies, and marginal costs are memoized per ``(query, needed-mask)``.
+  When the index universe fits in 63 bits and numpy is available the
+  inner loop is vectorized over subsets of equal cardinality.
+- :func:`compute_order_dp_reference` -- the original dict/frozenset
+  formulation, kept as an executable specification for property tests
+  and for the perf-regression harness (``scripts/bench.py``).
+
+Both sum floating-point costs in the same canonical order (ascending
+str-sorted index universe), so they produce bit-identical orders and
+the result never depends on ``PYTHONHASHSEED`` (set iteration order).
 """
 
 from __future__ import annotations
 
 import itertools
 from collections.abc import Hashable, Mapping, Sequence
+
+try:  # numpy accelerates the subset layers; pure python works without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a hard dep of the repo
+    _np = None
 
 from repro.errors import SchedulerError
 
@@ -23,6 +45,15 @@ QueryHandle = Hashable
 #: to our algorithm to a manageable size of 13 queries").
 MAX_DP_INPUT = 13
 
+#: Strict-improvement threshold shared by every implementation, so all
+#: of them break cost ties identically (first candidate in ascending
+#: position order wins).
+_EPS = 1e-12
+
+#: Vectorize layers only when the subset count is worth the numpy
+#: call overhead.
+_VECTOR_MIN_QUERIES = 9
+
 
 def marginal_index_cost(
     query: QueryHandle,
@@ -30,9 +61,13 @@ def marginal_index_cost(
     index_map: Mapping[QueryHandle, frozenset],
     index_cost: Mapping[Hashable, float],
 ) -> float:
-    """z_i(Q): cost of indexes query ``i`` needs beyond those created."""
+    """z_i(Q): cost of indexes query ``i`` needs beyond those created.
+
+    Summation runs in canonical (str-sorted) index order so the value is
+    independent of set iteration order (``PYTHONHASHSEED``).
+    """
     needed = index_map.get(query, frozenset())
-    return sum(index_cost[index] for index in needed - created)
+    return sum(index_cost[index] for index in sorted(needed - created, key=str))
 
 
 def expected_cost(
@@ -59,6 +94,43 @@ def expected_cost(
     return total / n
 
 
+def _checked_handles(
+    queries: Sequence[QueryHandle],
+) -> list[QueryHandle]:
+    handles = list(queries)
+    n = len(handles)
+    if n > MAX_DP_INPUT:
+        raise SchedulerError(
+            f"DP scheduler input of {n} exceeds the cap of {MAX_DP_INPUT}; "
+            "cluster queries first (paper §5.4)"
+        )
+    if len(set(handles)) != n:
+        raise SchedulerError("duplicate query handles in scheduler input")
+    return handles
+
+
+def _encode_bitmasks(
+    handles: Sequence[QueryHandle],
+    index_map: Mapping[QueryHandle, frozenset],
+    index_cost: Mapping[Hashable, float],
+) -> tuple[list[int], list[float]]:
+    """Encode per-query index sets as ints over a canonical universe.
+
+    The universe contains only indexes that some query actually needs,
+    sorted by ``str`` -- so bit order equals canonical summation order
+    and encodings are stable across processes.
+    """
+    index_sets = [index_map.get(handle, frozenset()) for handle in handles]
+    universe = sorted({index for s in index_sets for index in s}, key=str)
+    bit_of = {index: bit for bit, index in enumerate(universe)}
+    qmasks = [
+        sum(1 << bit_of[index] for index in index_set)
+        for index_set in index_sets
+    ]
+    bit_costs = [float(index_cost[index]) for index in universe]
+    return qmasks, bit_costs
+
+
 def compute_order_dp(
     queries: Sequence[QueryHandle],
     index_map: Mapping[QueryHandle, frozenset],
@@ -70,19 +142,167 @@ def compute_order_dp(
     query to a prefix of size ``k`` (making position ``k+1`` of ``n``)
     adds ``z * (n - k)``.  The principle of optimality (Theorem 5.2)
     makes prefix-optimal solutions composable.
+
+    This is the bitmask core: states are integer subset masks, DP cost
+    and parent-pointer tables are flat arrays of size ``2^n``, and the
+    "created indexes" of every subset is an int OR over member masks.
     """
     n = len(queries)
     if n == 0:
         return []
-    if n > MAX_DP_INPUT:
-        raise SchedulerError(
-            f"DP scheduler input of {n} exceeds the cap of {MAX_DP_INPUT}; "
-            "cluster queries first (paper §5.4)"
-        )
-    handles = list(queries)
-    if len(set(handles)) != n:
-        raise SchedulerError("duplicate query handles in scheduler input")
+    handles = _checked_handles(queries)
+    qmasks, bit_costs = _encode_bitmasks(handles, index_map, index_cost)
 
+    if (
+        _np is not None
+        and len(bit_costs) <= 63
+        and n >= _VECTOR_MIN_QUERIES
+    ):
+        parents = _dp_parents_vectorized(n, qmasks, bit_costs)
+    else:
+        parents = _dp_parents_scalar(n, qmasks, bit_costs)
+
+    # Parent-pointer reconstruction: walk back from the full mask.
+    order: list[int] = []
+    mask = (1 << n) - 1
+    while mask:
+        i = parents[mask]
+        order.append(i)
+        mask ^= 1 << i
+    order.reverse()
+    return [handles[i] for i in order]
+
+
+def _mask_cost(mask: int, bit_costs: list[float], memo: dict[int, float]) -> float:
+    """Sum of bit costs in ascending-bit (canonical) order, memoized."""
+    cached = memo.get(mask)
+    if cached is not None:
+        return cached
+    total = 0.0
+    remaining = mask
+    while remaining:
+        low = remaining & -remaining
+        total += bit_costs[low.bit_length() - 1]
+        remaining ^= low
+    memo[mask] = total
+    return total
+
+
+def _dp_parents_scalar(
+    n: int, qmasks: list[int], bit_costs: list[float]
+) -> list[int]:
+    """Pure-python bitmask DP; works for index universes of any size."""
+    size = 1 << n
+    dp_cost = [0.0] * size
+    parents = [-1] * size
+    created = [0] * size
+    zmemo: dict[int, float] = {0: 0.0}
+
+    # Masks in increasing numeric order: every proper submask of a mask
+    # is numerically smaller, so dependencies are always ready.  The
+    # popcount gives the position weight ``n - (size - 1)``.
+    bits = [1 << i for i in range(n)]
+    for mask in range(1, size):
+        low = mask & -mask
+        rest_of_low = mask ^ low
+        created[mask] = created[rest_of_low] | qmasks[low.bit_length() - 1]
+        weight = n - mask.bit_count() + 1
+        best_cost = float("inf")
+        best_i = -1
+        for i in range(n):
+            bit = bits[i]
+            if not mask & bit:
+                continue
+            rest = mask ^ bit
+            needed = qmasks[i] & ~created[rest]
+            cost = dp_cost[rest] + _mask_cost(needed, bit_costs, zmemo) * weight
+            if cost < best_cost - _EPS:
+                best_cost = cost
+                best_i = i
+        dp_cost[mask] = best_cost
+        parents[mask] = best_i
+    return parents
+
+
+def _dp_parents_vectorized(
+    n: int, qmasks: list[int], bit_costs: list[float]
+) -> list[int]:
+    """Numpy bitmask DP, processing subsets layer-by-layer (popcount).
+
+    Produces bit-identical costs to the scalar core: marginal costs are
+    accumulated bit-by-bit in ascending (canonical) order, and the
+    ascending-``i`` strict-improvement update replicates the scalar
+    tie-breaking exactly.
+    """
+    size = 1 << n
+    masks = _np.arange(size, dtype=_np.int64)
+    popcount = _np.zeros(size, dtype=_np.int64)
+    for i in range(n):
+        popcount += (masks >> i) & 1
+
+    qmask_arr = _np.array(qmasks, dtype=_np.int64)
+    costs = _np.array(bit_costs, dtype=_np.float64)
+    n_bits = len(bit_costs)
+
+    # created[mask] = OR of member query masks, built layer by layer
+    # from each mask's lowest set bit.
+    created = _np.zeros(size, dtype=_np.int64)
+    dp_cost = _np.zeros(size, dtype=_np.float64)
+    parents = _np.full(size, -1, dtype=_np.int64)
+
+    for layer in range(1, n + 1):
+        layer_masks = masks[popcount == layer]
+        low = layer_masks & -layer_masks
+        low_index = _np.zeros(len(layer_masks), dtype=_np.int64)
+        for i in range(n):
+            low_index[low == (1 << i)] = i
+        created[layer_masks] = (
+            created[layer_masks ^ low] | qmask_arr[low_index]
+        )
+
+        weight = float(n - layer + 1)
+        best_cost = _np.full(len(layer_masks), _np.inf, dtype=_np.float64)
+        best_i = _np.full(len(layer_masks), -1, dtype=_np.int64)
+        for i in range(n):
+            has_i = (layer_masks >> i) & 1 == 1
+            sub_masks = layer_masks[has_i]
+            if len(sub_masks) == 0:
+                continue
+            rest = sub_masks ^ (1 << i)
+            needed = qmask_arr[i] & ~created[rest]
+            # Ascending-bit accumulation == canonical summation order.
+            z = _np.zeros(len(sub_masks), dtype=_np.float64)
+            qm = int(qmask_arr[i])
+            for bit in range(n_bits):
+                if not qm & (1 << bit):
+                    continue
+                z += costs[bit] * ((needed >> bit) & 1)
+            cand = dp_cost[rest] + z * weight
+            improve = cand < best_cost[has_i] - _EPS
+            slot = _np.flatnonzero(has_i)[improve]
+            best_cost[slot] = cand[improve]
+            best_i[slot] = i
+        dp_cost[layer_masks] = best_cost
+        parents[layer_masks] = best_i
+    return parents.tolist()
+
+
+def compute_order_dp_reference(
+    queries: Sequence[QueryHandle],
+    index_map: Mapping[QueryHandle, frozenset],
+    index_cost: Mapping[Hashable, float],
+) -> list[QueryHandle]:
+    """The pre-bitmask Algorithm 4 (dict/frozenset states, tuple orders).
+
+    Kept as the executable specification: property tests assert the
+    bitmask core reproduces its output exactly, and ``scripts/bench.py``
+    measures the speedup against it.  Costs are summed in canonical
+    (str-sorted) index order, matching the bitmask encoding.
+    """
+    n = len(queries)
+    if n == 0:
+        return []
+    handles = _checked_handles(queries)
     index_sets = [index_map.get(handle, frozenset()) for handle in handles]
 
     # States are bitmasks over query positions.
@@ -93,7 +313,10 @@ def compute_order_dp(
     for i in range(n):
         mask = 1 << i
         weight = n  # position 1 of n
-        dp_cost[mask] = sum(index_cost[index] for index in index_sets[i]) * weight
+        dp_cost[mask] = (
+            sum(index_cost[index] for index in sorted(index_sets[i], key=str))
+            * weight
+        )
         dp_order[mask] = (i,)
         created_for[mask] = frozenset(index_sets[i])
 
@@ -110,10 +333,11 @@ def compute_order_dp(
                 rest = subset ^ bit
                 created = created_for[rest]
                 z = sum(
-                    index_cost[index] for index in index_sets[i] - created
+                    index_cost[index]
+                    for index in sorted(index_sets[i] - created, key=str)
                 )
                 cost = dp_cost[rest] + z * weight
-                if cost < best_cost - 1e-12:
+                if cost < best_cost - _EPS:
                     best_cost = cost
                     best_order = dp_order[rest] + (i,)
             assert best_order is not None
@@ -137,7 +361,7 @@ def brute_force_order(
     best_cost = expected_cost(best_order, index_map, index_cost)
     for permutation in itertools.permutations(queries):
         cost = expected_cost(permutation, index_map, index_cost)
-        if cost < best_cost - 1e-12:
+        if cost < best_cost - _EPS:
             best_cost = cost
             best_order = list(permutation)
     return best_order

@@ -97,6 +97,11 @@ class ConfigurationSelector:
             if self._adaptive_timeout:
                 # Fold reconfiguration overheads into the timeout so
                 # index builds never dominate query evaluation (§4).
+                # ``index_time`` is cumulative across rounds: evaluation
+                # drops its indexes on exit, so a slow configuration may
+                # rebuild the same index every round and the cumulative
+                # figure is the conservative upper bound on what the
+                # next round may spend rebuilding before any query runs.
                 index_times = (m.index_time for m in meta.values())
                 timeout = max(timeout, *index_times)
             timeout *= self._alpha

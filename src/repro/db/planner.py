@@ -332,7 +332,11 @@ class Planner:
             return tables
 
         remaining = set(tables)
-        start = min(remaining, key=lambda name: scans[name].out_rows)
+        # Tie-break equal cardinalities by name: ``min`` over a set would
+        # otherwise pick whichever tied table iterates first, which
+        # depends on PYTHONHASHSEED (small dimension tables all floor at
+        # out_rows == 1.0, so ties are common).
+        start = min(remaining, key=lambda name: (scans[name].out_rows, name))
         order = [start]
         remaining.discard(start)
         joined = {start}

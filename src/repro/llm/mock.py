@@ -102,7 +102,10 @@ class SimulatedLLM(LLMClient):
             if not partners:
                 continue
             facts.join_graph.setdefault(left, set()).update(partners)
-            for partner in partners:
+            # Sorted, not set, iteration: insertion order into join_graph
+            # defines the "first appearance" tie-break below, which must
+            # not depend on PYTHONHASHSEED.
+            for partner in sorted(partners):
                 facts.join_graph.setdefault(partner, set()).add(left)
 
         # Fallback: raw SQL in the prompt (the "compressor off" ablation)

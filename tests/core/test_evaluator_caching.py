@@ -1,0 +1,133 @@
+"""Evaluator memoization: hits, invalidation, transparency.
+
+The evaluator caches query-index maps, index-cost maps and scheduler
+orders keyed by (pending queries, configuration content, engine state
+signature).  These tests verify that
+
+- repeated calls with unchanged inputs reuse the memoized DP order,
+- any change to the engine's physical design or knob settings, the
+  configuration content, or the pending-query set invalidates the
+  cached order,
+- cached and uncached evaluators return identical results.
+"""
+
+import pytest
+
+import repro.core.evaluator as evaluator_module
+from repro.core.config import Configuration
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.db.indexes import Index
+
+
+@pytest.fixture()
+def config(pg_engine):
+    return Configuration(
+        name="cache-probe",
+        settings={"work_mem": "64MB"},
+        indexes=[Index("events", ("user_id2",)), Index("users", ("age",))],
+    )
+
+
+@pytest.fixture()
+def count_dp(monkeypatch):
+    """Count invocations of the DP core inside plan_order."""
+    calls = {"n": 0}
+    real = evaluator_module.compute_order_dp
+
+    def counting(*args, **kwargs):
+        calls["n"] += 1
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(evaluator_module, "compute_order_dp", counting)
+    return calls
+
+
+class TestOrderCacheHits:
+    def test_repeat_call_reuses_order(
+        self, pg_engine, tiny_workload, config, count_dp
+    ):
+        evaluator = ConfigurationEvaluator(pg_engine)
+        queries = list(tiny_workload.queries)
+        first = evaluator.plan_order(queries, config)
+        second = evaluator.plan_order(queries, config)
+        assert count_dp["n"] == 1
+        assert [q.name for q in first] == [q.name for q in second]
+
+    def test_caches_disabled_recomputes(
+        self, pg_engine, tiny_workload, config, count_dp
+    ):
+        evaluator = ConfigurationEvaluator(pg_engine, enable_caches=False)
+        queries = list(tiny_workload.queries)
+        evaluator.plan_order(queries, config)
+        evaluator.plan_order(queries, config)
+        assert count_dp["n"] == 2
+
+
+class TestOrderCacheInvalidation:
+    def test_engine_index_change_invalidates(
+        self, pg_engine, tiny_workload, config, count_dp
+    ):
+        evaluator = ConfigurationEvaluator(pg_engine)
+        queries = list(tiny_workload.queries)
+        evaluator.plan_order(queries, config)
+        # A new physical index zeroes its creation cost, changing the
+        # DP input -- the memoized order must not be reused.
+        pg_engine.create_index(Index("events", ("user_id2",)))
+        evaluator.plan_order(queries, config)
+        assert count_dp["n"] == 2
+
+    def test_engine_knob_change_invalidates(
+        self, pg_engine, tiny_workload, config, count_dp
+    ):
+        evaluator = ConfigurationEvaluator(pg_engine)
+        queries = list(tiny_workload.queries)
+        evaluator.plan_order(queries, config)
+        # maintenance memory sizes index builds => different DP costs.
+        pg_engine.set_knob("maintenance_work_mem", "1GB")
+        evaluator.plan_order(queries, config)
+        assert count_dp["n"] == 2
+
+    def test_config_content_change_invalidates(
+        self, pg_engine, tiny_workload, config, count_dp
+    ):
+        evaluator = ConfigurationEvaluator(pg_engine)
+        queries = list(tiny_workload.queries)
+        evaluator.plan_order(queries, config)
+        mutated = Configuration(
+            name=config.name,
+            settings=dict(config.settings),
+            indexes=list(config.indexes) + [Index("users", ("country",))],
+        )
+        evaluator.plan_order(queries, mutated)
+        assert count_dp["n"] == 2
+
+    def test_pending_set_change_invalidates(
+        self, pg_engine, tiny_workload, config, count_dp
+    ):
+        evaluator = ConfigurationEvaluator(pg_engine)
+        queries = list(tiny_workload.queries)
+        evaluator.plan_order(queries, config)
+        evaluator.plan_order(queries[1:], config)
+        assert count_dp["n"] == 2
+
+
+class TestCacheTransparency:
+    def test_cached_and_uncached_orders_identical(
+        self, pg_engine, tiny_workload, config
+    ):
+        queries = list(tiny_workload.queries)
+        cached = ConfigurationEvaluator(pg_engine)
+        uncached = ConfigurationEvaluator(pg_engine, enable_caches=False)
+        for pending in (queries, queries[1:], queries):
+            assert [
+                q.name for q in cached.plan_order(pending, config)
+            ] == [q.name for q in uncached.plan_order(pending, config)]
+
+    def test_index_cost_map_tracks_engine_state(self, pg_engine, config):
+        evaluator = ConfigurationEvaluator(pg_engine)
+        before = evaluator.index_cost_map(config)
+        target = config.indexes[0]
+        assert before[target] > 0.0
+        pg_engine.create_index(target)
+        after = evaluator.index_cost_map(config)
+        assert after[target] == 0.0

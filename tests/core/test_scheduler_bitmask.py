@@ -1,0 +1,119 @@
+"""Bitmask DP core vs. executable specification and oracle.
+
+The production scheduler (:func:`compute_order_dp`) is a bitmask
+rewrite of the original dict/frozenset Algorithm 4, kept as
+:func:`compute_order_dp_reference`.  These tests pin the rewrite to the
+specification:
+
+- for n <= 8 the bitmask order achieves exactly the brute-force-optimal
+  Equation-1 cost,
+- for randomized instances up to the paper's cap (n = 13, beyond
+  brute-force reach) the bitmask order is *identical* to the reference
+  order -- both use the same canonical summation order and tie-break,
+  so equality is exact, not approximate,
+- the numpy-vectorized and pure-python scalar cores agree bit-for-bit
+  on the layers where both apply.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.scheduler import (
+    MAX_DP_INPUT,
+    _dp_parents_scalar,
+    _dp_parents_vectorized,
+    _encode_bitmasks,
+    brute_force_order,
+    compute_order_dp,
+    compute_order_dp_reference,
+    expected_cost,
+)
+
+
+def _random_instance(rng: random.Random, n_queries: int):
+    n_indexes = rng.randint(1, 2 * n_queries)
+    index_names = [f"i{k}" for k in range(n_indexes)]
+    costs = {name: rng.uniform(0.05, 30.0) for name in index_names}
+    index_map = {
+        f"q{q}": frozenset(
+            rng.sample(index_names, rng.randint(0, min(5, n_indexes)))
+        )
+        for q in range(n_queries)
+    }
+    return list(index_map), index_map, costs
+
+
+@st.composite
+def bitmask_instance(draw, max_queries=8):
+    n_queries = draw(st.integers(min_value=1, max_value=max_queries))
+    n_indexes = draw(st.integers(min_value=1, max_value=6))
+    index_names = [f"i{k}" for k in range(n_indexes)]
+    costs = {
+        name: draw(st.floats(0.05, 25.0, allow_nan=False))
+        for name in index_names
+    }
+    index_map = {
+        f"q{q}": frozenset(
+            draw(st.sets(st.sampled_from(index_names), max_size=n_indexes))
+        )
+        for q in range(n_queries)
+    }
+    return list(index_map), index_map, costs
+
+
+class TestBitmaskMatchesOracle:
+    @settings(max_examples=80, deadline=None)
+    @given(bitmask_instance(max_queries=6))
+    def test_cost_equals_brute_force_small(self, instance):
+        queries, index_map, costs = instance
+        dp = compute_order_dp(queries, index_map, costs)
+        oracle = brute_force_order(queries, index_map, costs)
+        assert expected_cost(dp, index_map, costs) == pytest.approx(
+            expected_cost(oracle, index_map, costs)
+        )
+
+    def test_cost_equals_brute_force_randomized_n8(self):
+        rng = random.Random(1234)
+        for _ in range(15):
+            queries, index_map, costs = _random_instance(rng, 8)
+            dp = compute_order_dp(queries, index_map, costs)
+            oracle = brute_force_order(queries, index_map, costs)
+            assert expected_cost(dp, index_map, costs) == pytest.approx(
+                expected_cost(oracle, index_map, costs)
+            )
+
+
+class TestBitmaskMatchesReference:
+    @settings(max_examples=60, deadline=None)
+    @given(bitmask_instance(max_queries=8))
+    def test_order_identical_to_reference(self, instance):
+        queries, index_map, costs = instance
+        assert compute_order_dp(
+            queries, index_map, costs
+        ) == compute_order_dp_reference(queries, index_map, costs)
+
+    @pytest.mark.parametrize("n_queries", [9, 11, MAX_DP_INPUT])
+    def test_order_identical_to_reference_large(self, n_queries):
+        """Beyond brute-force reach, the rewrite must *be* the spec."""
+        rng = random.Random(42 + n_queries)
+        for _ in range(5):
+            queries, index_map, costs = _random_instance(rng, n_queries)
+            assert compute_order_dp(
+                queries, index_map, costs
+            ) == compute_order_dp_reference(queries, index_map, costs)
+
+
+class TestScalarVectorizedAgreement:
+    @pytest.mark.parametrize("n_queries", [9, 10, 12])
+    def test_parents_bit_identical(self, n_queries):
+        pytest.importorskip("numpy")
+        rng = random.Random(7 * n_queries)
+        for _ in range(4):
+            queries, index_map, costs = _random_instance(rng, n_queries)
+            qmasks, bit_costs = _encode_bitmasks(queries, index_map, costs)
+            assert len(bit_costs) <= 63
+            scalar = _dp_parents_scalar(n_queries, qmasks, bit_costs)
+            vectorized = _dp_parents_vectorized(n_queries, qmasks, bit_costs)
+            assert scalar == vectorized

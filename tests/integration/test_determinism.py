@@ -3,14 +3,48 @@
 Everything in the reproduction must be bit-stable for a given seed:
 engines (deterministic noise via content hashes, not ``hash()``),
 the LLM (seeded styles), K-means (seeded numpy RNG), and the tuners
-(seeded ``random.Random``).
+(seeded ``random.Random``).  Cross-process tests additionally pin down
+independence from ``PYTHONHASHSEED`` -- no simulated timing may depend
+on set/dict iteration order.
 """
 
+import os
 import subprocess
 import sys
+from pathlib import Path
 
+import repro
 from repro.db.postgres import PostgresEngine
 from repro.workloads import tpch_workload
+
+#: Import root of the in-tree package, propagated to subprocesses so
+#: ``import repro`` works without an installed distribution.
+_SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+def _subprocess_env(hash_seed: str) -> dict[str, str]:
+    python_path = _SRC_DIR
+    if os.environ.get("PYTHONPATH"):
+        python_path += os.pathsep + os.environ["PYTHONPATH"]
+    return {
+        "PYTHONHASHSEED": hash_seed,
+        "PATH": os.environ.get("PATH", "/usr/bin:/bin"),
+        "PYTHONPATH": python_path,
+    }
+
+
+def _run_under_hash_seeds(script: str, hash_seeds: tuple[str, ...]) -> set[str]:
+    outputs = set()
+    for hash_seed in hash_seeds:
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=_subprocess_env(hash_seed),
+            check=True,
+        )
+        outputs.add(result.stdout.strip())
+    return outputs
 
 
 class TestInProcessDeterminism:
@@ -41,6 +75,28 @@ class TestInProcessDeterminism:
         assert results[0].best_time == results[1].best_time
         assert results[0].tuning_seconds == results[1].tuning_seconds
 
+    def test_caching_is_bit_transparent(self):
+        """Engine + evaluator caches must not change any result value."""
+        import repro.db.engine as engine_module
+        from repro.core import LambdaTune, LambdaTuneOptions
+        from repro.llm import SimulatedLLM
+
+        workload = tpch_workload()
+        results = []
+        for cached in (True, False):
+            engine_module.CACHES_ENABLED = cached
+            try:
+                tuner = LambdaTune(
+                    PostgresEngine(workload.catalog),
+                    SimulatedLLM(),
+                    LambdaTuneOptions(initial_timeout=0.5, alpha=2.0, seed=9),
+                )
+                results.append(tuner.tune(list(workload.queries)))
+            finally:
+                engine_module.CACHES_ENABLED = True
+        assert results[0].best_time == results[1].best_time
+        assert results[0].tuning_seconds == results[1].tuning_seconds
+
 
 class TestCrossProcessDeterminism:
     SCRIPT = (
@@ -51,16 +107,29 @@ class TestCrossProcessDeterminism:
         "print(sum(e.estimate_seconds(q) for q in w.queries))"
     )
 
+    PIPELINE_SCRIPT = (
+        "from repro.core import LambdaTune, LambdaTuneOptions;"
+        "from repro.db.postgres import PostgresEngine;"
+        "from repro.llm import SimulatedLLM;"
+        "from repro.workloads import tpch_workload;"
+        "w = tpch_workload();"
+        "t = LambdaTune(PostgresEngine(w.catalog), SimulatedLLM(),"
+        " LambdaTuneOptions(initial_timeout=0.5, alpha=2.0, seed=9));"
+        "r = t.tune(list(w.queries));"
+        "print(repr(r.best_time), repr(r.tuning_seconds))"
+    )
+
     def test_times_identical_under_different_hash_seeds(self):
         """PYTHONHASHSEED must not influence simulated timings."""
-        outputs = set()
-        for hash_seed in ("1", "2"):
-            result = subprocess.run(
-                [sys.executable, "-c", self.SCRIPT],
-                capture_output=True,
-                text=True,
-                env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
-                check=True,
-            )
-            outputs.add(result.stdout.strip())
+        outputs = _run_under_hash_seeds(self.SCRIPT, ("1", "2"))
+        assert len(outputs) == 1
+
+    def test_full_pipeline_identical_under_different_hash_seeds(self):
+        """The whole tune() pipeline is hash-seed independent.
+
+        Guards the determinism repairs in the planner (join-order
+        tie-break), the mock LLM (join-graph insertion order) and the
+        scheduler (canonical-order cost summation).
+        """
+        outputs = _run_under_hash_seeds(self.PIPELINE_SCRIPT, ("1", "3"))
         assert len(outputs) == 1
