@@ -10,13 +10,23 @@ implementations and verifies bit-identical results:
 2. Full ``tune()`` on TPC-H and JOB, optimized (engine + evaluator
    caches on, bitmask DP) vs reference (all caches off, reference DP),
    asserting byte-identical ``TuningResult`` fingerprints.
-3. Optionally consumes ``pytest-benchmark`` stats from
+3. Parallel selection: full TPC-H tune with ``--workers`` pool workers
+   vs serial, under a latency-realistic engine (``realtime_factor``
+   restores the waiting-on-the-DBMS cost structure the simulation
+   otherwise compresses away).  Exits non-zero unless the parallel
+   ``TuningResult`` fingerprints are byte-identical to the serial one.
+4. Workload compile cache: ``compile_workload`` memoized vs recomputed.
+5. Optionally consumes ``pytest-benchmark`` stats from
    ``benchmarks/test_perf_scheduler.py`` via ``--benchmark-json``.
 
-Writes the combined report to ``BENCH_1.json`` (or ``--output``):
+Regression gate: if a committed ``BENCH_1.json`` exists, the tuned
+TPC-H/JOB ``best_time`` must not be worse than recorded there; the
+script exits non-zero otherwise.
+
+Writes the combined report to ``BENCH_2.json`` (or ``--output``):
 
     PYTHONPATH=src python scripts/bench.py
-    PYTHONPATH=src python scripts/bench.py --skip-pytest --quick
+    PYTHONPATH=src python scripts/bench.py --skip-pytest --quick --workers 2
 """
 
 from __future__ import annotations
@@ -45,7 +55,11 @@ from repro.core.scheduler import (  # noqa: E402
     compute_order_dp_reference,
 )
 from repro.db.postgres import PostgresEngine  # noqa: E402
-from repro.workloads import job_workload, tpch_workload  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    compile_workload,
+    job_workload,
+    tpch_workload,
+)
 
 TUNE_OPTIONS = LambdaTuneOptions(
     token_budget=400, initial_timeout=0.5, alpha=2.0, seed=9
@@ -193,6 +207,121 @@ def tune_benchmark(workload_name: str, rounds: int) -> dict:
     }
 
 
+# -- parallel selection -------------------------------------------------------
+
+
+def _parallel_tune(workload, workers: int, realtime_factor: float):
+    """One full tune with ``workers`` pool workers; returns print+seconds.
+
+    ``realtime_factor`` converts simulated seconds into real engine-side
+    waits, restoring the waiting-on-the-DBMS cost structure that makes
+    overlapping evaluations worthwhile; the waits never touch the
+    virtual clock, so the TuningResult is unaffected.
+    """
+    from repro.llm import SimulatedLLM
+
+    options = LambdaTuneOptions(
+        num_configs=16,
+        token_budget=400,
+        initial_timeout=0.5,
+        alpha=2.0,
+        seed=9,
+        workers=workers,
+        executor="process",
+    )
+    engine = PostgresEngine(workload.catalog)
+    engine.realtime_factor = realtime_factor
+    tuner = LambdaTune(engine, SimulatedLLM(), options)
+    start = time.perf_counter()
+    result = tuner.tune(list(workload.queries))
+    elapsed = time.perf_counter() - start
+    return _fingerprint(result), elapsed
+
+
+def parallel_benchmark(workers: int, realtime_factor: float) -> dict:
+    workload = tpch_workload()
+    # Warm the shared per-catalog caches once (no waits) so every timed
+    # run -- and the fork-started workers, which inherit the parent's
+    # memory -- sees the same cache regime.
+    _parallel_tune(workload, 0, 0.0)
+
+    serial_print, serial_s = _parallel_tune(workload, 0, realtime_factor)
+    report = {
+        "num_configs": 16,
+        "realtime_factor": realtime_factor,
+        "serial_s": round(serial_s, 4),
+        "best_time": serial_print["best_time"],
+    }
+    for count in sorted({2, workers} - {0, 1}):
+        parallel_print, parallel_s = _parallel_tune(
+            workload, count, realtime_factor
+        )
+        if parallel_print != serial_print:
+            raise SystemExit(
+                f"parallel selection (workers={count}) diverged from serial"
+            )
+        report[f"workers={count}"] = {
+            "wall_s": round(parallel_s, 4),
+            "speedup": round(serial_s / parallel_s, 2),
+            "result_identical": True,
+        }
+    return report
+
+
+# -- workload compile cache ---------------------------------------------------
+
+
+def compile_cache_benchmark(repeats: int) -> dict:
+    workload = tpch_workload()
+    start = time.perf_counter()
+    compiled = compile_workload(workload)
+    first_s = time.perf_counter() - start
+    cached_s = _best_of(lambda: compile_workload(workload), repeats)
+    with _reference_mode():
+        uncached_s = _best_of(
+            lambda: compile_workload(workload), max(3, repeats // 4)
+        )
+        reference = compile_workload(workload)
+    identical = (
+        reference.default_costs == compiled.default_costs
+        and reference.join_values == compiled.join_values
+    )
+    assert identical, "cached CompiledWorkload diverged from uncached"
+    return {
+        "first_ms": round(first_s * 1e3, 4),
+        "uncached_ms": round(uncached_s * 1e3, 4),
+        "cached_ms": round(cached_s * 1e3, 4),
+        "speedup": round(uncached_s / cached_s, 1),
+        "artifact_identical": identical,
+    }
+
+
+# -- regression gate vs the committed baseline --------------------------------
+
+
+def regression_gate(tune_report: dict) -> dict:
+    """Fail (exit non-zero) if tuned best_time regressed vs BENCH_1.json."""
+    baseline_path = REPO / "BENCH_1.json"
+    gate: dict = {"baseline": baseline_path.name, "checked": False}
+    if not baseline_path.is_file():
+        gate["note"] = "no committed baseline; gate skipped"
+        return gate
+    previous = json.loads(baseline_path.read_text()).get("full_tune", {})
+    for workload_name, row in tune_report.items():
+        old = previous.get(workload_name, {}).get("best_time")
+        if old is None:
+            continue
+        gate["checked"] = True
+        new = row["best_time"]
+        if float(new) > float(old) + 1e-12:
+            raise SystemExit(
+                f"{workload_name}: tuned best_time regressed vs "
+                f"{baseline_path.name} ({old} -> {new})"
+            )
+        gate[workload_name] = {"baseline_best_time": old, "best_time": new}
+    return gate
+
+
 # -- pytest-benchmark consumption ---------------------------------------------
 
 
@@ -235,8 +364,12 @@ def pytest_benchmarks() -> dict | None:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--output", type=Path, default=REPO / "BENCH_1.json",
-        help="report destination (default: BENCH_1.json at the repo root)",
+        "--output", type=Path, default=REPO / "BENCH_2.json",
+        help="report destination (default: BENCH_2.json at the repo root)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="pool size for the parallel-selection benchmark (default: 4)",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -253,6 +386,8 @@ def main() -> None:
 
     dp_repeats = 5 if args.quick else 30
     tune_rounds = 1 if args.quick else 3
+    compile_repeats = 5 if args.quick else 20
+    realtime_factor = 0.003 if args.quick else 0.01
 
     print("== DP microbench (bitmask vs reference) ==")
     dp_report = dp_microbench(dp_repeats)
@@ -272,9 +407,34 @@ def main() -> None:
             f"({row['speedup']}x), identical={row['result_identical']}"
         )
 
+    print("== regression gate vs BENCH_1.json ==")
+    gate_report = regression_gate(tune_report)
+    print(f"  checked={gate_report['checked']}, no regressions")
+
+    print(f"== parallel selection (tpch, k=16, --workers {args.workers}) ==")
+    parallel_report = parallel_benchmark(args.workers, realtime_factor)
+    for label, row in parallel_report.items():
+        if isinstance(row, dict):
+            print(
+                f"  {label}: {parallel_report['serial_s']:.2f} s -> "
+                f"{row['wall_s']:.2f} s ({row['speedup']}x), "
+                f"identical={row['result_identical']}"
+            )
+
+    print("== workload compile cache ==")
+    compile_report = compile_cache_benchmark(compile_repeats)
+    print(
+        f"  {compile_report['uncached_ms']:.2f} ms -> "
+        f"{compile_report['cached_ms']:.4f} ms "
+        f"({compile_report['speedup']}x)"
+    )
+
     report = {
         "dp_microbench": dp_report,
         "full_tune": tune_report,
+        "regression_gate": gate_report,
+        "parallel_selection": parallel_report,
+        "compile_cache": compile_report,
         "python": sys.version.split()[0],
     }
     if not args.skip_pytest:

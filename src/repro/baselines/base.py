@@ -16,6 +16,19 @@ from repro.db.engine import DatabaseEngine
 from repro.db.indexes import Index
 from repro.errors import KnobError
 from repro.workloads.base import Query, Workload
+from repro.workloads.compile import compile_workload
+
+
+def default_workload_time(workload: Workload, engine: DatabaseEngine) -> float:
+    """Workload seconds under the engine's current (default) state.
+
+    Routed through the process-wide workload-compile cache
+    (:func:`repro.workloads.compile.compile_workload`), so the harness,
+    the baselines, and the figure runners price the default
+    configuration once per (workload, engine state) instead of
+    re-estimating every query each time.  Does not advance the clock.
+    """
+    return compile_workload(workload, engine=engine).default_time
 
 
 def measure_configuration(

@@ -15,6 +15,7 @@ from repro.bench.scenarios import Scenario, make_engine
 from repro.core.tuner import LambdaTune, LambdaTuneOptions
 from repro.llm.mock import SimulatedLLM
 from repro.workloads import load_workload
+from repro.workloads.compile import compile_workload
 
 
 # --------------------------------------------------------------------------
@@ -117,11 +118,12 @@ def figure5(*, seed: int = 0) -> Figure5:
             tuned_engine.create_index(index)
 
     figure = Figure5()
+    default_costs = compile_workload(workload, engine=default_engine).default_costs
     for query in workload.queries:
         figure.per_query.append(
             (
                 query.name,
-                default_engine.estimate_seconds(query),
+                default_costs[query.name],
                 tuned_engine.estimate_seconds(query),
             )
         )
@@ -282,9 +284,7 @@ def figure8(
         row: dict[str, object] = {"benchmark": workload_name}
 
         engine = make_engine(workload, "postgres")
-        row["no_indexes"] = sum(
-            engine.estimate_seconds(query) for query in workload.queries
-        )
+        row["no_indexes"] = compile_workload(workload, engine=engine).default_time
 
         # lambda-Tune restricted to index recommendations.
         scenario = Scenario(workload_name, "postgres", False)

@@ -26,6 +26,7 @@ from repro.baselines import (
     ParamTreeTuner,
     UDOTuner,
 )
+from repro.baselines.base import default_workload_time
 from repro.bench.scenarios import Scenario, default_indexes, make_engine
 from repro.core.result import TuningResult
 from repro.core.tuner import LambdaTune, LambdaTuneOptions
@@ -105,10 +106,9 @@ def run_scenario(
     workload = load_workload(scenario.workload_name)
     run = ScenarioRun(scenario=scenario)
 
+    # Also warms the shared compile/plan caches for every tuner below.
     baseline_engine = _fresh_engine(scenario, workload)
-    run.default_time = sum(
-        baseline_engine.estimate_seconds(query) for query in workload.queries
-    )
+    run.default_time = default_workload_time(workload, baseline_engine)
     if budget_seconds is None:
         budget_seconds = max(1500.0, 8.0 * run.default_time)
 

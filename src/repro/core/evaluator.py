@@ -83,6 +83,21 @@ class ConfigurationEvaluator:
         # query-name tuple + config signature + engine signature -> order
         self._order_cache: dict[tuple, list[str]] = {}
 
+    def worker_options(self) -> dict[str, object]:
+        """Constructor options mirroring this evaluator onto a worker engine.
+
+        The parallel selector builds one evaluator per pool worker; these
+        options make the worker evaluator behaviorally identical (same
+        scheduler/laziness/clustering regime, same cache policy).
+        """
+        return {
+            "use_scheduler": self._use_scheduler,
+            "lazy_indexes": self._lazy_indexes,
+            "max_dp_input": self._max_dp_input,
+            "cluster_seed": self._cluster_seed,
+            "enable_caches": self._enable_caches,
+        }
+
     # -- cache keys -----------------------------------------------------------------
 
     @staticmethod
@@ -253,37 +268,41 @@ class ConfigurationEvaluator:
         created_here: list[Index] = []
         preexisting = {index.key for index in engine.indexes}
 
-        config.apply_settings(engine)
-        meta.is_complete = True
+        # One consolidated realtime wait per evaluation (no-op in pure
+        # simulation): per-operation microsleeps would pay scheduler
+        # wake-up latency dozens of times per Update.
+        with engine.deferred_realtime():
+            config.apply_settings(engine)
+            meta.is_complete = True
 
-        index_map = self.query_index_map(queries, config)
-        ordered = self.plan_order(queries, config)
+            index_map = self.query_index_map(queries, config)
+            ordered = self.plan_order(queries, config)
 
-        if not self._lazy_indexes:
-            # Ablation: build every recommended index up front.
-            for index in config.indexes:
-                if index.key not in preexisting:
-                    meta.index_time += engine.create_index(index)
-                    created_here.append(index)
-
-        try:
-            for query in ordered:
-                if self._lazy_indexes:
-                    for index in sorted(index_map[query.name], key=str):
-                        if index.key in preexisting or engine.has_index(index):
-                            continue
+            if not self._lazy_indexes:
+                # Ablation: build every recommended index up front.
+                for index in config.indexes:
+                    if index.key not in preexisting:
                         meta.index_time += engine.create_index(index)
                         created_here.append(index)
 
-                result = engine.execute(query, timeout=remaining_time)
-                if not result.complete:
-                    meta.is_complete = False
-                    break
-                remaining_time -= result.execution_time
-                meta.time += result.execution_time
-                meta.completed_queries.add(query.name)
-        finally:
-            # Indexes created by this evaluation are implicitly dropped so
-            # other configurations start from a clean slate (§5.1).
-            for index in created_here:
-                engine.drop_index(index)
+            try:
+                for query in ordered:
+                    if self._lazy_indexes:
+                        for index in sorted(index_map[query.name], key=str):
+                            if index.key in preexisting or engine.has_index(index):
+                                continue
+                            meta.index_time += engine.create_index(index)
+                            created_here.append(index)
+
+                    result = engine.execute(query, timeout=remaining_time)
+                    if not result.complete:
+                        meta.is_complete = False
+                        break
+                    remaining_time -= result.execution_time
+                    meta.time += result.execution_time
+                    meta.completed_queries.add(query.name)
+            finally:
+                # Indexes created by this evaluation are implicitly dropped so
+                # other configurations start from a clean slate (§5.1).
+                for index in created_here:
+                    engine.drop_index(index)

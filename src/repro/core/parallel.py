@@ -1,0 +1,321 @@
+"""Worker plumbing for parallel configuration selection.
+
+The :class:`~repro.core.selector.ParallelConfigurationSelector` fans one
+selection phase's per-candidate evaluations over a pool.  Each worker
+drives an **isolated** forked engine: it rebuilds the engine from a
+picklable :class:`~repro.db.engine.EngineState` snapshot, runs
+Algorithm 3 on a zero-based :class:`~repro.db.clock.RecordingClock`, and
+ships back the resulting ``ConfigMeta`` fields plus the exact sequence
+of clock advances.  The selector replays those advances onto the main
+engine's clock in canonical candidate order, so the merged clock (and
+with it every trace timestamp) is bit-identical to a serial run --
+float addition order is preserved, not just float sums.
+
+Three executors share this module's task protocol:
+
+- ``process`` (default): ``ProcessPoolExecutor``; the context is shipped
+  once per worker process through the pool initializer.  The ``fork``
+  start method is preferred; under ``spawn`` the child processes import
+  ``repro`` afresh, so :func:`ensure_pool_env` pins ``PYTHONPATH`` and
+  ``PYTHONHASHSEED`` in ``os.environ`` before the pool is created.
+- ``thread``: ``ThreadPoolExecutor``; workers share the parent's catalog
+  object (and with it the shared analysis/plan caches).
+- ``serial``: runs tasks inline, in order -- the degenerate pool used
+  for ``workers <= 1`` and in equivalence tests.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.config import Configuration
+from repro.core.evaluator import ConfigMeta, ConfigurationEvaluator
+from repro.db import engine as engine_module
+from repro.db.clock import RecordingClock
+from repro.db.engine import EngineState
+from repro.errors import ConfigurationError
+from repro.workloads.base import Query
+
+_EXECUTOR_KINDS = ("process", "thread", "serial")
+
+
+@dataclass(slots=True)
+class WorkerContext:
+    """Everything a worker needs to rebuild the evaluation environment.
+
+    Shipped once per worker process via the pool initializer (pickled
+    under ``spawn``, inherited under ``fork``); per-task payloads then
+    only carry the small :class:`EvalTask` deltas.
+    """
+
+    engine_cls: type
+    catalog: object
+    hardware: object
+    workload: tuple[Query, ...]
+    evaluator_options: dict[str, object] = field(default_factory=dict)
+    #: Snapshot of ``repro.db.engine.CACHES_ENABLED`` at selector start,
+    #: so spawned workers mirror the parent's cache regime.
+    caches_enabled: bool = True
+    #: Mirrors the parent engine's ``realtime_factor`` onto workers, so
+    #: latency-realistic benchmark runs wait in the pool, not the parent.
+    realtime_factor: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class EvalTask:
+    """One speculative ``Update`` call (Algorithm 2, lines 16-25)."""
+
+    position: int
+    config: Configuration
+    #: Names of the configuration's not-yet-completed queries; workers
+    #: re-materialize them from the context workload in workload order,
+    #: matching the serial ``_pending`` ordering.
+    pending: frozenset[str]
+    timeout: float
+    #: Predicted engine state (settings after the speculated settings
+    #: threading of earlier candidates; base physical design).
+    state: EngineState
+    #: ``ConfigMeta`` start values, copied from the shared meta table.
+    meta_time: float
+    meta_complete: bool
+    meta_index_time: float
+    meta_completed: tuple[str, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class EvalOutcome:
+    """The worker-side result of one :class:`EvalTask`."""
+
+    position: int
+    time: float
+    is_complete: bool
+    index_time: float
+    completed: tuple[str, ...]
+    #: Individual clock advances, in order, for bit-exact replay.
+    advances: tuple[float, ...]
+    #: Execution seconds of each completed query, in execution order.
+    #: The merge replays Algorithm 3's ``remaining_time`` cascade over
+    #: these to decide -- with the exact float operations the serial
+    #: path would use -- whether a completed speculative run would also
+    #: complete under a smaller actual timeout.
+    executions: tuple[float, ...] = ()
+
+
+# -- worker side -------------------------------------------------------------------
+
+#: Per-process context installed by the pool initializer (process pools).
+_PROCESS_CTX: WorkerContext | None = None
+
+#: Persistent per-thread evaluation state: building an engine and
+#: evaluator is much more expensive than restoring state, so each worker
+#: thread/process keeps one pair alive across tasks.
+_WORKER_STATE = threading.local()
+
+
+def _init_worker(ctx: WorkerContext) -> None:
+    global _PROCESS_CTX
+    _PROCESS_CTX = ctx
+    engine_module.CACHES_ENABLED = ctx.caches_enabled
+
+
+def _worker_state(ctx: WorkerContext):
+    entry = getattr(_WORKER_STATE, "entry", None)
+    if entry is None or entry[0] is not ctx:
+        engine = ctx.engine_cls(ctx.catalog, ctx.hardware)
+        engine.realtime_factor = ctx.realtime_factor
+        evaluator = ConfigurationEvaluator(engine, **ctx.evaluator_options)
+        entry = (ctx, engine, evaluator)
+        _WORKER_STATE.entry = entry
+    return entry[1], entry[2]
+
+
+def evaluate_task(task: EvalTask, ctx: WorkerContext | None = None) -> EvalOutcome:
+    """Run one speculative evaluation on an isolated worker engine."""
+    if ctx is None:
+        ctx = _PROCESS_CTX
+    if ctx is None:  # pragma: no cover - initializer always ran
+        raise ConfigurationError("worker context was never initialized")
+    engine, evaluator = _worker_state(ctx)
+    clock = RecordingClock(0.0)
+    engine.restore_state(task.state, clock=clock)
+    pending = [query for query in ctx.workload if query.name in task.pending]
+    meta = ConfigMeta(
+        time=task.meta_time,
+        is_complete=task.meta_complete,
+        index_time=task.meta_index_time,
+        completed_queries=set(task.meta_completed),
+    )
+    executions: list[float] = []
+    raw_execute = type(engine).execute
+
+    def _logging_execute(query, timeout=None):
+        result = raw_execute(engine, query, timeout=timeout)
+        if result.complete:
+            executions.append(result.execution_time)
+        return result
+
+    engine.execute = _logging_execute
+    try:
+        evaluator.evaluate(task.config, pending, task.timeout, meta)
+    finally:
+        del engine.execute
+    return EvalOutcome(
+        position=task.position,
+        time=meta.time,
+        is_complete=meta.is_complete,
+        index_time=meta.index_time,
+        completed=tuple(sorted(meta.completed_queries)),
+        advances=tuple(clock.advances),
+        executions=tuple(executions),
+    )
+
+
+# -- parent side -------------------------------------------------------------------
+
+
+def ensure_pool_env() -> None:
+    """Pin child-process environment before a process pool is created.
+
+    Under the ``spawn`` start method worker processes re-import ``repro``
+    from scratch, so the interpreter they run must (a) find the package
+    -- ``PYTHONPATH`` gains the directory containing ``repro`` -- and
+    (b) hash strings the same way every run -- ``PYTHONHASHSEED`` is
+    pinned (to its current value, or 0 when unset/random).  Mutating
+    ``os.environ`` is inherited by children; the parent's own hashing
+    was fixed at startup and is unaffected.
+    """
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    existing = os.environ.get("PYTHONPATH", "")
+    if src_dir not in existing.split(os.pathsep):
+        os.environ["PYTHONPATH"] = (
+            src_dir + os.pathsep + existing if existing else src_dir
+        )
+    hash_seed = os.environ.get("PYTHONHASHSEED", "")
+    if not hash_seed or hash_seed == "random":
+        os.environ["PYTHONHASHSEED"] = "0"
+
+
+def _preferred_mp_context(requested: str | None):
+    import multiprocessing
+
+    if requested is not None:
+        return multiprocessing.get_context(requested)
+    methods = multiprocessing.get_all_start_methods()
+    # fork shares the already-imported interpreter state: no re-import,
+    # no context pickling, much cheaper worker start-up.
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class TaskRunner:
+    """Runs batches of :class:`EvalTask` on the configured executor.
+
+    ``run`` preserves task order in its result list and maps skipped
+    slots (``None`` tasks) to ``None`` outcomes.  The underlying pool is
+    created lazily on first use and reused across phases; call
+    :meth:`close` (or use as a context manager) when selection ends.
+    """
+
+    def __init__(
+        self,
+        ctx: WorkerContext,
+        *,
+        workers: int = 0,
+        executor: str = "process",
+        mp_context: str | None = None,
+    ) -> None:
+        if executor not in _EXECUTOR_KINDS:
+            raise ConfigurationError(
+                f"unknown executor {executor!r}; expected one of {_EXECUTOR_KINDS}"
+            )
+        self._ctx = ctx
+        self._workers = max(1, int(workers))
+        self._kind = "serial" if self._workers <= 1 else executor
+        self._mp_context = mp_context
+        self._pool: Executor | None = None
+
+    @property
+    def kind(self) -> str:
+        return self._kind
+
+    def _ensure_pool(self) -> Executor | None:
+        if self._kind == "serial":
+            return None
+        if self._pool is None:
+            if self._kind == "process":
+                ensure_pool_env()
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self._workers,
+                    mp_context=_preferred_mp_context(self._mp_context),
+                    initializer=_init_worker,
+                    initargs=(self._ctx,),
+                )
+            else:
+                self._pool = ThreadPoolExecutor(max_workers=self._workers)
+        return self._pool
+
+    def stream(self, tasks: list[EvalTask | None]):
+        """Yield ``(task, outcome)`` pairs in canonical task order.
+
+        Live tasks are pipelined through the pool with a bounded
+        in-flight window, so workers evaluate candidate *i+w* while the
+        parent folds candidate *i*.  Closing the generator early (the
+        selector does when a round completes) cancels not-yet-started
+        work: the serial algorithm stops a round at its first completion,
+        and a bounded window keeps the speculative overshoot past that
+        point to at most the window size instead of the whole round.
+        ``None`` tasks yield ``None`` outcomes in place.
+        """
+        if self._kind == "serial":
+            for task in tasks:
+                outcome = None if task is None else evaluate_task(task, self._ctx)
+                yield task, outcome
+            return
+        live = iter([task for task in tasks if task is not None])
+        pool = self._ensure_pool()
+        futures: dict[int, object] = {}
+
+        def submit_next() -> None:
+            task = next(live, None)
+            if task is None:
+                return
+            if self._kind == "thread":
+                futures[task.position] = pool.submit(evaluate_task, task, self._ctx)
+            else:
+                futures[task.position] = pool.submit(evaluate_task, task)
+
+        try:
+            for _ in range(self._workers + 2):
+                submit_next()
+            for task in tasks:
+                if task is None:
+                    yield task, None
+                    continue
+                outcome = futures.pop(task.position).result()
+                submit_next()
+                yield task, outcome
+        finally:
+            # Early close: drop whatever had not started yet.  Already
+            # running tasks finish on their own and are discarded; the
+            # next phase's submissions simply queue behind them.
+            for future in futures.values():
+                future.cancel()
+
+    def run(self, tasks: list[EvalTask | None]) -> list[EvalOutcome | None]:
+        return [outcome for _, outcome in self.stream(tasks)]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "TaskRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

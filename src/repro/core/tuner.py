@@ -18,7 +18,7 @@ from repro.core.config import Configuration, parse_config_script
 from repro.core.evaluator import ConfigurationEvaluator
 from repro.core.prompt.template import PromptGenerator
 from repro.core.result import TuningResult
-from repro.core.selector import ConfigurationSelector
+from repro.core.selector import ConfigurationSelector, ParallelConfigurationSelector
 from repro.db.engine import DatabaseEngine
 from repro.errors import ConfigurationError
 from repro.llm.client import LLMClient
@@ -59,6 +59,11 @@ class LambdaTuneOptions:
     solver_method: str = "auto"
     #: Base seed for LLM sampling.
     seed: int = 0
+    #: Pool size for parallel configuration selection; 0/1 runs the
+    #: serial Algorithm 2.  Results are byte-identical either way.
+    workers: int = 0
+    #: Pool flavor for ``workers > 1``: process, thread, or serial.
+    executor: str = "process"
 
     def ablated(self, **changes: object) -> "LambdaTuneOptions":
         """A copy with selected fields changed (ablation studies)."""
@@ -128,13 +133,24 @@ class LambdaTune:
             lazy_indexes=self.options.lazy_indexes,
             cluster_seed=self.options.seed,
         )
-        selector = ConfigurationSelector(
-            self._engine,
-            evaluator,
-            initial_timeout=self.options.initial_timeout,
-            alpha=self.options.alpha,
-            adaptive_timeout=self.options.adaptive_timeout,
-        )
+        if self.options.workers > 1:
+            selector: ConfigurationSelector = ParallelConfigurationSelector(
+                self._engine,
+                evaluator,
+                workers=self.options.workers,
+                executor=self.options.executor,
+                initial_timeout=self.options.initial_timeout,
+                alpha=self.options.alpha,
+                adaptive_timeout=self.options.adaptive_timeout,
+            )
+        else:
+            selector = ConfigurationSelector(
+                self._engine,
+                evaluator,
+                initial_timeout=self.options.initial_timeout,
+                alpha=self.options.alpha,
+                adaptive_timeout=self.options.adaptive_timeout,
+            )
         return selector.select(queries, configs)
 
     # -- Algorithm 1 -------------------------------------------------------------

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import abc
 import hashlib
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 
@@ -40,20 +41,44 @@ from repro.sql.analyzer import QueryInfo, analyze
 CACHES_ENABLED = True
 
 
-def shared_analysis_cache(catalog: Catalog) -> dict[str, QueryInfo]:
-    """The per-catalog SQL-analysis cache, shared across engines.
+#: Safety valve for the catalog-shared caches: a pathological stream of
+#: distinct configurations must not grow them without bound.
+_MAX_SHARED_CACHE_ENTRIES = 65536
 
-    Analysis depends only on the catalog's column-ownership map, so
-    every engine built over the same :class:`Catalog` object can reuse
-    the same parse results (the bench harness builds 14+ engines over
-    identical workloads).  The cache lives on the catalog instance so it
-    is garbage-collected with it.
+
+def shared_catalog_cache(catalog: Catalog, section: str) -> dict:
+    """A named cache dictionary attached to a :class:`Catalog` instance.
+
+    Derivations that depend only on catalog content (SQL analysis) or on
+    content-hashed state (plans keyed by configuration signature) are
+    shared across *all* engines built over the same catalog object: the
+    bench harness builds 14+ engines per scenario and the parallel
+    selector's workers re-create engines per process, all over identical
+    workloads.  The caches live on the catalog instance so they are
+    garbage-collected with it.
     """
-    cache = getattr(catalog, "_shared_analysis_cache", None)
-    if cache is None:
-        cache = {}
-        catalog._shared_analysis_cache = cache  # type: ignore[attr-defined]
-    return cache
+    caches = getattr(catalog, "_shared_caches", None)
+    if caches is None:
+        caches = {}
+        catalog._shared_caches = caches  # type: ignore[attr-defined]
+    return caches.setdefault(section, {})
+
+
+def shared_analysis_cache(catalog: Catalog) -> dict[str, QueryInfo]:
+    """The per-catalog SQL-analysis cache, shared across engines."""
+    return shared_catalog_cache(catalog, "analysis")
+
+
+def shared_plan_cache(catalog: Catalog) -> dict:
+    """The per-catalog plan cache, shared across engines.
+
+    Keyed by ``(system, hardware, sql, config signature)``: the
+    signature is a content hash of settings plus physical design, so two
+    engines in the same state produce interchangeable plans.  Values are
+    ``(plan, pre-noise seconds)``; per-query deterministic noise is
+    applied at lookup because it depends on the query *name*, not text.
+    """
+    return shared_catalog_cache(catalog, "plans")
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,6 +90,20 @@ class ExecutionResult:
     plan: QueryPlan | None = None
 
 
+@dataclass(frozen=True, slots=True)
+class EngineState:
+    """Picklable snapshot of an engine's mutable state.
+
+    Captures exactly what evaluation can change -- parameter settings,
+    the physical design, and the clock -- so a worker process can
+    rebuild a bit-identical engine from ``(catalog, hardware, state)``.
+    """
+
+    settings: tuple[tuple[str, object], ...]
+    indexes: tuple[Index, ...]
+    clock: float
+
+
 class DatabaseEngine(abc.ABC):
     """Common machinery for the PostgreSQL and MySQL simulators."""
 
@@ -72,6 +111,14 @@ class DatabaseEngine(abc.ABC):
     restart_seconds: float = 2.0
     #: Simulated cost of dropping one index.
     drop_index_seconds: float = 0.05
+    #: Wall-clock seconds slept per simulated second of engine *work*
+    #: (query execution, index builds, restarts).  0 = pure simulation.
+    #: A positive factor restores the real-world cost structure the
+    #: simulation compresses away -- on a real DBMS the tuner spends its
+    #: time *waiting* for the server -- which is what the parallel
+    #: selector's workers overlap.  Sleeps never touch the virtual
+    #: clock, so results are bit-identical at any factor.
+    realtime_factor: float = 0.0
 
     def __init__(
         self,
@@ -82,15 +129,17 @@ class DatabaseEngine(abc.ABC):
         self.catalog = catalog
         self.hardware = hardware or HardwareSpec.paper_default()
         self.clock = clock or VirtualClock()
+        self._deferred_wait: float | None = None
         self.knob_space: KnobSpace = self._build_knob_space()
         self._config: dict[str, object] = dict(self.knob_space.defaults())
         self._indexes: dict[tuple[str, tuple[str, ...]], Index] = {}
         self._column_owner = catalog.column_owner_map()
         if CACHES_ENABLED:
             self._analysis_cache = shared_analysis_cache(catalog)
+            self._plan_cache = shared_plan_cache(catalog)
         else:
             self._analysis_cache = {}
-        self._plan_cache: dict[tuple[str, int], tuple[QueryPlan, float]] = {}
+            self._plan_cache = {}
         # Memoization keyed by the settings-only part of the signature:
         # planner costs and the runtime env do not depend on indexes.
         self._settings_text = ""
@@ -195,6 +244,7 @@ class DatabaseEngine(abc.ABC):
         self._refresh_settings_text()
         self._refresh_signature()
         self.clock.advance(self.restart_seconds)
+        self._realtime_wait(self.restart_seconds)
         return self.restart_seconds
 
     def reset_config(self) -> float:
@@ -203,7 +253,38 @@ class DatabaseEngine(abc.ABC):
         self._refresh_settings_text()
         self._refresh_signature()
         self.clock.advance(self.restart_seconds)
+        self._realtime_wait(self.restart_seconds)
         return self.restart_seconds
+
+    def _realtime_wait(self, seconds: float) -> None:
+        """Sleep out a simulated duration when ``realtime_factor`` > 0."""
+        if self.realtime_factor <= 0 or seconds <= 0:
+            return
+        if self._deferred_wait is not None:
+            self._deferred_wait += seconds
+        else:
+            time.sleep(seconds * self.realtime_factor)
+
+    @contextmanager
+    def deferred_realtime(self):
+        """Coalesce realtime waits into one sleep at block exit.
+
+        Every sleep wake-up pays scheduler latency -- dozens of
+        per-query microsleeps per evaluation add up to more than the
+        waits themselves on a busy machine.  Durations are accumulated
+        unscaled and slept once; virtual-clock behaviour is unchanged.
+        Nested blocks defer to the outermost one.
+        """
+        if self._deferred_wait is not None:
+            yield
+            return
+        self._deferred_wait = 0.0
+        try:
+            yield
+        finally:
+            total = self._deferred_wait
+            self._deferred_wait = None
+            self._realtime_wait(total)
 
     # -- physical design ------------------------------------------------------------
 
@@ -239,6 +320,7 @@ class DatabaseEngine(abc.ABC):
         self._indexes[index.key] = index
         self._refresh_signature()
         self.clock.advance(seconds)
+        self._realtime_wait(seconds)
         return seconds
 
     def drop_index(self, index: Index) -> float:
@@ -290,19 +372,19 @@ class DatabaseEngine(abc.ABC):
 
     def query_info(self, query: "str | object") -> QueryInfo:
         """Analyzer facts for a query or SQL string (cached)."""
-        _, info = self._query_parts(query)
+        _, _, info = self._query_parts(query)
         return info
 
     def explain(self, query: "str | object") -> QueryPlan:
         """Plan a query with current settings without executing it."""
-        name, info = self._query_parts(query)
-        plan, _ = self._planned(name, info)
+        name, sql, info = self._query_parts(query)
+        plan, _ = self._planned(name, sql, info)
         return plan
 
     def estimate_seconds(self, query: "str | object") -> float:
         """Simulated runtime under current settings, without executing."""
-        name, info = self._query_parts(query)
-        _, seconds = self._planned(name, info)
+        name, sql, info = self._query_parts(query)
+        _, seconds = self._planned(name, sql, info)
         return seconds
 
     def execute(
@@ -311,12 +393,14 @@ class DatabaseEngine(abc.ABC):
         """Run one query; advance the clock by min(runtime, timeout)."""
         if timeout is not None and timeout <= 0:
             return ExecutionResult(complete=False, execution_time=0.0)
-        name, info = self._query_parts(query)
-        plan, seconds = self._planned(name, info)
+        name, sql, info = self._query_parts(query)
+        plan, seconds = self._planned(name, sql, info)
         if timeout is not None and seconds > timeout:
             self.clock.advance(timeout)
+            self._realtime_wait(timeout)
             return ExecutionResult(complete=False, execution_time=timeout, plan=plan)
         self.clock.advance(seconds)
+        self._realtime_wait(seconds)
         return ExecutionResult(complete=True, execution_time=seconds, plan=plan)
 
     def run_workload(self, queries: list) -> float:
@@ -328,9 +412,9 @@ class DatabaseEngine(abc.ABC):
 
     # -- internals ----------------------------------------------------------------------
 
-    def _query_parts(self, query: "str | object") -> tuple[str, QueryInfo]:
+    def _query_parts(self, query: "str | object") -> tuple[str, str, QueryInfo]:
         if isinstance(query, str):
-            return query, self.analyze_query(query)
+            return query, query, self.analyze_query(query)
         sql = getattr(query, "sql", None)
         if sql is None:
             raise ConfigurationError(
@@ -340,25 +424,35 @@ class DatabaseEngine(abc.ABC):
         info = getattr(query, "info", None)
         if info is None:
             info = self.analyze_query(sql)
-        return name, info
+        return name, sql, info
 
-    def _planned(self, name: str, info: QueryInfo) -> tuple[QueryPlan, float]:
-        key = (name, self._config_signature)
+    def _planned(self, name: str, sql: str, info: QueryInfo) -> tuple[QueryPlan, float]:
+        # Keyed by SQL text (not name): the cache is shared across all
+        # engines over this catalog, where distinct workloads may reuse
+        # query names.  The cached seconds exclude the per-query noise,
+        # which depends on the name and is applied below -- in the same
+        # float-operation order as the uncached computation.
+        key = (self.system, self.hardware, sql, self._config_signature)
         cached = self._plan_cache.get(key)
-        if cached is not None:
-            return cached
-        env = self.runtime_env()
-        planner = Planner(self.catalog, self._indexes, self.planner_costs(), env)
-        plan = planner.plan(info)
-        seconds = (
-            plan.actual_cost
-            * env.seconds_per_cost_unit
-            * env.logging_factor
-            * env.swap_factor
-        )
+        if cached is None:
+            env = self.runtime_env()
+            planner = Planner(
+                self.catalog, self._indexes, self.planner_costs(), env
+            )
+            plan = planner.plan(info)
+            base_seconds = (
+                plan.actual_cost
+                * env.seconds_per_cost_unit
+                * env.logging_factor
+                * env.swap_factor
+            )
+            if len(self._plan_cache) > _MAX_SHARED_CACHE_ENTRIES:
+                self._plan_cache.clear()
+            cached = (plan, base_seconds)
+            self._plan_cache[key] = cached
+        plan, seconds = cached
         seconds *= deterministic_noise(self.system, name, self._config_signature)
         seconds = max(seconds, 1e-4)
-        self._plan_cache[key] = (plan, seconds)
         return plan, seconds
 
     def _refresh_settings_text(self) -> None:
@@ -389,6 +483,54 @@ class DatabaseEngine(abc.ABC):
         if CACHES_ENABLED:
             self._signature_cache[key] = signature
         self._config_signature = signature
+
+    # -- fork / restore (parallel selection support) ------------------------------------
+
+    def capture_state(self) -> EngineState:
+        """Snapshot settings, physical design, and clock (picklable)."""
+        return EngineState(
+            settings=tuple(sorted(self._config.items())),
+            indexes=tuple(self._indexes.values()),
+            clock=self.clock.now,
+        )
+
+    def restore_state(
+        self, state: EngineState, *, clock: VirtualClock | None = None
+    ) -> None:
+        """Replace the mutable state with a previously captured one.
+
+        Settings are restored verbatim (full replacement, no merge), so
+        a worker engine carries no residue from earlier tasks.  Pass
+        ``clock`` to install a specific clock instance (the parallel
+        workers install a zero-based :class:`RecordingClock`).
+        """
+        self._config = {name: value for name, value in state.settings}
+        self._indexes = {index.key: index for index in state.indexes}
+        self.clock = clock if clock is not None else VirtualClock(state.clock)
+        self._refresh_settings_text()
+        self._refresh_signature()
+
+    def fork(self, *, clock: VirtualClock | None = None) -> "DatabaseEngine":
+        """An independent engine in the same state over the same catalog.
+
+        The fork shares the catalog object (and with it the shared
+        analysis/plan caches) but has its own settings, index set, and
+        clock, so evaluating a candidate configuration on the fork never
+        disturbs this engine.
+        """
+        other = type(self)(self.catalog, self.hardware)
+        other.restore_state(self.capture_state(), clock=clock)
+        return other
+
+    def coerced_settings(self, settings: dict[str, object]) -> dict[str, object]:
+        """Validate and coerce settings exactly as ``apply_config`` would,
+        without applying them (used to predict post-apply engine states).
+        """
+        coerced: dict[str, object] = {}
+        for name, raw in settings.items():
+            knob = self.knob_space.knob(name)
+            coerced[knob.name] = knob.coerce(raw)
+        return coerced
 
     # -- convenience -------------------------------------------------------------------
 

@@ -8,8 +8,14 @@ values from the simulated engines' plans.
 
 from __future__ import annotations
 
-from repro.db.engine import DatabaseEngine
+from repro.db import engine as engine_module
+from repro.db.engine import DatabaseEngine, shared_catalog_cache
 from repro.sql.analyzer import JoinCondition
+
+
+def _workload_key(engine: DatabaseEngine, queries: list) -> tuple:
+    texts = tuple(getattr(query, "sql", None) or str(query) for query in queries)
+    return (engine.system, engine.hardware, engine.config_signature, texts)
 
 
 def join_condition_values(
@@ -19,13 +25,27 @@ def join_condition_values(
 
     Costs come from ``engine.explain`` under the *current* configuration
     (callers pass a default-configured engine, matching the paper's use
-    of default plans).
+    of default plans).  The aggregate is part of the shared
+    workload-compile cache: every tuner instantiation re-extracts the
+    same snippet values from the same default plans, so the result is
+    memoized per (system, hardware, configuration signature, query set)
+    on the catalog.
     """
+    cache = None
+    key = None
+    if engine_module.CACHES_ENABLED:
+        cache = shared_catalog_cache(engine.catalog, "join_values")
+        key = _workload_key(engine, queries)
+        cached = cache.get(key)
+        if cached is not None:
+            return dict(cached)
     values: dict[JoinCondition, float] = {}
     for query in queries:
         plan = engine.explain(query)
         for condition, cost in plan.join_estimated_costs().items():
             values[condition] = values.get(condition, 0.0) + cost
+    if cache is not None:
+        cache[key] = dict(values)
     return values
 
 

@@ -4,10 +4,31 @@ A dependency-free oracle used when scipy is unavailable and as an
 independent cross-check of the scipy backend in tests.
 
 Strategy: depth-first branch-and-bound over variables ordered by
-|objective| descending.  The upper bound at a node is the sum of the
-already-fixed objective plus all positive objective coefficients of the
-still-free variables -- cheap, admissible, and tight enough for the
-compressor's instances (a few hundred variables).
+|objective| descending, strengthened by three classical devices:
+
+- **Sign-based presolve.**  A variable with non-positive objective and
+  only non-negative constraint coefficients can never help: fix it to 0.
+  A variable with positive objective and only non-positive coefficients
+  can never hurt: fix it to 1.  Both fixings preserve at least one
+  optimal solution, and the compressor's models (where pair variables
+  appear positively in the linking and budget rows) presolve a large
+  fraction of variables away.
+- **LP-relaxation upper bound.**  The base bound at a node is the fixed
+  objective plus every positive objective coefficient of the still-free
+  variables.  When that fails to prune, each constraint is relaxed to a
+  0/1 knapsack and bounded by its fractional (Dantzig) relaxation:
+  free profitable variables outside the constraint count fully, those
+  inside are taken greedily by density ``objective/coefficient`` until
+  the remaining capacity is exhausted, the first overflowing variable
+  fractionally.  The minimum over constraints is an admissible upper
+  bound that is strictly tighter whenever a budget row binds.
+- **Dominance pruning.**  Variable *i* dominates *j* when its objective
+  is at least as large and its coefficient in every constraint is at
+  most as large (ties broken toward the smaller index, which keeps the
+  relation acyclic).  Some optimal solution then satisfies
+  ``x_j <= x_i``, so branches setting a dominated variable while its
+  dominator is 0 are skipped.  The quadratic detection pass is gated on
+  problem size.
 """
 
 from __future__ import annotations
@@ -16,6 +37,75 @@ from repro.errors import SolverError
 from repro.solver.model import ILPModel, ILPSolution
 
 _NODE_LIMIT = 2_000_000
+
+#: Must match ``LinearConstraint.satisfied``: every feasibility and
+#: capacity computation here works under the same slack tolerance, or
+#: the knapsack bound would prune tolerance-feasible solutions (e.g. a
+#: subnormal coefficient against a 0.0 bound).
+_FEASIBILITY_TOL = 1e-9
+
+#: Dominance detection is O(n^2 * m); skip it on models large enough
+#: that the pass would cost more than the pruning saves.
+_MAX_DOMINANCE_VARS = 300
+
+
+def _presolve_fixings(model: ILPModel) -> dict[int, int]:
+    """Variables whose optimal value follows from coefficient signs."""
+    objective = model.objective
+    lowest = [0.0] * model.variable_count
+    highest = [0.0] * model.variable_count
+    for constraint in model.constraints:
+        for variable, coefficient in constraint.coefficients.items():
+            lowest[variable] = min(lowest[variable], coefficient)
+            highest[variable] = max(highest[variable], coefficient)
+    fixings: dict[int, int] = {}
+    for variable in range(model.variable_count):
+        if objective[variable] <= 0.0 and lowest[variable] >= 0.0:
+            fixings[variable] = 0
+        elif objective[variable] > 0.0 and highest[variable] <= 0.0:
+            fixings[variable] = 1
+    return fixings
+
+
+def _dominators(
+    model: ILPModel, free: list[int], position_of: dict[int, int]
+) -> dict[int, int]:
+    """Map dominated variable -> a dominator branched on earlier.
+
+    Only dominators at earlier branching positions are recorded, so the
+    DFS always knows the dominator's value when it reaches the dominated
+    variable.
+    """
+    objective = model.objective
+    columns: dict[int, dict[int, float]] = {variable: {} for variable in free}
+    for constraint_index, constraint in enumerate(model.constraints):
+        for variable, coefficient in constraint.coefficients.items():
+            if variable in columns:
+                columns[variable][constraint_index] = coefficient
+
+    def dominates(i: int, j: int) -> bool:
+        if objective[i] < objective[j]:
+            return False
+        strict = objective[i] > objective[j]
+        keys = columns[i].keys() | columns[j].keys()
+        for constraint_index in keys:
+            left = columns[i].get(constraint_index, 0.0)
+            right = columns[j].get(constraint_index, 0.0)
+            if left > right:
+                return False
+            if left < right:
+                strict = True
+        return strict or i < j
+
+    dominators: dict[int, int] = {}
+    for j in free:
+        for i in free:
+            if i == j or position_of[i] >= position_of[j]:
+                continue
+            if dominates(i, j):
+                dominators[j] = i
+                break
+    return dominators
 
 
 def solve_with_branch_bound(model: ILPModel) -> ILPSolution:
@@ -26,12 +116,19 @@ def solve_with_branch_bound(model: ILPModel) -> ILPSolution:
 
     objective = model.objective
     constraints = model.constraints
-    order = sorted(range(n), key=lambda index: -abs(objective[index]))
 
-    # Remaining positive mass after each position in `order`, for bounds.
-    positive_suffix = [0.0] * (n + 1)
-    for position in range(n - 1, -1, -1):
-        coefficient = objective[order[position]]
+    fixings = _presolve_fixings(model)
+    free = sorted(
+        (index for index in range(n) if index not in fixings),
+        key=lambda index: -abs(objective[index]),
+    )
+    free_count = len(free)
+    position_of = {variable: position for position, variable in enumerate(free)}
+
+    # Remaining positive mass after each position in `free`, for bounds.
+    positive_suffix = [0.0] * (free_count + 1)
+    for position in range(free_count - 1, -1, -1):
+        coefficient = objective[free[position]]
         positive_suffix[position] = positive_suffix[position + 1] + max(
             0.0, coefficient
         )
@@ -40,33 +137,90 @@ def solve_with_branch_bound(model: ILPModel) -> ILPSolution:
     slack = [constraint.bound for constraint in constraints]
     # For pruning: the minimum possible remaining contribution of free
     # variables to each constraint (negative coefficients can relax it).
-    min_free_contribution = [
-        sum(min(0.0, coefficient) for coefficient in constraint.coefficients.values())
-        for constraint in constraints
-    ]
+    min_free_contribution = [0.0] * len(constraints)
+    for constraint_index, constraint in enumerate(constraints):
+        for variable, coefficient in constraint.coefficients.items():
+            if variable in fixings:
+                slack[constraint_index] -= coefficient * fixings[variable]
+            else:
+                min_free_contribution[constraint_index] += min(0.0, coefficient)
+    # Positive-objective mass of free variables appearing positively in
+    # each constraint; the knapsack bound charges these against capacity
+    # while everything else in `positive_suffix` counts fully.
+    knapsack_mass = [0.0] * len(constraints)
+    # Per constraint: free profitable entries sorted by Dantzig density.
+    knapsack_items: list[list[tuple[int, float, float]]] = []
+    for constraint_index, constraint in enumerate(constraints):
+        items: list[tuple[int, float, float]] = []
+        for variable, coefficient in constraint.coefficients.items():
+            if variable in fixings:
+                continue
+            profit = objective[variable]
+            if profit > 0.0 and coefficient > 0.0:
+                items.append((variable, profit, coefficient))
+                knapsack_mass[constraint_index] += profit
+        items.sort(key=lambda item: -(item[1] / item[2]))
+        knapsack_items.append(items)
+
     # constraint index -> list of (variable, coefficient) for fast updates
     by_variable: list[list[tuple[int, float]]] = [[] for _ in range(n)]
     for constraint_index, constraint in enumerate(constraints):
         for variable, coefficient in constraint.coefficients.items():
-            by_variable[variable].append((constraint_index, coefficient))
+            if variable not in fixings:
+                by_variable[variable].append((constraint_index, coefficient))
 
-    best_values = [0] * n
-    if not model.is_feasible(best_values):
-        # The all-zero point satisfies every `<=` constraint with a
-        # non-negative bound; a negative bound makes the model infeasible
-        # for our use cases.
+    dominators = (
+        _dominators(model, free, position_of) if n <= _MAX_DOMINANCE_VARS else {}
+    )
+
+    base_values = [fixings.get(index, 0) for index in range(n)]
+    if any(
+        s - m < -_FEASIBILITY_TOL for s, m in zip(slack, min_free_contribution)
+    ):
+        # Presolve only fixes choices that relax constraints, so this
+        # means the model was infeasible to begin with.
         raise SolverError("model infeasible at the all-zero point")
-    best_objective = 0.0
+    base_objective = sum(
+        objective[variable] * value for variable, value in fixings.items()
+    )
 
-    values = [0] * n
+    best_values = base_values.copy()
+    best_objective = base_objective
+    if not model.is_feasible(best_values):  # pragma: no cover - defensive
+        raise SolverError("model infeasible at the all-zero point")
+
+    values = base_values.copy()
+    is_free = [index not in fixings for index in range(n)]
     nodes = 0
 
-    def feasible_now() -> bool:
-        """Check that fixed choices cannot already violate a constraint."""
-        for constraint_index in range(len(constraints)):
-            if slack[constraint_index] - min_free_contribution[constraint_index] < -1e-9:
-                return False
-        return True
+    def knapsack_bound(position: int) -> float:
+        """Tightest per-constraint fractional-knapsack bound."""
+        free_positive = positive_suffix[position]
+        bound = free_positive
+        for constraint_index, items in enumerate(knapsack_items):
+            mass = knapsack_mass[constraint_index]
+            if mass <= 0.0:
+                continue
+            capacity = (
+                slack[constraint_index]
+                - min_free_contribution[constraint_index]
+                + _FEASIBILITY_TOL
+            )
+            inside = 0.0
+            for variable, profit, coefficient in items:
+                if not is_free[variable]:
+                    continue
+                if coefficient <= capacity:
+                    capacity -= coefficient
+                    inside += profit
+                else:
+                    if capacity > 0.0:
+                        inside += profit * (capacity / coefficient)
+                    break
+            bound = min(bound, free_positive - mass + inside)
+            if bound <= 0.0:
+                break
+        return bound
 
     def recurse(position: int, fixed_objective: float) -> None:
         nonlocal best_objective, best_values, nodes
@@ -75,35 +229,52 @@ def solve_with_branch_bound(model: ILPModel) -> ILPSolution:
             raise SolverError("branch-and-bound node limit exceeded")
         if fixed_objective + positive_suffix[position] <= best_objective + 1e-12:
             return
-        if position == n:
+        if position == free_count:
             if fixed_objective > best_objective:
                 best_objective = fixed_objective
                 best_values = values.copy()
             return
+        if (
+            knapsack_items
+            and fixed_objective + knapsack_bound(position)
+            <= best_objective + 1e-12
+        ):
+            return
 
-        variable = order[position]
+        variable = free[position]
+        dominator = dominators.get(variable)
+        choices = (1, 0)
+        if dominator is not None and values[dominator] == 0:
+            # Some optimal solution has x_var <= x_dominator = 0.
+            choices = (0,)
 
-        for choice in (1, 0):
+        for choice in choices:
             values[variable] = choice
+            is_free[variable] = False
             delta = objective[variable] * choice
             feasible = True
             if choice == 1:
                 for constraint_index, coefficient in by_variable[variable]:
                     slack[constraint_index] -= coefficient
                     min_free_contribution[constraint_index] -= min(0.0, coefficient)
+                    knapsack_mass[constraint_index] -= (
+                        delta if coefficient > 0.0 and delta > 0.0 else 0.0
+                    )
                     if (
                         slack[constraint_index]
                         - min_free_contribution[constraint_index]
-                        < -1e-9
+                        < -_FEASIBILITY_TOL
                     ):
                         feasible = False
             else:
                 for constraint_index, coefficient in by_variable[variable]:
                     min_free_contribution[constraint_index] -= min(0.0, coefficient)
+                    if objective[variable] > 0.0 and coefficient > 0.0:
+                        knapsack_mass[constraint_index] -= objective[variable]
                     if (
                         slack[constraint_index]
                         - min_free_contribution[constraint_index]
-                        < -1e-9
+                        < -_FEASIBILITY_TOL
                     ):
                         feasible = False
             if feasible:
@@ -113,10 +284,16 @@ def solve_with_branch_bound(model: ILPModel) -> ILPSolution:
                 for constraint_index, coefficient in by_variable[variable]:
                     slack[constraint_index] += coefficient
                     min_free_contribution[constraint_index] += min(0.0, coefficient)
+                    knapsack_mass[constraint_index] += (
+                        delta if coefficient > 0.0 and delta > 0.0 else 0.0
+                    )
             else:
                 for constraint_index, coefficient in by_variable[variable]:
                     min_free_contribution[constraint_index] += min(0.0, coefficient)
+                    if objective[variable] > 0.0 and coefficient > 0.0:
+                        knapsack_mass[constraint_index] += objective[variable]
+            is_free[variable] = True
         values[variable] = 0
 
-    recurse(0, 0.0)
+    recurse(0, base_objective)
     return ILPSolution(values=best_values, objective=best_objective, optimal=True)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from repro.errors import SQLError
 from repro.sql import ast
-from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.lexer import Token, TokenType, content_key, tokenize
 
 _COMPARISON_OPS = frozenset({"=", "<", ">", "<=", ">=", "<>", "!="})
 _JOIN_KINDS = frozenset({"join", "inner", "left", "right", "full", "cross"})
@@ -413,6 +413,25 @@ class Parser:
         return ast.FuncCall(name=name, args=tuple(args), distinct=distinct)
 
 
+#: Memoized parse results keyed by content hash of the SQL text.  AST
+#: nodes are frozen dataclasses, so the cached statement can be shared
+#: by every caller without copying; mutating callers would raise.
+_PARSE_CACHE: dict[bytes, ast.SelectStmt] = {}
+_MAX_PARSE_CACHE_ENTRIES = 4096
+
+
 def parse_select(text: str) -> ast.SelectStmt:
-    """Parse one SELECT statement from SQL text."""
-    return Parser(tokenize(text)).parse()
+    """Parse one SELECT statement from SQL text.
+
+    Memoized per content hash: repeated ``parse()`` of an identical
+    query string is O(1) after the first call (the selector, baselines,
+    and figure runners all re-analyze the same workload SQL).
+    """
+    key = content_key(text)
+    cached = _PARSE_CACHE.get(key)
+    if cached is None:
+        cached = Parser(tokenize(text)).parse()
+        if len(_PARSE_CACHE) >= _MAX_PARSE_CACHE_ENTRIES:
+            _PARSE_CACHE.clear()
+        _PARSE_CACHE[key] = cached
+    return cached

@@ -6,6 +6,7 @@ TPC-H SF1/SF10, TPC-DS SF1, and JOB (§6.1).
 """
 
 from repro.workloads.base import Query, Workload
+from repro.workloads.compile import CompiledWorkload, compile_workload
 from repro.workloads.tpch import tpch_workload
 from repro.workloads.tpcds import tpcds_workload
 from repro.workloads.job import job_workload
@@ -14,6 +15,8 @@ from repro.workloads.registry import load_workload, WORKLOAD_NAMES
 __all__ = [
     "Query",
     "Workload",
+    "CompiledWorkload",
+    "compile_workload",
     "tpch_workload",
     "tpcds_workload",
     "job_workload",

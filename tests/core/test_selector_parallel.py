@@ -1,0 +1,231 @@
+"""Parallel selection equivalence: byte-identical to the serial path.
+
+The property the tentpole rests on: for any seed, worker count, and
+executor flavor, ``ParallelConfigurationSelector`` produces the same
+``SelectionResult`` as ``ConfigurationSelector`` -- same floats (by
+``repr``, i.e. bit-identical), same trace, same rounds.
+"""
+
+import math
+
+import pytest
+
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.parallel import TaskRunner, WorkerContext
+from repro.core.selector import ConfigurationSelector, ParallelConfigurationSelector
+from repro.core.tuner import LambdaTune, LambdaTuneOptions
+from repro.db.postgres import PostgresEngine
+from repro.errors import ConfigurationError
+from repro.llm.mock import SimulatedLLM
+
+
+def fingerprint(selection):
+    """Bit-exact identity of a SelectionResult (floats via repr)."""
+    return (
+        repr(selection.best.time),
+        selection.best.config.name if selection.best.config else None,
+        tuple(
+            (
+                name,
+                repr(meta.time),
+                meta.is_complete,
+                repr(meta.index_time),
+                tuple(sorted(meta.completed_queries)),
+            )
+            for name, meta in sorted(selection.meta.items())
+        ),
+        tuple((repr(at), repr(best)) for at, best in selection.trace),
+        selection.rounds,
+    )
+
+
+def sampled_configs(tpch, seed):
+    """Engine + the k LLM-sampled candidate configurations for a seed."""
+    engine = PostgresEngine(tpch.catalog)
+    options = LambdaTuneOptions(
+        token_budget=400, initial_timeout=0.5, alpha=2.0, seed=seed
+    )
+    tuner = LambdaTune(engine, SimulatedLLM(), options)
+    prompt = tuner.generate_prompt(list(tpch.queries))
+    return engine, tuner.sample_configurations(prompt)
+
+
+def serial_selection(tpch, seed, initial_timeout=0.5):
+    engine, configs = sampled_configs(tpch, seed)
+    evaluator = ConfigurationEvaluator(engine, cluster_seed=seed)
+    selector = ConfigurationSelector(
+        engine, evaluator, initial_timeout=initial_timeout, alpha=2.0
+    )
+    return selector.select(list(tpch.queries), configs)
+
+
+def parallel_selection(tpch, seed, initial_timeout=0.5, **selector_kwargs):
+    engine, configs = sampled_configs(tpch, seed)
+    evaluator = ConfigurationEvaluator(engine, cluster_seed=seed)
+    selector = ParallelConfigurationSelector(
+        engine,
+        evaluator,
+        initial_timeout=initial_timeout,
+        alpha=2.0,
+        **selector_kwargs,
+    )
+    return selector.select(list(tpch.queries), configs), selector
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", [0, 3, 9])
+    @pytest.mark.parametrize(
+        "workers,executor",
+        [(1, "serial"), (2, "serial"), (2, "thread"), (4, "thread")],
+    )
+    def test_matches_serial(self, tpch, seed, workers, executor):
+        expected = fingerprint(serial_selection(tpch, seed))
+        selection, _ = parallel_selection(
+            tpch, seed, workers=workers, executor=executor
+        )
+        assert fingerprint(selection) == expected
+
+    @pytest.mark.parametrize("seed", [0, 9])
+    def test_matches_serial_process_pool(self, tpch, seed):
+        expected = fingerprint(serial_selection(tpch, seed))
+        selection, _ = parallel_selection(
+            tpch, seed, workers=2, executor="process"
+        )
+        assert fingerprint(selection) == expected
+
+    @pytest.mark.slow
+    def test_matches_serial_under_spawn(self, tpch):
+        """Spawned workers re-import repro; env propagation keeps them
+        deterministic (PYTHONPATH + PYTHONHASHSEED pinned)."""
+        expected = fingerprint(serial_selection(tpch, 0))
+        selection, _ = parallel_selection(
+            tpch, 0, workers=2, executor="process", mp_context="spawn"
+        )
+        assert fingerprint(selection) == expected
+
+    def test_recompute_path_still_identical(self, tpch):
+        """Seed 0 at this timeout mispredicts final-phase timeouts (a
+        wave-2 candidate improves ``best`` after the inline leader),
+        forcing serial recomputes -- the merged result must still be
+        byte-identical."""
+        expected = fingerprint(serial_selection(tpch, 0, initial_timeout=1.0))
+        selection, selector = parallel_selection(
+            tpch, 0, initial_timeout=1.0, workers=2, executor="thread"
+        )
+        assert selector.last_stats["recomputed"] > 0
+        assert fingerprint(selection) == expected
+
+    def test_speculation_actually_folds(self, tpch):
+        _, selector = parallel_selection(tpch, 3, workers=2, executor="thread")
+        assert selector.last_stats["folded"] > 0
+        assert selector.last_stats["recomputed"] == 0
+
+    def test_duplicate_candidates_at_exact_timeout_ties(self, tpch):
+        """Regression: duplicate candidate configurations make
+        ``best.time - meta.time`` hit a completed run's length to the
+        bit.  Deciding fold validity by comparing summed execution time
+        against the timeout disagrees with the serial per-query cascade
+        by one ulp at such ties; the merge must replay the cascade
+        exactly.  (k=32 makes the mock LLM emit duplicates.)"""
+
+        def selection(parallel):
+            engine = PostgresEngine(tpch.catalog)
+            options = LambdaTuneOptions(
+                num_configs=32, token_budget=400, initial_timeout=0.1,
+                alpha=1.5, seed=9,
+            )
+            tuner = LambdaTune(engine, SimulatedLLM(), options)
+            configs = tuner.sample_configurations(
+                tuner.generate_prompt(list(tpch.queries))
+            )
+            evaluator = ConfigurationEvaluator(engine, cluster_seed=9)
+            if parallel:
+                selector = ParallelConfigurationSelector(
+                    engine, evaluator, initial_timeout=0.1, alpha=1.5,
+                    workers=2, executor="serial",
+                )
+            else:
+                selector = ConfigurationSelector(
+                    engine, evaluator, initial_timeout=0.1, alpha=1.5
+                )
+            return selector.select(list(tpch.queries), configs)
+
+        assert fingerprint(selection(parallel=True)) == fingerprint(
+            selection(parallel=False)
+        )
+
+
+class TestTunerIntegration:
+    def test_workers_option_is_transparent(self, tpch):
+        def tune(workers):
+            engine = PostgresEngine(tpch.catalog)
+            options = LambdaTuneOptions(
+                token_budget=400,
+                initial_timeout=0.5,
+                alpha=2.0,
+                seed=9,
+                workers=workers,
+                executor="thread",
+            )
+            result = LambdaTune(engine, SimulatedLLM(), options).tune(
+                list(tpch.queries)
+            )
+            return (
+                repr(result.best_time),
+                repr(result.tuning_seconds),
+                tuple((repr(p.time), repr(p.best_time)) for p in result.trace),
+                result.extras["rounds"],
+            )
+
+        assert tune(0) == tune(4)
+
+
+class TestRunner:
+    def test_rejects_unknown_executor(self, pg_engine, tiny_workload):
+        ctx = WorkerContext(
+            engine_cls=type(pg_engine),
+            catalog=pg_engine.catalog,
+            hardware=pg_engine.hardware,
+            workload=tuple(tiny_workload.queries),
+        )
+        with pytest.raises(ConfigurationError):
+            TaskRunner(ctx, workers=2, executor="fiber")
+
+    def test_single_worker_degenerates_to_serial(self, pg_engine, tiny_workload):
+        ctx = WorkerContext(
+            engine_cls=type(pg_engine),
+            catalog=pg_engine.catalog,
+            hardware=pg_engine.hardware,
+            workload=tuple(tiny_workload.queries),
+        )
+        runner = TaskRunner(ctx, workers=1, executor="process")
+        assert runner.kind == "serial"
+        assert runner.run([None, None]) == [None, None]
+
+    def test_parallel_selector_on_tiny_engine(self, pg_engine, tiny_workload):
+        """The machinery also holds on a hand-sized workload."""
+        from repro.core.config import Configuration
+
+        candidates = [
+            Configuration(name="a", settings={"work_mem": "256MB"}),
+            Configuration(name="b", settings={"shared_buffers": "2GB"}),
+        ]
+        engine2 = pg_engine.fork()
+
+        serial = ConfigurationSelector(
+            pg_engine,
+            ConfigurationEvaluator(pg_engine),
+            initial_timeout=0.05,
+            alpha=2.0,
+        ).select(list(tiny_workload.queries), candidates)
+        parallel = ParallelConfigurationSelector(
+            engine2,
+            ConfigurationEvaluator(engine2),
+            workers=2,
+            executor="thread",
+            initial_timeout=0.05,
+            alpha=2.0,
+        ).select(list(tiny_workload.queries), candidates)
+
+        assert fingerprint(parallel) == fingerprint(serial)
+        assert math.isfinite(parallel.best.time)

@@ -1,0 +1,131 @@
+"""Branch-and-bound pruning devices vs the scipy backend.
+
+The presolve fixings, fractional-knapsack bound, and dominance pruning
+must never change the optimum -- only the node count.  These instances
+are deliberately mixed-sign (negative objectives, negative coefficients)
+to exercise every presolve/pruning branch, and larger than the
+exhaustive-search tests can afford.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solver import ILPModel, solve_with_branch_bound, solve_with_scipy
+from repro.solver.branch_bound import _presolve_fixings
+
+
+@st.composite
+def mixed_sign_ilp(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    model = ILPModel()
+    for i in range(n):
+        model.add_variable(
+            f"x{i}", draw(st.floats(-8.0, 12.0, allow_nan=False))
+        )
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        size = draw(st.integers(min_value=1, max_value=n))
+        members = draw(
+            st.lists(
+                st.integers(0, n - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        coefficients = {
+            index: draw(st.floats(-4.0, 9.0, allow_nan=False))
+            for index in members
+        }
+        model.add_constraint(coefficients, draw(st.floats(0.0, 15.0)))
+    return model
+
+
+class TestAgainstScipy:
+    @settings(max_examples=80, deadline=None)
+    @given(mixed_sign_ilp())
+    def test_mixed_sign_objective_matches(self, model):
+        ours = solve_with_branch_bound(model)
+        reference = solve_with_scipy(model)
+        assert model.is_feasible(ours.values)
+        assert ours.objective == pytest.approx(reference.objective, abs=1e-6)
+
+    def test_large_random_knapsacks_match(self):
+        rng = random.Random(7)
+        for n in (30, 60, 90):
+            model = ILPModel()
+            for i in range(n):
+                model.add_variable(f"x{i}", rng.uniform(1.0, 10.0))
+            model.add_constraint(
+                {i: rng.uniform(1.0, 6.0) for i in range(n)}, n * 0.6
+            )
+            ours = solve_with_branch_bound(model)
+            reference = solve_with_scipy(model)
+            assert ours.objective == pytest.approx(
+                reference.objective, abs=1e-6
+            )
+
+    def test_multi_constraint_instances_match(self):
+        rng = random.Random(11)
+        for _ in range(20):
+            n = rng.randint(5, 18)
+            model = ILPModel()
+            for i in range(n):
+                model.add_variable(f"x{i}", rng.uniform(-5.0, 10.0))
+            for _ in range(rng.randint(1, 4)):
+                members = rng.sample(range(n), rng.randint(1, n))
+                model.add_constraint(
+                    {i: rng.uniform(-3.0, 8.0) for i in members},
+                    rng.uniform(0.0, 12.0),
+                )
+            ours = solve_with_branch_bound(model)
+            reference = solve_with_scipy(model)
+            assert ours.objective == pytest.approx(
+                reference.objective, abs=1e-6
+            )
+
+
+class TestPresolve:
+    def test_fixes_useless_and_free_variables(self):
+        model = ILPModel()
+        useless = model.add_variable("useless", -2.0)  # obj<=0, coeff>=0
+        free_win = model.add_variable("free_win", 3.0)  # obj>0, coeff<=0
+        contested = model.add_variable("contested", 5.0)
+        model.add_constraint({useless: 2.0, free_win: -1.0, contested: 4.0}, 4.0)
+        fixings = _presolve_fixings(model)
+        assert fixings[useless] == 0
+        assert fixings[free_win] == 1
+        assert contested not in fixings
+        solution = solve_with_branch_bound(model)
+        assert solution.values == [0, 1, 1]
+        assert solution.objective == pytest.approx(8.0)
+
+    def test_unconstrained_variables_presolve_entirely(self):
+        model = ILPModel()
+        model.add_variable("gain", 4.0)
+        model.add_variable("loss", -1.5)
+        fixings = _presolve_fixings(model)
+        assert fixings == {0: 1, 1: 0}
+        assert solve_with_branch_bound(model).objective == pytest.approx(4.0)
+
+
+class TestDominance:
+    def test_dominated_heavy_item_never_chosen_over_dominator(self):
+        # Item 0 dominates item 1: more value, less weight.  With room
+        # for one item only, the optimum takes the dominator.
+        model = ILPModel()
+        a = model.add_variable("a", 10.0)
+        b = model.add_variable("b", 6.0)
+        model.add_constraint({a: 2.0, b: 3.0}, 3.0)
+        solution = solve_with_branch_bound(model)
+        assert solution.values == [1, 0]
+
+    def test_equal_items_tie_break_is_consistent(self):
+        model = ILPModel()
+        a = model.add_variable("a", 5.0)
+        b = model.add_variable("b", 5.0)
+        model.add_constraint({a: 2.0, b: 2.0}, 2.0)
+        solution = solve_with_branch_bound(model)
+        assert solution.objective == pytest.approx(5.0)
+        assert sum(solution.values) == 1

@@ -1,0 +1,52 @@
+"""Invalidation safety of the lexer/parser content-hash memoization.
+
+The caches key on a sha256 of the SQL text, so there is nothing to
+invalidate -- but the memoization must not let one caller's mutations
+leak into another's results, and distinct texts must never collide.
+"""
+
+from repro.sql import ast
+from repro.sql.lexer import TokenType, content_key, tokenize
+from repro.sql.parser import parse_select
+
+SQL = "SELECT count(*) FROM users WHERE country = 'US'"
+
+
+class TestTokenizeMemo:
+    def test_repeated_calls_agree(self):
+        assert tokenize(SQL) == tokenize(SQL)
+
+    def test_returned_list_is_a_fresh_copy(self):
+        first = tokenize(SQL)
+        first.clear()
+        second = tokenize(SQL)
+        assert second, "cache was poisoned by caller mutation"
+        assert second[-1].type is TokenType.EOF
+
+    def test_distinct_texts_do_not_collide(self):
+        other = SQL.replace("'US'", "'DE'")
+        assert content_key(SQL) != content_key(other)
+        values = {token.value for token in tokenize(other)}
+        assert "DE" in values and "US" not in values
+
+    def test_whitespace_variants_are_distinct_keys_same_tokens(self):
+        spaced = SQL.replace(" ", "  ")
+        assert content_key(SQL) != content_key(spaced)
+        # Different cache entries, same token stream content (positions
+        # aside) -- the memo never canonicalizes text.
+        kinds = [token.type for token in tokenize(spaced)]
+        assert kinds == [token.type for token in tokenize(SQL)]
+
+
+class TestParseMemo:
+    def test_repeated_parses_share_the_frozen_ast(self):
+        first = parse_select(SQL)
+        second = parse_select(SQL)
+        assert isinstance(first, ast.SelectStmt)
+        # AST nodes are frozen dataclasses, so sharing one instance
+        # across callers is safe -- and is what makes the memo O(1).
+        assert first is second
+
+    def test_distinct_texts_distinct_asts(self):
+        other = SQL.replace("users", "orders")
+        assert parse_select(SQL) is not parse_select(other)
