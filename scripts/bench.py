@@ -16,14 +16,20 @@ implementations and verifies bit-identical results:
    otherwise compresses away).  Exits non-zero unless the parallel
    ``TuningResult`` fingerprints are byte-identical to the serial one.
 4. Workload compile cache: ``compile_workload`` memoized vs recomputed.
-5. Optionally consumes ``pytest-benchmark`` stats from
+5. Fault-injection overhead: the engine fault hooks are always compiled
+   in; with no :class:`FaultPlan` installed the tuned ``best_time`` must
+   stay within 2% of the committed ``BENCH_2.json`` value (it is in fact
+   bit-identical -- the hook is one ``is None`` check), and a chaos tune
+   with a crash plan must quarantine identically in serial and
+   ``--workers`` process-pool modes.
+6. Optionally consumes ``pytest-benchmark`` stats from
    ``benchmarks/test_perf_scheduler.py`` via ``--benchmark-json``.
 
-Regression gate: if a committed ``BENCH_1.json`` exists, the tuned
-TPC-H/JOB ``best_time`` must not be worse than recorded there; the
-script exits non-zero otherwise.
+Regression gate: if a committed ``BENCH_2.json`` (or, failing that,
+``BENCH_1.json``) exists, the tuned TPC-H/JOB ``best_time`` must not be
+worse than recorded there; the script exits non-zero otherwise.
 
-Writes the combined report to ``BENCH_2.json`` (or ``--output``):
+Writes the combined report to ``BENCH_3.json`` (or ``--output``):
 
     PYTHONPATH=src python scripts/bench.py
     PYTHONPATH=src python scripts/bench.py --skip-pytest --quick --workers 2
@@ -134,9 +140,13 @@ def _fingerprint(result) -> dict:
                 "is_complete": m.is_complete,
                 "index_time": repr(m.index_time),
                 "completed_queries": sorted(m.completed_queries),
+                "failed": m.failed,
+                "failure": m.failure,
             }
             for name, m in sorted(meta.items())
         },
+        "failed_configs": result.extras.get("failed_configs", []),
+        "fallback": result.extras.get("fallback", False),
     }
 
 
@@ -300,8 +310,11 @@ def compile_cache_benchmark(repeats: int) -> dict:
 
 
 def regression_gate(tune_report: dict) -> dict:
-    """Fail (exit non-zero) if tuned best_time regressed vs BENCH_1.json."""
-    baseline_path = REPO / "BENCH_1.json"
+    """Fail (exit non-zero) if tuned best_time regressed vs the newest
+    committed baseline (BENCH_2.json, else BENCH_1.json)."""
+    baseline_path = REPO / "BENCH_2.json"
+    if not baseline_path.is_file():
+        baseline_path = REPO / "BENCH_1.json"
     gate: dict = {"baseline": baseline_path.name, "checked": False}
     if not baseline_path.is_file():
         gate["note"] = "no committed baseline; gate skipped"
@@ -320,6 +333,121 @@ def regression_gate(tune_report: dict) -> dict:
             )
         gate[workload_name] = {"baseline_best_time": old, "best_time": new}
     return gate
+
+
+# -- fault-injection overhead -------------------------------------------------
+
+
+def _chaos_tune(workload, plan, workers: int):
+    """One full tune with a fault plan installed; process pool if workers>1."""
+    from repro.llm import SimulatedLLM
+
+    options = LambdaTuneOptions(
+        token_budget=400,
+        initial_timeout=0.5,
+        alpha=2.0,
+        seed=9,
+        workers=workers,
+        executor="process",
+    )
+    engine = PostgresEngine(workload.catalog)
+    engine.install_faults(plan)
+    tuner = LambdaTune(engine, SimulatedLLM(), options)
+    return _fingerprint(tuner.tune(list(workload.queries)))
+
+
+def fault_overhead_benchmark(tune_report: dict, workers: int, repeats: int) -> dict:
+    """Overhead + correctness of the engine fault hooks.
+
+    Gate 1 (inert hooks): the ``full_tune`` numbers above already ran
+    with the hooks compiled in and no plan installed; the tuned
+    ``best_time`` must be within 2% of the committed ``BENCH_2.json``
+    value (exit non-zero otherwise).
+
+    Gate 2 (chaos equivalence): a TPC-H tune with a crash plan that
+    kills ≥1 candidate must quarantine it, return the best surviving
+    configuration, and fingerprint identically in serial and
+    ``--workers`` process-pool modes.
+    """
+    from repro.faults import ENGINE_QUERY_CRASH, FaultPlan
+
+    report: dict = {}
+
+    baseline_path = REPO / "BENCH_2.json"
+    gate: dict = {"baseline": baseline_path.name, "checked": False}
+    if baseline_path.is_file():
+        previous = json.loads(baseline_path.read_text()).get("full_tune", {})
+        for workload_name, row in tune_report.items():
+            old = previous.get(workload_name, {}).get("best_time")
+            if old is None:
+                continue
+            gate["checked"] = True
+            ratio = float(row["best_time"]) / float(old)
+            if ratio > 1.02:
+                raise SystemExit(
+                    f"{workload_name}: best_time with inert fault hooks is "
+                    f"{(ratio - 1) * 100:.2f}% worse than {baseline_path.name} "
+                    f"({old} -> {row['best_time']}); 2% gate exceeded"
+                )
+            gate[workload_name] = {
+                "bench2_best_time": old,
+                "best_time": row["best_time"],
+                "slowdown_pct": round((ratio - 1) * 100, 4),
+            }
+    else:
+        gate["note"] = "no committed BENCH_2.json; gate skipped"
+    report["inert_hook_gate"] = gate
+
+    # Hot-path micro-overhead: execute() with fault_plan None (the
+    # production default) vs a zero-density plan installed (hooks active
+    # but every draw misses).  Simulated execution times are identical
+    # by construction; this measures wall-clock hook cost only.
+    workload = tpch_workload()
+    engine = PostgresEngine(workload.catalog)
+    queries = list(workload.queries)[:6]
+
+    def run_all():
+        for query in queries:
+            engine.execute(query)
+
+    run_all()  # warm analysis/plan caches before timing
+    plan_none_s = _best_of(run_all, repeats)
+    engine.install_faults(FaultPlan(seed=0, density=0.0))
+    inert_plan_s = _best_of(run_all, repeats)
+    engine.install_faults(None)
+    report["execute_hot_path"] = {
+        "queries": len(queries),
+        "plan_none_ms": round(plan_none_s * 1e3, 4),
+        "inert_plan_ms": round(inert_plan_s * 1e3, 4),
+        "inert_plan_overhead_pct": round(
+            (inert_plan_s / plan_none_s - 1) * 100, 2
+        ),
+    }
+
+    # Chaos equivalence: seed 0 at density 0.02 crashes the candidates
+    # that would otherwise win the TPC-H tune (see tests/faults).
+    plan = FaultPlan(seed=0, density=0.02, sites={ENGINE_QUERY_CRASH})
+    serial_print = _chaos_tune(workload, plan, 0)
+    parallel_print = _chaos_tune(workload, plan, max(2, workers))
+    if serial_print != parallel_print:
+        raise SystemExit(
+            f"chaos tune (workers={max(2, workers)}) diverged from serial; "
+            f"replay: {plan!r}"
+        )
+    if not serial_print["failed_configs"]:
+        raise SystemExit(f"chaos tune quarantined nothing; replay: {plan!r}")
+    if serial_print["best_config"] in serial_print["failed_configs"]:
+        raise SystemExit("chaos tune returned a quarantined configuration")
+    report["chaos_quarantine"] = {
+        "plan": repr(plan),
+        "failed_configs": serial_print["failed_configs"],
+        "best_config": serial_print["best_config"],
+        "best_time": serial_print["best_time"],
+        "fallback": serial_print["fallback"],
+        "serial_parallel_identical": True,
+        "workers": max(2, workers),
+    }
+    return report
 
 
 # -- pytest-benchmark consumption ---------------------------------------------
@@ -364,8 +492,8 @@ def pytest_benchmarks() -> dict | None:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--output", type=Path, default=REPO / "BENCH_2.json",
-        help="report destination (default: BENCH_2.json at the repo root)",
+        "--output", type=Path, default=REPO / "BENCH_3.json",
+        help="report destination (default: BENCH_3.json at the repo root)",
     )
     parser.add_argument(
         "--workers", type=int, default=4,
@@ -407,8 +535,8 @@ def main() -> None:
             f"({row['speedup']}x), identical={row['result_identical']}"
         )
 
-    print("== regression gate vs BENCH_1.json ==")
     gate_report = regression_gate(tune_report)
+    print(f"== regression gate vs {gate_report['baseline']} ==")
     print(f"  checked={gate_report['checked']}, no regressions")
 
     print(f"== parallel selection (tpch, k=16, --workers {args.workers}) ==")
@@ -429,12 +557,30 @@ def main() -> None:
         f"({compile_report['speedup']}x)"
     )
 
+    print("== fault-injection overhead + chaos quarantine ==")
+    fault_report = fault_overhead_benchmark(
+        tune_report, args.workers, compile_repeats
+    )
+    hot = fault_report["execute_hot_path"]
+    print(
+        f"  execute hot path: {hot['plan_none_ms']:.3f} ms (no plan) vs "
+        f"{hot['inert_plan_ms']:.3f} ms (inert plan), "
+        f"{hot['inert_plan_overhead_pct']:+.2f}%"
+    )
+    chaos = fault_report["chaos_quarantine"]
+    print(
+        f"  chaos: quarantined {chaos['failed_configs']}, best survivor "
+        f"{chaos['best_config']}, serial==workers-{chaos['workers']}: "
+        f"{chaos['serial_parallel_identical']}"
+    )
+
     report = {
         "dp_microbench": dp_report,
         "full_tune": tune_report,
         "regression_gate": gate_report,
         "parallel_selection": parallel_report,
         "compile_cache": compile_report,
+        "fault_injection": fault_report,
         "python": sys.version.split()[0],
     }
     if not args.skip_pytest:

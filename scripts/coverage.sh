@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Test-coverage runner.
+#
+#   scripts/coverage.sh                  # whole suite with coverage
+#   scripts/coverage.sh tests/faults     # one directory
+#   scripts/coverage.sh -m 'not slow'    # any pytest args pass through
+#
+# Coverage reporting needs pytest-cov (pip install pytest-cov, or the
+# repro[dev] extra).  Containers without it still get a full test run --
+# the script degrades to plain pytest with a warning instead of failing,
+# so CI can call it unconditionally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+if python -c "import pytest_cov" >/dev/null 2>&1; then
+  exec python -m pytest "$@" \
+    --cov=repro \
+    --cov-report=term-missing:skip-covered \
+    --cov-report=xml:coverage.xml
+else
+  echo "coverage.sh: pytest-cov not installed; running tests without coverage" >&2
+  echo "coverage.sh: install it with 'pip install pytest-cov' (repro[dev] extra)" >&2
+  exec python -m pytest "$@"
+fi

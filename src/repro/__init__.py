@@ -24,6 +24,8 @@ from repro.errors import (
     SQLError,
     CatalogError,
     ConfigurationError,
+    ConfigurationRejectedError,
+    EngineFaultError,
     SolverError,
     LLMError,
 )
@@ -35,6 +37,8 @@ __all__ = [
     "SQLError",
     "CatalogError",
     "ConfigurationError",
+    "ConfigurationRejectedError",
+    "EngineFaultError",
     "SolverError",
     "LLMError",
     "__version__",

@@ -17,7 +17,7 @@ from repro.db.catalog import Catalog
 from repro.db.engine import DatabaseEngine
 from repro.db.indexes import Index
 from repro.db.knobs import KnobSpace
-from repro.errors import CatalogError, KnobError
+from repro.errors import CatalogError, ConfigurationRejectedError, KnobError
 
 _SET_RE = re.compile(
     r"(?:ALTER\s+SYSTEM\s+SET|SET\s+GLOBAL|SET)\s+"
@@ -83,8 +83,17 @@ def parse_config_script(
     catalog: Catalog,
     *,
     name: str = "config",
+    strict: bool = False,
 ) -> Configuration:
-    """Parse an LLM response into a validated :class:`Configuration`."""
+    """Parse an LLM response into a validated :class:`Configuration`.
+
+    Invalid commands are dropped line by line (kept in ``rejected``);
+    only typed errors ever escape this function.  With ``strict=True`` a
+    script from which *nothing* valid could be salvaged raises
+    :class:`ConfigurationRejectedError` instead of returning an empty
+    configuration, so callers can distinguish "the LLM recommended the
+    defaults" from "the response was garbage".
+    """
     config = Configuration(name=name, raw_text=text)
 
     for match in _SET_RE.finditer(text):
@@ -120,4 +129,9 @@ def parse_config_script(
         seen.add(index.key)
         config.indexes.append(index)
 
+    if strict and config.is_empty:
+        raise ConfigurationRejectedError(
+            f"no valid commands in configuration script {name!r} "
+            f"({len(config.rejected)} rejected)"
+        )
     return config

@@ -34,6 +34,7 @@ from repro.core.config import Configuration
 from repro.core.scheduler import MAX_DP_INPUT, compute_order_dp, greedy_order
 from repro.db.engine import DatabaseEngine
 from repro.db.indexes import Index
+from repro.errors import ConfigurationError, ConfigurationRejectedError, EngineFaultError
 from repro.workloads.base import Query
 
 #: Safety valve: drop memoized derivations if a pathological workload
@@ -49,12 +50,25 @@ class ConfigMeta:
     is_complete: bool = False
     index_time: float = 0.0
     completed_queries: set[str] = field(default_factory=set)
+    #: Quarantine flag: evaluation hit an engine fault or the script
+    #: proved inapplicable.  A failed configuration is excluded from all
+    #: later selection rounds (paper §4: invalid configurations are
+    #: discarded, not propagated).  Partial progress -- completed
+    #: queries and their time -- is preserved for reporting.
+    failed: bool = False
+    #: Human-readable failure cause, carrying the injected fault's
+    #: ``(seed, site, key)`` replay label when chaos testing.
+    failure: str = ""
 
     def throughput(self) -> float:
         """Completed queries per second of completed-query time."""
         if self.time <= 0.0:
             return 0.0
         return len(self.completed_queries) / self.time
+
+    def reject_error(self) -> ConfigurationRejectedError:
+        """The typed error describing why this configuration failed."""
+        return ConfigurationRejectedError(self.failure or "configuration failed")
 
 
 class ConfigurationEvaluator:
@@ -262,7 +276,17 @@ class ConfigurationEvaluator:
 
         Advances the engine clock by reconfiguration, index creation and
         query execution time; updates ``meta`` in place.
+
+        An :class:`EngineFaultError` (query crash, OOM kill, interrupted
+        index build) or an inapplicable script quarantines the
+        configuration: ``meta.failed`` is set and the fault recorded,
+        while partial progress -- queries completed *before* the fault
+        and their times -- is preserved, so selection never re-runs them
+        (Algorithm 2's resumability).  The error never propagates.
         """
+        if meta.failed:
+            # Quarantined configurations are never re-evaluated.
+            return
         engine = self._engine
         remaining_time = timeout
         created_here: list[Index] = []
@@ -272,20 +296,20 @@ class ConfigurationEvaluator:
         # simulation): per-operation microsleeps would pay scheduler
         # wake-up latency dozens of times per Update.
         with engine.deferred_realtime():
-            config.apply_settings(engine)
-            meta.is_complete = True
-
-            index_map = self.query_index_map(queries, config)
-            ordered = self.plan_order(queries, config)
-
-            if not self._lazy_indexes:
-                # Ablation: build every recommended index up front.
-                for index in config.indexes:
-                    if index.key not in preexisting:
-                        meta.index_time += engine.create_index(index)
-                        created_here.append(index)
-
             try:
+                config.apply_settings(engine)
+                meta.is_complete = True
+
+                index_map = self.query_index_map(queries, config)
+                ordered = self.plan_order(queries, config)
+
+                if not self._lazy_indexes:
+                    # Ablation: build every recommended index up front.
+                    for index in config.indexes:
+                        if index.key not in preexisting:
+                            meta.index_time += engine.create_index(index)
+                            created_here.append(index)
+
                 for query in ordered:
                     if self._lazy_indexes:
                         for index in sorted(index_map[query.name], key=str):
@@ -301,6 +325,10 @@ class ConfigurationEvaluator:
                     remaining_time -= result.execution_time
                     meta.time += result.execution_time
                     meta.completed_queries.add(query.name)
+            except (EngineFaultError, ConfigurationError) as failure:
+                meta.is_complete = False
+                meta.failed = True
+                meta.failure = str(failure)
             finally:
                 # Indexes created by this evaluation are implicitly dropped so
                 # other configurations start from a clean slate (§5.1).

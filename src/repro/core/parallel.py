@@ -63,6 +63,9 @@ class WorkerContext:
     #: Mirrors the parent engine's ``realtime_factor`` onto workers, so
     #: latency-realistic benchmark runs wait in the pool, not the parent.
     realtime_factor: float = 0.0
+    #: The parent engine's installed fault plan (picklable), so chaos
+    #: faults fire identically on worker engines.
+    fault_plan: object | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -103,6 +106,13 @@ class EvalOutcome:
     #: path would use -- whether a completed speculative run would also
     #: complete under a smaller actual timeout.
     executions: tuple[float, ...] = ()
+    #: Quarantine fields mirrored from the worker-side ``ConfigMeta``.
+    failed: bool = False
+    failure: str = ""
+    #: Whether the candidate's settings were actually applied (an
+    #: inapplicable script fails validation *before* touching the
+    #: engine; the fold must then leave the main engine untouched too).
+    settings_applied: bool = True
 
 
 # -- worker side -------------------------------------------------------------------
@@ -127,6 +137,7 @@ def _worker_state(ctx: WorkerContext):
     if entry is None or entry[0] is not ctx:
         engine = ctx.engine_cls(ctx.catalog, ctx.hardware)
         engine.realtime_factor = ctx.realtime_factor
+        engine.fault_plan = ctx.fault_plan
         evaluator = ConfigurationEvaluator(engine, **ctx.evaluator_options)
         entry = (ctx, engine, evaluator)
         _WORKER_STATE.entry = entry
@@ -151,6 +162,8 @@ def evaluate_task(task: EvalTask, ctx: WorkerContext | None = None) -> EvalOutco
     )
     executions: list[float] = []
     raw_execute = type(engine).execute
+    raw_apply = type(engine).apply_config
+    settings_applied: list[bool] = []
 
     def _logging_execute(query, timeout=None):
         result = raw_execute(engine, query, timeout=timeout)
@@ -158,11 +171,18 @@ def evaluate_task(task: EvalTask, ctx: WorkerContext | None = None) -> EvalOutco
             executions.append(result.execution_time)
         return result
 
+    def _logging_apply(settings):
+        result = raw_apply(engine, settings)
+        settings_applied.append(True)
+        return result
+
     engine.execute = _logging_execute
+    engine.apply_config = _logging_apply
     try:
         evaluator.evaluate(task.config, pending, task.timeout, meta)
     finally:
         del engine.execute
+        del engine.apply_config
     return EvalOutcome(
         position=task.position,
         time=meta.time,
@@ -171,6 +191,9 @@ def evaluate_task(task: EvalTask, ctx: WorkerContext | None = None) -> EvalOutco
         completed=tuple(sorted(meta.completed_queries)),
         advances=tuple(clock.advances),
         executions=tuple(executions),
+        failed=meta.failed,
+        failure=meta.failure,
+        settings_applied=bool(settings_applied),
     )
 
 

@@ -72,7 +72,15 @@ class ConfigurationSelector:
     def select(
         self, workload: list[Query], configs: list[Configuration]
     ) -> SelectionResult:
-        """Identify the best configuration among the candidates."""
+        """Identify the best configuration among the candidates.
+
+        Candidates whose evaluation fails (crash, OOM, inapplicable
+        script) are quarantined: they drop out of every later round and
+        of the final candidates pass.  If every candidate fails, the
+        result carries ``best.config is None`` and the per-candidate
+        failure records -- callers degrade gracefully instead of
+        receiving an exception mid-tune.
+        """
         if not configs:
             raise BudgetExceededError("no candidate configurations to select from")
         best = BestConfig()
@@ -86,12 +94,18 @@ class ConfigurationSelector:
         candidates: list[Configuration] = []
 
         while math.isinf(best.time):
+            active = self._surviving(configs, meta)
+            if not active:
+                # Every candidate is quarantined; report, don't raise.
+                return SelectionResult(
+                    best=best, meta=meta, rounds=rounds, trace=trace
+                )
             rounds += 1
             if rounds > self._max_rounds:
                 raise BudgetExceededError(
                     f"no configuration finished within {self._max_rounds} rounds"
                 )
-            for config in self._by_throughput(configs, meta):
+            for config in self._by_throughput(active, meta):
                 self._update(config, workload, meta, timeout, best, trace)
                 if meta[config.name].is_complete:
                     candidates = [c for c in configs if c.name != config.name]
@@ -108,12 +122,19 @@ class ConfigurationSelector:
                 timeout = max(timeout, *index_times)
             timeout *= self._alpha
 
-        for config in self._by_throughput(candidates, meta):
+        for config in self._by_throughput(self._surviving(candidates, meta), meta):
             self._update(config, workload, meta, timeout, best, trace)
 
         return SelectionResult(best=best, meta=meta, rounds=rounds, trace=trace)
 
     # -- internals ----------------------------------------------------------------
+
+    @staticmethod
+    def _surviving(
+        configs: list[Configuration], meta: dict[str, ConfigMeta]
+    ) -> list[Configuration]:
+        """Candidates not yet quarantined by a failed evaluation."""
+        return [config for config in configs if not meta[config.name].failed]
 
     def _by_throughput(
         self, configs: list[Configuration], meta: dict[str, ConfigMeta]
@@ -135,6 +156,8 @@ class ConfigurationSelector:
     ) -> None:
         """The paper's Update procedure (Algorithm 2, lines 16-25)."""
         config_meta = meta[config.name]
+        if config_meta.failed:
+            return
         if config_meta.is_complete and not self._pending(workload, config_meta):
             return
 
@@ -251,6 +274,7 @@ class ParallelConfigurationSelector(ConfigurationSelector):
             evaluator_options=self._evaluator.worker_options(),
             caches_enabled=engine_module.CACHES_ENABLED,
             realtime_factor=self._engine.realtime_factor,
+            fault_plan=self._engine.fault_plan,
         )
         with TaskRunner(
             ctx,
@@ -259,12 +283,17 @@ class ParallelConfigurationSelector(ConfigurationSelector):
             mp_context=self._mp_context,
         ) as runner:
             while math.isinf(best.time):
+                active = self._surviving(configs, meta)
+                if not active:
+                    return SelectionResult(
+                        best=best, meta=meta, rounds=rounds, trace=trace
+                    )
                 rounds += 1
                 if rounds > self._max_rounds:
                     raise BudgetExceededError(
                         f"no configuration finished within {self._max_rounds} rounds"
                     )
-                ordered = self._by_throughput(configs, meta)
+                ordered = self._by_throughput(active, meta)
                 tasks = self._speculate(ordered, workload, meta, timeout, best)
                 stream = runner.stream(tasks)
                 try:
@@ -283,7 +312,7 @@ class ParallelConfigurationSelector(ConfigurationSelector):
                     timeout = max(timeout, *index_times)
                 timeout *= self._alpha
 
-            ordered = self._by_throughput(candidates, meta)
+            ordered = self._by_throughput(self._surviving(candidates, meta), meta)
             if ordered:
                 # Evaluate the throughput leader inline on the live
                 # engine: it is the likeliest candidate to improve
@@ -323,6 +352,9 @@ class ParallelConfigurationSelector(ConfigurationSelector):
         for position, config in enumerate(ordered):
             config_meta = meta[config.name]
             pending = self._pending(workload, config_meta)
+            if config_meta.failed:
+                tasks.append(None)
+                continue
             if config_meta.is_complete and not pending:
                 tasks.append(None)
                 continue
@@ -369,6 +401,9 @@ class ParallelConfigurationSelector(ConfigurationSelector):
     ) -> None:
         """Fold one speculative outcome, or recompute it serially."""
         config_meta = meta[config.name]
+        if config_meta.failed:
+            self.last_stats["skipped"] += 1
+            return
         if config_meta.is_complete and not self._pending(workload, config_meta):
             self.last_stats["skipped"] += 1
             return
@@ -390,8 +425,12 @@ class ParallelConfigurationSelector(ConfigurationSelector):
 
         # Mirror ``config.apply_settings`` minus the restart advance --
         # the worker recorded that advance, and replaying the recording
-        # preserves the serial order of clock-float additions.
-        self._engine.set_many(config.settings)
+        # preserves the serial order of clock-float additions.  When the
+        # script itself is inapplicable the serial apply raises before
+        # mutating anything, so the fold leaves the settings untouched
+        # too (the worker recorded the same failure and no advances).
+        if outcome.settings_applied:
+            self._engine.set_many(config.settings)
         clock = self._engine.clock
         for seconds in outcome.advances:
             clock.advance(seconds)
@@ -400,6 +439,8 @@ class ParallelConfigurationSelector(ConfigurationSelector):
         config_meta.is_complete = outcome.is_complete
         config_meta.index_time = outcome.index_time
         config_meta.completed_queries = set(outcome.completed)
+        config_meta.failed = outcome.failed
+        config_meta.failure = outcome.failure
 
         if config_meta.is_complete and config_meta.time < best.time:
             best.time = config_meta.time

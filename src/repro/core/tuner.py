@@ -18,9 +18,13 @@ from repro.core.config import Configuration, parse_config_script
 from repro.core.evaluator import ConfigurationEvaluator
 from repro.core.prompt.template import PromptGenerator
 from repro.core.result import TuningResult
-from repro.core.selector import ConfigurationSelector, ParallelConfigurationSelector
+from repro.core.selector import (
+    ConfigurationSelector,
+    ParallelConfigurationSelector,
+    SelectionResult,
+)
 from repro.db.engine import DatabaseEngine
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, LLMError
 from repro.llm.client import LLMClient
 from repro.workloads.base import Query
 
@@ -84,6 +88,11 @@ class LambdaTune:
         self._engine = engine
         self._llm = llm
         self.options = options or LambdaTuneOptions()
+        #: (ordinal, reason) for LLM samples dropped by the last
+        #: ``sample_configurations`` call.
+        self.last_dropped_samples: list[tuple[int, str]] = []
+        #: Terminal LLM errors behind those drops.
+        self.last_llm_errors: list[LLMError] = []
 
     # -- pipeline stages (public so tests and ablations can call them) ----------
 
@@ -102,23 +111,43 @@ class LambdaTune:
         return generator.generate(queries, budget)
 
     def sample_configurations(self, prompt) -> list[Configuration]:
-        responses = self._llm.sample(
-            prompt.text,
-            self.options.num_configs,
-            temperature=self.options.temperature,
-            seed=self.options.seed,
-        )
+        """Sample and parse the k candidate scripts.
+
+        Transient LLM failures are retried with backoff inside
+        :meth:`LLMClient.complete_with_retry`; a sample whose retries
+        are exhausted (or whose script is rejected outright) is dropped
+        rather than aborting the tune, so a flaky provider degrades the
+        candidate pool instead of the whole pipeline.  Dropped samples
+        are recorded in :attr:`last_dropped_samples`.
+        """
+        self.last_dropped_samples = []
+        self.last_llm_errors = []
         configs: list[Configuration] = []
-        for ordinal, response in enumerate(responses):
+        for ordinal in range(self.options.num_configs):
+            try:
+                response = self._llm.complete_with_retry(
+                    prompt.text,
+                    temperature=self.options.temperature,
+                    seed=self.options.seed + ordinal,
+                )
+            except LLMError as error:
+                self.last_dropped_samples.append((ordinal, str(error)))
+                self.last_llm_errors.append(error)
+                continue
             text = response.text
             if prompt.obfuscator is not None:
                 text = prompt.obfuscator.decode_text(text)
-            config = parse_config_script(
-                text,
-                self._engine.knob_space,
-                self._engine.catalog,
-                name=f"llm-config-{ordinal + 1}",
-            )
+            try:
+                config = parse_config_script(
+                    text,
+                    self._engine.knob_space,
+                    self._engine.catalog,
+                    name=f"llm-config-{ordinal + 1}",
+                    strict=True,
+                )
+            except ConfigurationError as error:
+                self.last_dropped_samples.append((ordinal, str(error)))
+                continue
             if self.options.parameters_only:
                 config = config.without_indexes()
             if self.options.indexes_only:
@@ -153,17 +182,60 @@ class LambdaTune:
             )
         return selector.select(queries, configs)
 
+    # -- graceful degradation ----------------------------------------------------
+
+    def _fallback_selection(self, queries: list[Query]) -> SelectionResult:
+        """Evaluate the default configuration as the last-resort candidate.
+
+        Called when every LLM candidate was dropped or quarantined.  The
+        default configuration (no setting changes, no indexes) is always
+        *applicable*; if the engine faults even under it, the returned
+        selection reports that too (``best.config`` stays ``None`` and
+        the caller ships the default with an unknown workload time) --
+        the tuner still never raises.
+        """
+        default = Configuration(name="default-config")
+        return self.select_best(queries, [default])
+
     # -- Algorithm 1 -------------------------------------------------------------
 
     def tune(self, queries: list[Query]) -> TuningResult:
-        """Run the full pipeline and return the comparable result."""
+        """Run the full pipeline and return the comparable result.
+
+        Failure handling (chaos-tested): unusable LLM samples shrink the
+        candidate pool; candidates that crash the engine are quarantined
+        by selection; and if *nothing* survives, the tuner falls back to
+        the default configuration instead of raising (the result's
+        ``extras['fallback']`` records the degradation).
+        """
         if not queries:
             raise ConfigurationError("cannot tune an empty workload")
         start = self._engine.clock.now
 
         prompt = self.generate_prompt(queries)
         configs = self.sample_configurations(prompt)
-        selection = self.select_best(queries, configs)
+        dropped = list(self.last_dropped_samples)
+        if not configs and len(self.last_llm_errors) == self.options.num_configs:
+            # Every sample died with a terminal LLM error: the provider
+            # is unreachable.  That is an operator problem, not a tuning
+            # outcome -- propagate instead of silently recommending the
+            # default configuration.
+            raise self.last_llm_errors[-1]
+
+        selection = self.select_best(queries, configs) if configs else None
+        fallback = selection is None or selection.best.config is None
+        if fallback:
+            failed_meta = selection.meta if selection is not None else {}
+            selection = self._fallback_selection(queries)
+            # Keep the quarantined candidates' records visible alongside
+            # the fallback evaluation.
+            for name, meta in failed_meta.items():
+                selection.meta.setdefault(name, meta)
+            if selection.best.config is None:
+                # Even the default configuration faulted: report it as
+                # the (only applicable) recommendation with an unknown
+                # workload time rather than raising mid-tune.
+                selection.best.config = Configuration(name="default-config")
 
         result = TuningResult(
             tuner=self.name,
@@ -177,6 +249,11 @@ class LambdaTune:
                 "prompt_tokens": prompt.tokens,
                 "rounds": selection.rounds,
                 "meta": selection.meta,
+                "fallback": fallback,
+                "dropped_samples": dropped,
+                "failed_configs": sorted(
+                    name for name, m in selection.meta.items() if m.failed
+                ),
                 "compression_coverage": (
                     prompt.compression.coverage if prompt.compression else None
                 ),

@@ -28,7 +28,7 @@ from repro.db.hardware import HardwareSpec
 from repro.db.indexes import Index
 from repro.db.knobs import KnobSpace
 from repro.db.planner import Planner, QueryPlan
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, EngineFaultError, TransientEngineError
 from repro.sql.analyzer import QueryInfo, analyze
 
 
@@ -111,6 +111,22 @@ class DatabaseEngine(abc.ABC):
     restart_seconds: float = 2.0
     #: Simulated cost of dropping one index.
     drop_index_seconds: float = 0.05
+    #: Installed :class:`repro.faults.FaultPlan`, or ``None``.  A class
+    #: attribute default keeps the fault hooks to a single ``is None``
+    #: attribute check on the hot path when chaos testing is off.
+    fault_plan = None
+    #: Simulated recovery cost of one transient I/O retry; folded into
+    #: the query runtime, so an I/O storm can push a query over its
+    #: timeout exactly like a genuinely slow execution would.
+    io_retry_seconds: float = 0.05
+    #: Internal retry budget for transient I/O faults; storms beyond it
+    #: surface as :class:`TransientEngineError`.
+    max_io_retries: int = 3
+    #: Memory-oversubscription swap factor above which an active
+    #: ``engine.oom`` fault site kills queries and index builds: the
+    #: configured memory knobs demand measurably more than the
+    #: simulated RAM.
+    oom_swap_threshold: float = 1.05
     #: Wall-clock seconds slept per simulated second of engine *work*
     #: (query execution, index builds, restarts).  0 = pure simulation.
     #: A positive factor restores the real-world cost structure the
@@ -317,6 +333,17 @@ class DatabaseEngine(abc.ABC):
             self.catalog, env.maintenance_mem_bytes, self.hardware.disk_mb_per_s
         )
         seconds *= env.swap_factor
+        if self.fault_plan is not None:
+            # Faults are checked before any state mutation: an
+            # interrupted build leaves no index behind, only the clock
+            # time already sunk into the partial build.
+            seconds = self._inject_faults(
+                "engine.index_interrupt",
+                f"index:{index.key}",
+                seconds,
+                None,
+                "index build interrupted",
+            )
         self._indexes[index.key] = index
         self._refresh_signature()
         self.clock.advance(seconds)
@@ -390,11 +417,20 @@ class DatabaseEngine(abc.ABC):
     def execute(
         self, query: "str | object", timeout: float | None = None
     ) -> ExecutionResult:
-        """Run one query; advance the clock by min(runtime, timeout)."""
+        """Run one query; advance the clock by min(runtime, timeout).
+
+        With a fault plan installed, the run may cost extra transient
+        I/O retries or raise :class:`EngineFaultError` mid-query (crash
+        or OOM kill) after sinking the partial runtime into the clock.
+        """
         if timeout is not None and timeout <= 0:
             return ExecutionResult(complete=False, execution_time=0.0)
         name, sql, info = self._query_parts(query)
         plan, seconds = self._planned(name, sql, info)
+        if self.fault_plan is not None:
+            seconds = self._inject_faults(
+                "engine.query_crash", f"query:{name}", seconds, timeout, "query crashed"
+            )
         if timeout is not None and seconds > timeout:
             self.clock.advance(timeout)
             self._realtime_wait(timeout)
@@ -409,6 +445,81 @@ class DatabaseEngine(abc.ABC):
         for query in queries:
             total += self.execute(query).execution_time
         return total
+
+    # -- fault injection ----------------------------------------------------------------
+
+    def install_faults(self, plan) -> None:
+        """Install (or with ``None``, remove) a fault plan on this engine."""
+        self.fault_plan = plan
+
+    def _inject_faults(
+        self,
+        site: str,
+        label: str,
+        seconds: float,
+        timeout: float | None,
+        message: str,
+    ) -> float:
+        """Consult the fault plan for one unit of engine work.
+
+        Returns the (possibly retry-inflated) duration, or raises
+        :class:`EngineFaultError` / :class:`TransientEngineError` after
+        advancing the clock by the partial work sunk before the fault.
+        Fault keys combine the work label with the configuration
+        signature, so whether a query crashes depends on the candidate
+        configuration under evaluation -- the scenario of paper §4 --
+        and decisions are identical in serial and worker processes.
+        """
+        plan = self.fault_plan
+        key = f"{label}|{self._config_signature:016x}"
+
+        # Transient I/O hiccups: the engine retries internally; each
+        # retry inflates the runtime, it never changes the outcome --
+        # unless the storm exceeds the engine's retry budget, at which
+        # point the sunk retry time is charged and the transient error
+        # surfaces to the caller.
+        retries = plan.transient_count("engine.io_transient", key)
+        if retries > self.max_io_retries:
+            sunk = self.io_retry_seconds * self.max_io_retries
+            if timeout is None or sunk <= timeout:
+                self.clock.advance(sunk)
+                self._realtime_wait(sunk)
+                raise TransientEngineError(
+                    "persistent I/O errors",
+                    site="engine.io_transient",
+                    key=key,
+                    seed=plan.seed,
+                )
+            return seconds
+        for _ in range(retries):
+            seconds += self.io_retry_seconds
+
+        decision = None
+        fault_message = message
+        if plan.fires("engine.oom", key):
+            # OOM kills only trigger when the configured memory knobs
+            # actually oversubscribe the simulated RAM (swap pressure).
+            if self.runtime_env().swap_factor > self.oom_swap_threshold:
+                decision = plan.decide("engine.oom", key)
+                fault_message = "out of memory"
+        if decision is None:
+            decision = plan.decide(site, key)
+        if decision is None:
+            return seconds
+
+        sunk = seconds * decision.magnitude
+        if timeout is not None and sunk > timeout:
+            # The timeout fires first; the caller sees an ordinary
+            # incomplete execution, never the crash behind it.
+            return seconds
+        self.clock.advance(sunk)
+        self._realtime_wait(sunk)
+        raise EngineFaultError(
+            fault_message,
+            site=decision.site,
+            key=decision.key,
+            seed=decision.seed,
+        )
 
     # -- internals ----------------------------------------------------------------------
 
@@ -520,6 +631,7 @@ class DatabaseEngine(abc.ABC):
         """
         other = type(self)(self.catalog, self.hardware)
         other.restore_state(self.capture_state(), clock=clock)
+        other.fault_plan = self.fault_plan
         return other
 
     def coerced_settings(self, settings: dict[str, object]) -> dict[str, object]:

@@ -32,12 +32,63 @@ class KnobError(ConfigurationError):
     """Raised when a knob name or value is invalid for the target system."""
 
 
+class ConfigurationRejectedError(ConfigurationError):
+    """Raised when an entire candidate configuration is unusable.
+
+    Unlike :class:`ConfigurationError` -- which covers a single bad
+    command -- this means nothing in the script survived validation (or
+    evaluation proved the configuration cannot be applied), so the
+    candidate must be quarantined rather than repaired.
+    """
+
+
 class SolverError(ReproError):
     """Raised when an optimization model is infeasible or malformed."""
 
 
 class LLMError(ReproError):
     """Raised when an LLM client fails to produce a usable response."""
+
+
+class LLMTransientError(LLMError):
+    """A retryable LLM failure (the request may succeed if re-issued)."""
+
+
+class LLMTimeoutError(LLMTransientError):
+    """The LLM request timed out."""
+
+
+class LLMRateLimitError(LLMTransientError):
+    """The LLM provider rejected the request due to rate limiting."""
+
+
+class EngineFaultError(ReproError):
+    """Raised when the database engine fails while executing work.
+
+    Carries the fault ``site`` and ``key`` (plus the fault plan ``seed``
+    when injected), so any chaos-test failure can be replayed exactly
+    from the ``(seed, site)`` pair in the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        site: str | None = None,
+        key: str | None = None,
+        seed: int | None = None,
+    ) -> None:
+        detail = message
+        if site is not None:
+            detail += f" [site={site!r}, key={key!r}, seed={seed!r}]"
+        super().__init__(detail)
+        self.site = site
+        self.key = key
+        self.seed = seed
+
+
+class TransientEngineError(EngineFaultError):
+    """A transient engine-side failure (e.g. an I/O hiccup); retryable."""
 
 
 class BudgetExceededError(ReproError):

@@ -1,0 +1,55 @@
+"""Deterministic fault injection for chaos-testing the tuning loop.
+
+The tuning stack assumes LLM-generated configurations can be *invalid*
+(paper §4: scripts that fail to apply or crash the DBMS are discarded,
+not propagated).  This package builds the failure scenarios:
+
+- :class:`FaultPlan` -- a picklable, seed-derived schedule deciding
+  purely from ``(seed, site, key)`` which faults fire and how hard,
+- :class:`FaultyLLMClient` -- wraps any LLM client with transient
+  timeouts/rate limits and script corruption (truncation, unknown
+  knobs, out-of-range values, garbled syntax),
+- engine hooks (:attr:`repro.db.engine.DatabaseEngine.fault_plan`) --
+  query crashes, index-build interruptions, transient I/O retries, and
+  OOM kills when memory knobs oversubscribe the simulated RAM.
+
+With no plan installed every hook is one ``is None`` check; with a plan
+installed, every injected fault carries its ``(seed, site, key)`` label
+so chaos-test failures replay exactly (:meth:`FaultPlan.single_site`).
+"""
+
+from repro.faults.llm import FaultyLLMClient
+from repro.faults.plan import (
+    ALL_SITES,
+    ENGINE_INDEX_INTERRUPT,
+    ENGINE_IO_TRANSIENT,
+    ENGINE_OOM,
+    ENGINE_QUERY_CRASH,
+    ENGINE_SITES,
+    LLM_MALFORMED,
+    LLM_OUT_OF_RANGE,
+    LLM_SITES,
+    LLM_TRANSIENT,
+    LLM_TRUNCATE,
+    LLM_UNKNOWN_KNOB,
+    FaultDecision,
+    FaultPlan,
+)
+
+__all__ = [
+    "ALL_SITES",
+    "ENGINE_INDEX_INTERRUPT",
+    "ENGINE_IO_TRANSIENT",
+    "ENGINE_OOM",
+    "ENGINE_QUERY_CRASH",
+    "ENGINE_SITES",
+    "LLM_MALFORMED",
+    "LLM_OUT_OF_RANGE",
+    "LLM_SITES",
+    "LLM_TRANSIENT",
+    "LLM_TRUNCATE",
+    "LLM_UNKNOWN_KNOB",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultyLLMClient",
+]

@@ -12,8 +12,14 @@ selector must defend against (§6.3: "outlier configurations where the
 run time is up to five times higher than the optimum").
 """
 
-from repro.llm.client import LLMClient, LLMResponse
+from repro.llm.client import LLMClient, LLMResponse, backoff_jitter
 from repro.llm.mock import SimulatedLLM
 from repro.llm.scripts import render_script
 
-__all__ = ["LLMClient", "LLMResponse", "SimulatedLLM", "render_script"]
+__all__ = [
+    "LLMClient",
+    "LLMResponse",
+    "SimulatedLLM",
+    "backoff_jitter",
+    "render_script",
+]

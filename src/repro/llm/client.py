@@ -7,9 +7,22 @@ simulator) plugs in by implementing :class:`LLMClient.complete`.
 from __future__ import annotations
 
 import abc
+import hashlib
+import time
 from dataclasses import dataclass
 
-from repro.errors import LLMError
+from repro.errors import LLMError, LLMTransientError
+
+
+def backoff_jitter(seed: int, attempt: int) -> float:
+    """A deterministic jitter factor in [0.5, 1.5) per (seed, attempt).
+
+    Real backoff jitter exists to de-synchronize concurrent clients;
+    here it must additionally be *replayable*, so it is derived from a
+    digest instead of a random source.
+    """
+    digest = hashlib.sha256(f"retry|{seed}|{attempt}".encode()).digest()
+    return 0.5 + int.from_bytes(digest[:8], "big") / float(2**64)
 
 
 @dataclass(frozen=True, slots=True)
@@ -36,11 +49,45 @@ class LLMClient(abc.ABC):
     #: language model token limit").
     max_input_tokens: int = 128_000
 
+    #: Retry policy for transient failures (timeouts, rate limits):
+    #: up to ``max_retries`` re-issues with exponential backoff
+    #: ``backoff_base * 2**attempt`` capped at ``backoff_cap`` seconds,
+    #: scaled by a deterministic per-(seed, attempt) jitter.
+    max_retries: int = 4
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    #: Injection point for tests (and simulations) that must not sleep.
+    sleep = staticmethod(time.sleep)
+
     @abc.abstractmethod
     def complete(
         self, prompt: str, *, temperature: float = 0.7, seed: int = 0
     ) -> LLMResponse:
         """Return one completion for the prompt."""
+
+    def complete_with_retry(
+        self, prompt: str, *, temperature: float = 0.7, seed: int = 0
+    ) -> LLMResponse:
+        """``complete`` with retry on transient errors.
+
+        :class:`LLMTransientError` (timeouts, rate limits) is retried
+        under the class retry policy; any other :class:`LLMError` is
+        terminal and propagates immediately.  Exhausting the retry
+        budget raises a terminal :class:`LLMError` chained to the last
+        transient failure.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self.complete(prompt, temperature=temperature, seed=seed)
+            except LLMTransientError as error:
+                if attempt >= self.max_retries:
+                    raise LLMError(
+                        f"giving up after {attempt + 1} attempts: {error}"
+                    ) from error
+                delay = min(self.backoff_cap, self.backoff_base * (2**attempt))
+                self.sleep(delay * backoff_jitter(seed, attempt))
+                attempt += 1
 
     def sample(
         self, prompt: str, n: int, *, temperature: float = 0.7, seed: int = 0
@@ -49,7 +96,7 @@ class LLMClient(abc.ABC):
         if n < 1:
             raise LLMError("must request at least one sample")
         return [
-            self.complete(prompt, temperature=temperature, seed=seed + i)
+            self.complete_with_retry(prompt, temperature=temperature, seed=seed + i)
             for i in range(n)
         ]
 

@@ -1,0 +1,49 @@
+"""HardwareSpec validation and derived quantities."""
+
+import dataclasses
+
+import pytest
+
+from repro.db.hardware import GIB, HardwareSpec
+from repro.errors import ReproError
+
+
+class TestValidation:
+    @pytest.mark.parametrize("memory_gb", [0, -1, -0.5])
+    def test_memory_must_be_positive(self, memory_gb):
+        with pytest.raises(ReproError, match="memory_gb"):
+            HardwareSpec(memory_gb=memory_gb, cores=4)
+
+    @pytest.mark.parametrize("cores", [0, -3])
+    def test_cores_must_be_at_least_one(self, cores):
+        with pytest.raises(ReproError, match="cores"):
+            HardwareSpec(memory_gb=8.0, cores=cores)
+
+    def test_disk_bandwidth_must_be_positive(self):
+        with pytest.raises(ReproError, match="disk_mb_per_s"):
+            HardwareSpec(memory_gb=8.0, cores=4, disk_mb_per_s=0.0)
+
+    def test_valid_spec_constructs(self):
+        spec = HardwareSpec(memory_gb=16.0, cores=4)
+        assert spec.disk_mb_per_s == 500.0
+
+
+class TestDerived:
+    def test_memory_bytes(self):
+        assert HardwareSpec(memory_gb=2.0, cores=1).memory_bytes == 2 * GIB
+        assert HardwareSpec(memory_gb=0.5, cores=1).memory_bytes == GIB // 2
+
+    def test_paper_default_is_p3_2xlarge(self):
+        spec = HardwareSpec.paper_default()
+        assert spec.memory_gb == 61.0
+        assert spec.cores == 8
+
+    def test_describe_matches_prompt_format(self):
+        # The exact block SimulatedLLM parses back out of the prompt.
+        text = HardwareSpec(memory_gb=61.0, cores=8).describe()
+        assert text == "memory: 61GB\ncores: 8"
+
+    def test_frozen(self):
+        spec = HardwareSpec(memory_gb=8.0, cores=4)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.cores = 16

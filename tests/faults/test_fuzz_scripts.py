@@ -1,0 +1,186 @@
+"""Seeded fuzzing of configuration-script parsing.
+
+Scripts rendered by :mod:`repro.llm.scripts` are deterministically
+mutated -- truncated, garbled, spliced with junk -- and fed through
+:func:`parse_config_script`.  The contract: parsing either succeeds
+(dropping unusable lines into ``rejected``) or raises a *typed* error
+(:class:`ConfigurationError` / :class:`KnobError` family) -- never a
+bare ``ValueError`` / ``KeyError`` / ``IndexError`` crash.  Every case
+is reproducible from the printed seed.
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import parse_config_script
+from repro.db.hardware import HardwareSpec
+from repro.db.indexes import Index
+from repro.db.postgres import PostgresEngine
+from repro.errors import ConfigurationError, ConfigurationRejectedError
+from repro.faults import LLM_SITES, FaultPlan, FaultyLLMClient
+from repro.llm.mock import SimulatedLLM
+from repro.llm.scripts import render_script
+
+FUZZ_SEEDS = list(range(40))
+
+JUNK_LINES = (
+    "Here is my recommendation:",
+    "ALTER SYSTEM SET  = ;",
+    "SET GLOBAL innodb_buffer_pool_size = banana;",
+    "CREATE INDEX ON  ()",
+    "CREATE INDEX i ON users ()",
+    "ALTER SYSTEM SET shared_buffers = '999999999GB';",
+    "ALTER SYSTEM SET not_a_knob = 42;",
+    "```sql",
+    "SET work_mem = -17;",
+    "CREATE INDEX ix ON no_such_table (no_such_column);",
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    from repro.db.catalog import Catalog, Column
+
+    catalog = Catalog("fuzz")
+    catalog.add_table(
+        "users",
+        10_000,
+        [
+            Column("user_id", 4, is_primary_key=True),
+            Column("country", 2, 50),
+        ],
+    )
+    return PostgresEngine(catalog, HardwareSpec(memory_gb=61.0, cores=8))
+
+
+def base_script(rng: random.Random) -> str:
+    settings = {
+        "shared_buffers": rng.choice([1 << 30, 4 << 30, 16 << 30]),
+        "work_mem": rng.choice([4 << 20, 64 << 20, 1 << 30]),
+        "effective_io_concurrency": rng.randint(1, 512),
+        "checkpoint_completion_target": round(rng.uniform(0.1, 0.9), 2),
+    }
+    indexes = [Index("users", ("country",))] if rng.random() < 0.5 else []
+    return render_script(
+        "postgres", settings, indexes, commentary="-- fuzzed configuration"
+    )
+
+
+def mutate(text: str, rng: random.Random) -> str:
+    """Apply 1-4 random corruptions, seeded and replayable."""
+    for _ in range(rng.randint(1, 4)):
+        choice = rng.randrange(7)
+        if choice == 0 and text:  # truncate mid-byte
+            text = text[: rng.randrange(len(text))]
+        elif choice == 1:  # splice junk lines anywhere
+            lines = text.split("\n")
+            lines.insert(rng.randint(0, len(lines)), rng.choice(JUNK_LINES))
+            text = "\n".join(lines)
+        elif choice == 2 and text:  # delete a random slice
+            start = rng.randrange(len(text))
+            text = text[:start] + text[start + rng.randint(1, 20):]
+        elif choice == 3:  # garble operators
+            text = text.replace("=", rng.choice(["", "~", "= ="]), 1)
+        elif choice == 4 and text:  # flip a random character
+            pos = rng.randrange(len(text))
+            text = text[:pos] + chr(rng.randint(32, 126)) + text[pos + 1:]
+        elif choice == 5:  # duplicate a line
+            lines = text.split("\n")
+            if lines:
+                lines.insert(
+                    rng.randrange(len(lines) + 1), rng.choice(lines)
+                )
+            text = "\n".join(lines)
+        else:  # prose wrapping (LLM chatter)
+            text = f"Sure! Try this:\n```\n{text}\n```\nHope that helps."
+    return text
+
+
+class TestFuzzedParsing:
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
+    def test_only_typed_errors_escape(self, engine, seed):
+        rng = random.Random(seed)
+        for case in range(5):
+            text = mutate(base_script(rng), rng)
+            for strict in (False, True):
+                try:
+                    config = parse_config_script(
+                        text,
+                        engine.knob_space,
+                        engine.catalog,
+                        name=f"fuzz-{seed}-{case}",
+                        strict=strict,
+                    )
+                except ConfigurationError:
+                    continue  # typed rejection is a valid outcome
+                except Exception as error:  # noqa: BLE001 -- the point
+                    pytest.fail(
+                        f"untyped {type(error).__name__} escaped parsing "
+                        f"(seed={seed}, case={case}): {error}\n"
+                        f"script:\n{text}"
+                    )
+                # Whatever survived must be applicable as-is.
+                config.apply_settings(engine)
+                for index in config.indexes:
+                    index.validate(engine.catalog)
+
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS[:10])
+    def test_strict_empty_parse_raises_rejected(self, engine, seed):
+        rng = random.Random(1000 + seed)
+        prose = " ".join(
+            rng.choice(["tune", "your", "database", "carefully", "please"])
+            for _ in range(rng.randint(3, 30))
+        )
+        with pytest.raises(ConfigurationRejectedError):
+            parse_config_script(
+                prose, engine.knob_space, engine.catalog, strict=True
+            )
+        # Non-strict parsing of the same prose returns an empty config.
+        config = parse_config_script(prose, engine.knob_space, engine.catalog)
+        assert config.is_empty
+
+    def test_pure_junk_rejects_every_line(self, engine):
+        text = "\n".join(JUNK_LINES)
+        config = parse_config_script(text, engine.knob_space, engine.catalog)
+        assert not config.settings
+        assert not config.indexes
+        assert config.rejected  # diagnostics retained
+
+
+class TestFaultyClientOutput:
+    """Corruptions produced by FaultyLLMClient parse without crashes."""
+
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS[:20])
+    def test_corrupted_llm_scripts_parse_or_reject(self, engine, seed):
+        plan = FaultPlan(seed=seed, density=0.8, sites=LLM_SITES)
+        client = FaultyLLMClient(SimulatedLLM(), plan)
+        prompt = (
+            "Recommend a postgres configuration.\n"
+            "memory: 61GB\ncores: 8\n"
+            "users.user_id: users.country\n"
+        )
+        for sample in range(5):
+            try:
+                response = client.complete(prompt, seed=sample)
+            except ConfigurationError:  # pragma: no cover - not expected
+                continue
+            except Exception as error:
+                from repro.errors import LLMError
+
+                assert isinstance(error, LLMError), (
+                    f"untyped LLM failure (seed={seed}, sample={sample}): "
+                    f"{type(error).__name__}: {error}"
+                )
+                continue
+            try:
+                parse_config_script(
+                    response.text, engine.knob_space, engine.catalog, strict=True
+                )
+            except ConfigurationError:
+                continue
+            except Exception as error:  # noqa: BLE001
+                pytest.fail(
+                    f"untyped {type(error).__name__} from corrupted script "
+                    f"(seed={seed}, sample={sample}): {error}"
+                )

@@ -1,0 +1,165 @@
+"""FaultyLLMClient corruption + the client retry/backoff policy."""
+
+import pytest
+
+from repro.errors import (
+    LLMError,
+    LLMRateLimitError,
+    LLMTimeoutError,
+    LLMTransientError,
+)
+from repro.faults import (
+    LLM_MALFORMED,
+    LLM_OUT_OF_RANGE,
+    LLM_TRANSIENT,
+    LLM_TRUNCATE,
+    LLM_UNKNOWN_KNOB,
+    FaultPlan,
+    FaultyLLMClient,
+)
+from repro.llm import LLMClient, backoff_jitter
+
+SCRIPT = (
+    "ALTER SYSTEM SET shared_buffers = '4GB';\n"
+    "ALTER SYSTEM SET work_mem = '64MB';\n"
+    "CREATE INDEX ON people (country);\n"
+)
+
+
+class StaticLLM(LLMClient):
+    """Always returns the same well-formed script."""
+
+    model = "static"
+
+    def complete(self, prompt, *, temperature=0.7, seed=0):
+        return self._make_response(prompt, SCRIPT)
+
+
+class AlwaysTimingOut(LLMClient):
+    model = "dead"
+
+    def __init__(self):
+        self.calls = 0
+
+    def complete(self, prompt, *, temperature=0.7, seed=0):
+        self.calls += 1
+        raise LLMTimeoutError("injected: provider never answers")
+
+
+def _silence(client):
+    client.sleep = lambda seconds: None
+    return client
+
+
+class TestTransientFaults:
+    def test_raises_then_succeeds(self):
+        plan = FaultPlan(seed=7, density=1.0, sites={LLM_TRANSIENT}, max_transient=3)
+        client = FaultyLLMClient(StaticLLM(), plan)
+        failures = plan.transient_count(LLM_TRANSIENT, "sample-0")
+        assert failures >= 1
+        for attempt in range(failures):
+            expected = LLMTimeoutError if attempt % 2 == 0 else LLMRateLimitError
+            with pytest.raises(expected):
+                client.complete("prompt", seed=0)
+        response = client.complete("prompt", seed=0)
+        assert response.text == SCRIPT
+
+    def test_transient_errors_are_retryable_type(self):
+        assert issubclass(LLMTimeoutError, LLMTransientError)
+        assert issubclass(LLMRateLimitError, LLMTransientError)
+        assert issubclass(LLMTransientError, LLMError)
+
+    def test_error_message_carries_replay_label(self):
+        plan = FaultPlan(seed=11, density=1.0, sites={LLM_TRANSIENT})
+        client = FaultyLLMClient(StaticLLM(), plan)
+        with pytest.raises(LLMTransientError, match=r"seed=11.*llm\.transient"):
+            client.complete("prompt", seed=4)
+
+    def test_retry_loop_absorbs_injected_transients(self):
+        # max_transient=2 keeps failures within the default retry budget.
+        plan = FaultPlan(seed=7, density=1.0, sites={LLM_TRANSIENT}, max_transient=2)
+        client = _silence(FaultyLLMClient(StaticLLM(), plan))
+        response = client.complete_with_retry("prompt", seed=0)
+        assert response.text == SCRIPT
+
+
+class TestRetryPolicy:
+    def test_backoff_sleeps_are_deterministic(self):
+        client = AlwaysTimingOut()
+        recorded = []
+        client.sleep = recorded.append
+        with pytest.raises(LLMError, match="giving up after 5 attempts"):
+            client.complete_with_retry("prompt", seed=3)
+        assert client.calls == client.max_retries + 1
+        expected = [
+            min(client.backoff_cap, client.backoff_base * 2**attempt)
+            * backoff_jitter(3, attempt)
+            for attempt in range(client.max_retries)
+        ]
+        assert recorded == expected
+
+    def test_exhaustion_raises_terminal_error_chained(self):
+        client = _silence(AlwaysTimingOut())
+        with pytest.raises(LLMError) as excinfo:
+            client.complete_with_retry("prompt", seed=0)
+        assert not isinstance(excinfo.value, LLMTransientError)
+        assert isinstance(excinfo.value.__cause__, LLMTimeoutError)
+
+    def test_jitter_bounds_and_determinism(self):
+        for seed in range(10):
+            for attempt in range(5):
+                factor = backoff_jitter(seed, attempt)
+                assert 0.5 <= factor < 1.5
+                assert factor == backoff_jitter(seed, attempt)
+
+    def test_terminal_error_not_retried(self):
+        class Broken(LLMClient):
+            def __init__(self):
+                self.calls = 0
+
+            def complete(self, prompt, *, temperature=0.7, seed=0):
+                self.calls += 1
+                raise LLMError("terminal: bad API key")
+
+        client = _silence(Broken())
+        with pytest.raises(LLMError, match="bad API key"):
+            client.complete_with_retry("prompt")
+        assert client.calls == 1
+
+
+class TestCorruptions:
+    def _corrupted(self, site, seed=0):
+        plan = FaultPlan(seed=5, density=1.0, sites={site})
+        client = FaultyLLMClient(StaticLLM(), plan)
+        return client.complete("prompt", seed=seed).text
+
+    def test_corruption_is_deterministic(self):
+        for site in (LLM_TRUNCATE, LLM_UNKNOWN_KNOB, LLM_OUT_OF_RANGE, LLM_MALFORMED):
+            assert self._corrupted(site) == self._corrupted(site)
+
+    def test_truncate_shortens_script(self):
+        text = self._corrupted(LLM_TRUNCATE)
+        assert len(text) < len(SCRIPT)
+        assert SCRIPT.startswith(text)
+
+    def test_unknown_knob_spliced_in(self):
+        assert "quantum_flux_capacity" in self._corrupted(LLM_UNKNOWN_KNOB)
+
+    def test_out_of_range_value_spliced_in(self):
+        text = self._corrupted(LLM_OUT_OF_RANGE)
+        assert text.count("shared_buffers") == 2
+
+    def test_garble_damages_syntax(self):
+        text = self._corrupted(LLM_MALFORMED)
+        assert text != SCRIPT
+
+    def test_no_fault_returns_inner_response_unchanged(self):
+        plan = FaultPlan(seed=5, density=0.0)
+        client = FaultyLLMClient(StaticLLM(), plan)
+        assert client.complete("prompt", seed=0).text == SCRIPT
+
+    def test_corruption_varies_with_sampling_seed(self):
+        plan = FaultPlan(seed=5, density=0.5, sites={LLM_TRUNCATE})
+        client = FaultyLLMClient(StaticLLM(), plan)
+        texts = {client.complete("prompt", seed=s).text for s in range(12)}
+        assert len(texts) > 1

@@ -1,0 +1,140 @@
+"""FaultPlan determinism, pickling, and replay guarantees."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults import (
+    ALL_SITES,
+    ENGINE_QUERY_CRASH,
+    LLM_TRUNCATE,
+    FaultDecision,
+    FaultPlan,
+)
+
+KEYS = [f"query:q{i}|{sig:016x}" for i in range(40) for sig in (0, 123456789)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        one = FaultPlan(seed=13, density=0.3)
+        two = FaultPlan(seed=13, density=0.3)
+        for site in sorted(ALL_SITES):
+            for key in KEYS:
+                assert one.fires(site, key) == two.fires(site, key)
+                assert one.decide(site, key) == two.decide(site, key)
+                assert one.transient_count(site, key) == two.transient_count(
+                    site, key
+                )
+
+    def test_different_seeds_differ(self):
+        one = FaultPlan(seed=1, density=0.5)
+        two = FaultPlan(seed=2, density=0.5)
+        decisions_one = [one.fires(ENGINE_QUERY_CRASH, key) for key in KEYS]
+        decisions_two = [two.fires(ENGINE_QUERY_CRASH, key) for key in KEYS]
+        assert decisions_one != decisions_two
+
+    def test_decisions_are_order_independent(self):
+        plan = FaultPlan(seed=4, density=0.4)
+        forward = [plan.fires(ENGINE_QUERY_CRASH, key) for key in KEYS]
+        backward = [
+            plan.fires(ENGINE_QUERY_CRASH, key) for key in reversed(KEYS)
+        ]
+        assert forward == list(reversed(backward))
+
+    def test_density_is_monotone(self):
+        # The unit draw per key is fixed; raising the density can only
+        # add faults, never move or remove them -- the property that
+        # makes a density-1.0 single_site replay a superset.
+        low = FaultPlan(seed=9, density=0.1)
+        high = FaultPlan(seed=9, density=0.7)
+        for key in KEYS:
+            if low.fires(ENGINE_QUERY_CRASH, key):
+                assert high.fires(ENGINE_QUERY_CRASH, key)
+
+
+class TestValidation:
+    def test_density_bounds(self):
+        with pytest.raises(ReproError):
+            FaultPlan(seed=0, density=1.5)
+        with pytest.raises(ReproError):
+            FaultPlan(seed=0, density=-0.1)
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ReproError):
+            FaultPlan(seed=0, sites={"engine.made_up"})
+
+    def test_negative_transient_rejected(self):
+        with pytest.raises(ReproError):
+            FaultPlan(seed=0, max_transient=-1)
+
+
+class TestSites:
+    def test_disabled_site_never_fires(self):
+        plan = FaultPlan(seed=3, density=1.0, sites={ENGINE_QUERY_CRASH})
+        assert all(plan.fires(ENGINE_QUERY_CRASH, key) for key in KEYS)
+        assert not any(plan.fires(LLM_TRUNCATE, key) for key in KEYS)
+        assert plan.decide(LLM_TRUNCATE, KEYS[0]) is None
+
+    def test_site_density_override(self):
+        plan = FaultPlan(
+            seed=3, density=0.0, site_density={ENGINE_QUERY_CRASH: 1.0}
+        )
+        assert all(plan.fires(ENGINE_QUERY_CRASH, key) for key in KEYS)
+        assert not any(plan.fires(LLM_TRUNCATE, key) for key in KEYS)
+
+
+class TestPickle:
+    def test_round_trip_equality_and_decisions(self):
+        plan = FaultPlan(
+            seed=21,
+            density=0.25,
+            sites={ENGINE_QUERY_CRASH, LLM_TRUNCATE},
+            site_density={LLM_TRUNCATE: 0.9},
+            max_transient=5,
+        )
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+        for key in KEYS:
+            assert clone.decide(ENGINE_QUERY_CRASH, key) == plan.decide(
+                ENGINE_QUERY_CRASH, key
+            )
+            assert clone.transient_count(LLM_TRUNCATE, key) == plan.transient_count(
+                LLM_TRUNCATE, key
+            )
+
+
+class TestReplay:
+    def test_single_site_reproduces_fired_faults(self):
+        original = FaultPlan(seed=17, density=0.3)
+        replay = FaultPlan.single_site(17, ENGINE_QUERY_CRASH)
+        for key in KEYS:
+            decision = original.decide(ENGINE_QUERY_CRASH, key)
+            if decision is None:
+                continue
+            replayed = replay.decide(ENGINE_QUERY_CRASH, key)
+            assert replayed == decision
+
+    def test_decision_label_carries_replay_pair(self):
+        decision = FaultDecision(
+            site=ENGINE_QUERY_CRASH, key="query:q1|00", seed=17, magnitude=0.5
+        )
+        label = decision.describe()
+        assert "seed=17" in label
+        assert "engine.query_crash" in label
+        assert "query:q1|00" in label
+
+
+class TestTransientCount:
+    def test_bounded_by_max_transient(self):
+        plan = FaultPlan(seed=5, density=1.0, max_transient=3)
+        counts = {plan.transient_count(ENGINE_QUERY_CRASH, key) for key in KEYS}
+        assert counts <= {1, 2, 3}
+        assert counts  # density 1.0: every key fires
+
+    def test_zero_when_not_fired(self):
+        plan = FaultPlan(seed=5, density=0.0)
+        assert all(
+            plan.transient_count(ENGINE_QUERY_CRASH, key) == 0 for key in KEYS
+        )

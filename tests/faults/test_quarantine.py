@@ -1,0 +1,210 @@
+"""Quarantine semantics through evaluator, selector, and tuner.
+
+The chain the paper's §4 requires: a configuration that crashes the
+engine is *discarded, not propagated* -- the evaluator marks it failed
+while preserving partial progress, the selector excludes it from every
+later round, and the tuner degrades to the default configuration when
+nothing survives, never raising mid-tune.
+"""
+
+import pytest
+
+from repro.core.config import Configuration
+from repro.core.evaluator import ConfigMeta, ConfigurationEvaluator
+from repro.core.selector import ConfigurationSelector
+from repro.core.tuner import LambdaTune, LambdaTuneOptions
+from repro.db.hardware import HardwareSpec
+from repro.db.postgres import PostgresEngine
+from repro.errors import (
+    ConfigurationRejectedError,
+    LLMError,
+    LLMTimeoutError,
+)
+from repro.faults import (
+    ENGINE_QUERY_CRASH,
+    LLM_TRANSIENT,
+    FaultPlan,
+    FaultyLLMClient,
+)
+from repro.llm.client import LLMClient
+from repro.llm.mock import SimulatedLLM
+
+#: Chosen (see git history) so the crash lands on the *third* query in
+#: plan order: two queries complete before the candidate is quarantined.
+PARTIAL_CRASH_PLAN = FaultPlan(seed=6, density=0.2, sites={ENGINE_QUERY_CRASH})
+
+
+def make_engine(catalog, plan=None):
+    engine = PostgresEngine(catalog, HardwareSpec(memory_gb=61.0, cores=8))
+    if plan is not None:
+        engine.install_faults(plan)
+    return engine
+
+
+def candidate(name="c1", work_mem=64 << 20):
+    return Configuration(name=name, settings={"work_mem": work_mem})
+
+
+class TestEvaluatorQuarantine:
+    def test_crash_quarantines_and_preserves_progress(self, tiny_catalog, tiny_workload):
+        engine = make_engine(tiny_catalog, PARTIAL_CRASH_PLAN)
+        evaluator = ConfigurationEvaluator(engine, cluster_seed=0)
+        meta = ConfigMeta()
+        evaluator.evaluate(candidate(), list(tiny_workload.queries), 1e9, meta)
+        assert meta.failed
+        assert not meta.is_complete
+        # Partial progress survives the fault (Alg. 2 resumability):
+        # the two queries that finished before the crash stay recorded.
+        assert meta.completed_queries == {"by_country", "join_all"}
+        assert meta.time > 0.0
+        # The failure record carries the replay pair.
+        assert "engine.query_crash" in meta.failure
+        assert "seed=6" in meta.failure
+
+    def test_failure_never_propagates(self, tiny_catalog, tiny_workload):
+        engine = make_engine(
+            tiny_catalog, FaultPlan(seed=0, density=1.0, sites={ENGINE_QUERY_CRASH})
+        )
+        evaluator = ConfigurationEvaluator(engine, cluster_seed=0)
+        meta = ConfigMeta()
+        # Must not raise, whatever the density.
+        evaluator.evaluate(candidate(), list(tiny_workload.queries), 1e9, meta)
+        assert meta.failed
+
+    def test_quarantined_config_never_reevaluated(self, tiny_catalog, tiny_workload):
+        engine = make_engine(tiny_catalog, PARTIAL_CRASH_PLAN)
+        evaluator = ConfigurationEvaluator(engine, cluster_seed=0)
+        meta = ConfigMeta()
+        config = candidate()
+        evaluator.evaluate(config, list(tiny_workload.queries), 1e9, meta)
+        assert meta.failed
+        clock_after_fault = engine.clock.now
+        evaluator.evaluate(config, list(tiny_workload.queries), 1e9, meta)
+        assert engine.clock.now == clock_after_fault
+
+    def test_indexes_dropped_after_fault(self, tiny_catalog, tiny_workload):
+        engine = make_engine(tiny_catalog, PARTIAL_CRASH_PLAN)
+        evaluator = ConfigurationEvaluator(engine, cluster_seed=0)
+        from repro.db.indexes import Index
+
+        config = Configuration(
+            name="c1",
+            settings={"work_mem": 64 << 20},
+            indexes=[Index("users", ("country",))],
+        )
+        before = {index.key for index in engine.indexes}
+        meta = ConfigMeta()
+        evaluator.evaluate(config, list(tiny_workload.queries), 1e9, meta)
+        # Whether or not the evaluation faulted, the physical design is
+        # restored so other candidates start from a clean slate.
+        assert {index.key for index in engine.indexes} == before
+
+    def test_reject_error_is_typed(self):
+        meta = ConfigMeta(failed=True, failure="query crashed [site=...]")
+        error = meta.reject_error()
+        assert isinstance(error, ConfigurationRejectedError)
+        assert "query crashed" in str(error)
+
+
+class TestSelectorQuarantine:
+    def _select(self, catalog, workload, plan, configs):
+        engine = make_engine(catalog, plan)
+        evaluator = ConfigurationEvaluator(engine, cluster_seed=0)
+        selector = ConfigurationSelector(
+            engine, evaluator, initial_timeout=0.5, alpha=2.0
+        )
+        return selector.select(list(workload.queries), configs)
+
+    def test_failed_candidate_excluded_best_survives(
+        self, tiny_catalog, tiny_workload
+    ):
+        configs = [candidate("crashy", 64 << 20), candidate("safe", 32 << 20)]
+        selection = self._select(
+            tiny_catalog, tiny_workload, PARTIAL_CRASH_PLAN, configs
+        )
+        assert selection.meta["crashy"].failed
+        assert not selection.meta["safe"].failed
+        assert selection.best.config is not None
+        assert selection.best.config.name == "safe"
+        assert selection.best.time < float("inf")
+
+    def test_all_candidates_fail_returns_none_not_raise(
+        self, tiny_catalog, tiny_workload
+    ):
+        plan = FaultPlan(seed=0, density=1.0, sites={ENGINE_QUERY_CRASH})
+        configs = [candidate("a", 64 << 20), candidate("b", 8 << 20)]
+        selection = self._select(tiny_catalog, tiny_workload, plan, configs)
+        assert selection.best.config is None
+        assert all(meta.failed for meta in selection.meta.values())
+
+
+class GarbageLLM(LLMClient):
+    """Replies with prose only -- nothing parseable."""
+
+    model = "garbage"
+
+    def complete(self, prompt, *, temperature=0.7, seed=0):
+        return self._make_response(
+            prompt, "I am sorry, I cannot recommend a configuration."
+        )
+
+
+class DeadLLM(LLMClient):
+    model = "dead"
+
+    def complete(self, prompt, *, temperature=0.7, seed=0):
+        raise LLMTimeoutError("injected: provider never answers")
+
+
+class TestTunerDegradation:
+    OPTIONS = LambdaTuneOptions(
+        token_budget=200, initial_timeout=0.5, alpha=2.0, seed=9
+    )
+
+    def _tune(self, catalog, workload, llm, plan=None):
+        engine = make_engine(catalog, plan)
+        llm.sleep = lambda seconds: None
+        tuner = LambdaTune(engine, llm, self.OPTIONS)
+        return tuner.tune(list(workload.queries)), tuner
+
+    def test_garbage_scripts_fall_back_to_default(self, tiny_catalog, tiny_workload):
+        result, tuner = self._tune(tiny_catalog, tiny_workload, GarbageLLM())
+        assert result.extras["fallback"] is True
+        assert result.best_config.name == "default-config"
+        assert result.best_time < float("inf")
+        # Every sample was dropped with a typed parse rejection.
+        assert len(tuner.last_dropped_samples) == self.OPTIONS.num_configs
+        assert all(
+            "no valid commands" in reason
+            for _, reason in tuner.last_dropped_samples
+        )
+        assert result.extras["dropped_samples"] == tuner.last_dropped_samples
+
+    def test_every_candidate_crashing_falls_back(self, tiny_catalog, tiny_workload):
+        # Density 1.0 on query crashes kills every LLM candidate *and*
+        # the default configuration: the tuner must still return the
+        # default as the only applicable recommendation, never raise.
+        plan = FaultPlan(seed=0, density=1.0, sites={ENGINE_QUERY_CRASH})
+        result, _ = self._tune(tiny_catalog, tiny_workload, SimulatedLLM(), plan)
+        assert result.extras["fallback"] is True
+        assert result.best_config.name == "default-config"
+        assert result.best_time == float("inf")
+        assert result.extras["failed_configs"]
+
+    def test_unreachable_provider_raises_llm_error(self, tiny_catalog, tiny_workload):
+        with pytest.raises(LLMError):
+            self._tune(tiny_catalog, tiny_workload, DeadLLM())
+
+    def test_transient_llm_faults_are_invisible_in_the_result(
+        self, tiny_catalog, tiny_workload
+    ):
+        plan = FaultPlan(
+            seed=11, density=1.0, sites={LLM_TRANSIENT}, max_transient=2
+        )
+        flaky = FaultyLLMClient(SimulatedLLM(), plan)
+        faulted, tuner = self._tune(tiny_catalog, tiny_workload, flaky)
+        clean, _ = self._tune(tiny_catalog, tiny_workload, SimulatedLLM())
+        assert not tuner.last_dropped_samples
+        assert faulted.best_config.name == clean.best_config.name
+        assert repr(faulted.best_time) == repr(clean.best_time)
+        assert faulted.extras["fallback"] is False

@@ -1,0 +1,107 @@
+"""Script rendering: dialects, value formatting, and parse round-trip."""
+
+import pytest
+
+from repro.core.config import parse_config_script
+from repro.db.hardware import HardwareSpec
+from repro.db.indexes import Index
+from repro.db.mysql import MySQLEngine
+from repro.db.postgres import PostgresEngine
+from repro.llm.scripts import render_index, render_script, render_setting
+
+MB = 1 << 20
+GB = 1 << 30
+
+
+class TestRenderSetting:
+    def test_postgres_dialect(self):
+        assert (
+            render_setting("postgres", "work_mem", 64 * MB)
+            == "ALTER SYSTEM SET work_mem = '64MB';"
+        )
+
+    def test_mysql_dialect(self):
+        assert (
+            render_setting("mysql", "sort_buffer_size", 64 * MB)
+            == "SET GLOBAL sort_buffer_size = '64MB';"
+        )
+
+    @pytest.mark.parametrize(
+        "system,value,expected",
+        [("postgres", True, "on"), ("postgres", False, "off"),
+         ("mysql", True, "ON"), ("mysql", False, "OFF")],
+    )
+    def test_booleans(self, system, value, expected):
+        assert f"= {expected};" in render_setting(system, "autovacuum", value)
+
+    def test_size_formatting_only_for_size_knobs(self):
+        # Same large integer: formatted as a size for memory knobs,
+        # left numeric for counters.
+        sized = render_setting("postgres", "shared_buffers", 4 * GB)
+        assert "'4GB'" in sized
+        plain = render_setting("postgres", "max_connections", 4 * GB)
+        assert "'" not in plain
+
+    def test_small_int_stays_numeric(self):
+        assert render_setting("postgres", "work_mem", 512) == (
+            "ALTER SYSTEM SET work_mem = 512;"
+        )
+
+    def test_string_values_quoted(self):
+        assert render_setting("mysql", "innodb_flush_method", "o_direct") == (
+            "SET GLOBAL innodb_flush_method = 'o_direct';"
+        )
+
+    def test_float_values(self):
+        assert render_setting(
+            "postgres", "checkpoint_completion_target", 0.9
+        ).endswith("= 0.9;")
+
+
+class TestRenderIndexAndScript:
+    def test_render_index(self):
+        index = Index("users", ("country", "age"))
+        assert render_index(index) == (
+            f"CREATE INDEX {index.name} ON users (country, age);"
+        )
+
+    def test_script_sorts_settings_and_appends_indexes(self):
+        script = render_script(
+            "postgres",
+            {"work_mem": 512, "shared_buffers": 1024},
+            [Index("users", ("country",))],
+            commentary="-- hello",
+        )
+        lines = script.split("\n")
+        assert lines[0] == "-- hello"
+        assert lines[1] == ""
+        assert "shared_buffers" in lines[2]  # sorted before work_mem
+        assert "work_mem" in lines[3]
+        assert lines[4].startswith("CREATE INDEX")
+
+    def test_no_commentary_no_leading_blank(self):
+        script = render_script("postgres", {"work_mem": 512}, [])
+        assert script.startswith("ALTER SYSTEM SET")
+
+
+class TestRoundTrip:
+    """What render_script emits, parse_config_script must accept."""
+
+    @pytest.mark.parametrize("engine_cls", [PostgresEngine, MySQLEngine])
+    def test_settings_round_trip(self, tiny_catalog, engine_cls):
+        engine = engine_cls(tiny_catalog, HardwareSpec(memory_gb=61.0, cores=8))
+        knobs = engine.knob_space
+        # Pick a few real knobs with their default values.
+        names = sorted(knobs.names())[:4]
+        settings = {name: knobs.knob(name).default for name in names}
+        script = render_script(engine.system, settings, [])
+        config = parse_config_script(script, knobs, tiny_catalog)
+        assert not config.rejected
+        assert set(config.settings) == set(settings)
+
+    def test_index_round_trip(self, tiny_catalog):
+        engine = PostgresEngine(tiny_catalog, HardwareSpec(memory_gb=61.0, cores=8))
+        index = Index("users", ("country",))
+        script = render_script("postgres", {}, [index])
+        config = parse_config_script(script, engine.knob_space, tiny_catalog)
+        assert [i.key for i in config.indexes] == [index.key]

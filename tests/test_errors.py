@@ -17,6 +17,12 @@ class TestHierarchy:
             errors.LLMError,
             errors.BudgetExceededError,
             errors.SchedulerError,
+            errors.ConfigurationRejectedError,
+            errors.EngineFaultError,
+            errors.TransientEngineError,
+            errors.LLMTransientError,
+            errors.LLMTimeoutError,
+            errors.LLMRateLimitError,
         ],
     )
     def test_all_derive_from_repro_error(self, exc):
@@ -24,6 +30,24 @@ class TestHierarchy:
 
     def test_knob_error_is_configuration_error(self):
         assert issubclass(errors.KnobError, errors.ConfigurationError)
+
+    def test_rejected_is_configuration_error(self):
+        # Selection code catches ConfigurationError to quarantine a
+        # candidate; a whole-script rejection must be caught with it.
+        assert issubclass(
+            errors.ConfigurationRejectedError, errors.ConfigurationError
+        )
+
+    def test_transient_engine_error_is_engine_fault(self):
+        assert issubclass(errors.TransientEngineError, errors.EngineFaultError)
+
+    def test_llm_transient_hierarchy(self):
+        # Retry loops catch LLMTransientError; both concrete transient
+        # failures must be subclasses, and all remain LLMErrors.
+        assert issubclass(errors.LLMTimeoutError, errors.LLMTransientError)
+        assert issubclass(errors.LLMRateLimitError, errors.LLMTransientError)
+        assert issubclass(errors.LLMTransientError, errors.LLMError)
+        assert not issubclass(errors.LLMError, errors.LLMTransientError)
 
     def test_sql_error_position(self):
         error = errors.SQLError("bad", position=7)
@@ -34,4 +58,26 @@ class TestHierarchy:
         import repro
 
         assert repro.ReproError is errors.ReproError
+        assert repro.EngineFaultError is errors.EngineFaultError
+        assert repro.ConfigurationRejectedError is errors.ConfigurationRejectedError
         assert repro.__version__
+
+
+class TestEngineFaultError:
+    def test_replay_label_in_message(self):
+        error = errors.EngineFaultError(
+            "query crashed", site="engine.query_crash", key="query:q1|00", seed=17
+        )
+        assert error.site == "engine.query_crash"
+        assert error.key == "query:q1|00"
+        assert error.seed == 17
+        text = str(error)
+        assert "site='engine.query_crash'" in text
+        assert "seed=17" in text
+
+    def test_plain_message_without_site(self):
+        error = errors.EngineFaultError("disk on fire")
+        assert error.site is None
+        assert error.key is None
+        assert error.seed is None
+        assert str(error) == "disk on fire"
