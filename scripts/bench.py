@@ -22,14 +22,20 @@ implementations and verifies bit-identical results:
    bit-identical -- the hook is one ``is None`` check), and a chaos tune
    with a crash plan must quarantine identically in serial and
    ``--workers`` process-pool modes.
-6. Optionally consumes ``pytest-benchmark`` stats from
+6. Crash-safe sessions: a journaled TPC-H tune must fingerprint
+   byte-identically to an unjournaled one, its selection time must stay
+   within 2% of the committed ``BENCH_3.json`` value, and a resume from
+   a truncated journal must reproduce the identical result; the
+   wall-clock journaling overhead (append + fsync) is reported.
+7. Optionally consumes ``pytest-benchmark`` stats from
    ``benchmarks/test_perf_scheduler.py`` via ``--benchmark-json``.
 
-Regression gate: if a committed ``BENCH_2.json`` (or, failing that,
-``BENCH_1.json``) exists, the tuned TPC-H/JOB ``best_time`` must not be
-worse than recorded there; the script exits non-zero otherwise.
+Regression gate: if a committed ``BENCH_3.json`` (or, failing that,
+``BENCH_2.json`` / ``BENCH_1.json``) exists, the tuned TPC-H/JOB
+``best_time`` must not be worse than recorded there; the script exits
+non-zero otherwise.
 
-Writes the combined report to ``BENCH_3.json`` (or ``--output``):
+Writes the combined report to ``BENCH_4.json`` (or ``--output``):
 
     PYTHONPATH=src python scripts/bench.py
     PYTHONPATH=src python scripts/bench.py --skip-pytest --quick --workers 2
@@ -124,30 +130,7 @@ def dp_microbench(repeats: int) -> dict:
 
 def _fingerprint(result) -> dict:
     """Deterministic, exact (repr of floats) digest of a TuningResult."""
-    meta = result.extras.get("meta", {})
-    return {
-        "best_time": repr(result.best_time),
-        "tuning_seconds": repr(result.tuning_seconds),
-        "best_config": result.best_config.name if result.best_config else None,
-        "configs_evaluated": result.configs_evaluated,
-        "rounds": result.extras.get("rounds"),
-        "trace": [
-            (repr(point.time), repr(point.best_time)) for point in result.trace
-        ],
-        "meta": {
-            name: {
-                "time": repr(m.time),
-                "is_complete": m.is_complete,
-                "index_time": repr(m.index_time),
-                "completed_queries": sorted(m.completed_queries),
-                "failed": m.failed,
-                "failure": m.failure,
-            }
-            for name, m in sorted(meta.items())
-        },
-        "failed_configs": result.extras.get("failed_configs", []),
-        "fallback": result.extras.get("fallback", False),
-    }
+    return result.fingerprint()
 
 
 def _tune_once(workload):
@@ -309,12 +292,19 @@ def compile_cache_benchmark(repeats: int) -> dict:
 # -- regression gate vs the committed baseline --------------------------------
 
 
+def _newest_baseline() -> Path:
+    """The most recent committed benchmark report, newest first."""
+    for name in ("BENCH_3.json", "BENCH_2.json", "BENCH_1.json"):
+        path = REPO / name
+        if path.is_file():
+            return path
+    return REPO / "BENCH_1.json"
+
+
 def regression_gate(tune_report: dict) -> dict:
     """Fail (exit non-zero) if tuned best_time regressed vs the newest
-    committed baseline (BENCH_2.json, else BENCH_1.json)."""
-    baseline_path = REPO / "BENCH_2.json"
-    if not baseline_path.is_file():
-        baseline_path = REPO / "BENCH_1.json"
+    committed baseline (BENCH_3.json, else BENCH_2.json, else BENCH_1.json)."""
+    baseline_path = _newest_baseline()
     gate: dict = {"baseline": baseline_path.name, "checked": False}
     if not baseline_path.is_file():
         gate["note"] = "no committed baseline; gate skipped"
@@ -450,6 +440,119 @@ def fault_overhead_benchmark(tune_report: dict, workers: int, repeats: int) -> d
     return report
 
 
+# -- crash-safe sessions ------------------------------------------------------
+
+
+def session_benchmark(repeats: int) -> dict:
+    """Overhead + correctness of journaled tuning sessions.
+
+    Gate 1 (identity): a TPC-H tune run through ``TuningSession`` must
+    fingerprint byte-identically to the same tune without a journal --
+    journaling reads state, it never perturbs the virtual clock.
+
+    Gate 2 (≤2% overhead): the journaled tune's selection time
+    (``best_time``, virtual seconds) must be within 2% of the committed
+    ``BENCH_3.json`` value, mirroring the PR-3 inert-fault-hook gate.
+
+    Gate 3 (resume): the journal truncated at a mid-selection boundary
+    must resume on a fresh engine to the identical fingerprint.
+
+    Wall-clock journaling overhead (append + fsync cost) is measured
+    and reported alongside.
+    """
+    from repro.llm import SimulatedLLM
+    from repro.session import TuningSession
+
+    workload = tpch_workload()
+
+    def make_tuner():
+        return LambdaTune(
+            PostgresEngine(workload.catalog), SimulatedLLM(), TUNE_OPTIONS
+        )
+
+    def plain_tune():
+        return make_tuner().tune(
+            list(workload.queries), workload_name=workload.name
+        )
+
+    def journaled_tune(path):
+        session = TuningSession(
+            make_tuner(), path, workload_name=workload.name
+        )
+        return session.run(list(workload.queries))
+
+    plain_tune()  # warm shared per-catalog caches before timing
+    plain_times, journaled_times = [], []
+    plain_print = journaled_print = None
+    with tempfile.TemporaryDirectory() as tmp:
+        journal_path = Path(tmp) / "bench.journal"
+        for _ in range(max(3, repeats // 4)):
+            start = time.perf_counter()
+            plain_print = _fingerprint(plain_tune())
+            plain_times.append(time.perf_counter() - start)
+
+            journal_path.unlink(missing_ok=True)
+            start = time.perf_counter()
+            journaled_print = _fingerprint(journaled_tune(journal_path))
+            journaled_times.append(time.perf_counter() - start)
+
+        if journaled_print != plain_print:
+            raise SystemExit("journaled tune diverged from plain tune")
+
+        # Gate 3: crash after the first checkpoint, resume elsewhere.
+        journal_path.unlink(missing_ok=True)
+        journaled_tune(journal_path)
+        lines = journal_path.read_text().splitlines(keepends=True)
+        kinds = [json.loads(line)["kind"] for line in lines]
+        boundary = kinds.index("checkpoint") + 1
+        crash_path = Path(tmp) / "crash.journal"
+        crash_path.write_text("".join(lines[:boundary]))
+        resumed = TuningSession.resume(
+            crash_path,
+            engine=PostgresEngine(workload.catalog),
+            llm=SimulatedLLM(),
+        )
+        if _fingerprint(resumed) != plain_print:
+            raise SystemExit(
+                f"resume from boundary {boundary} diverged from plain tune"
+            )
+
+    report: dict = {
+        "result_identical": True,
+        "resume_identical": True,
+        "resume_boundary": f"{boundary}/{len(lines)}",
+        "journal_events": len(lines),
+        "best_time": plain_print["best_time"],
+        "plain_wall_s": round(min(plain_times), 4),
+        "journaled_wall_s": round(min(journaled_times), 4),
+        "journal_wall_overhead_pct": round(
+            (min(journaled_times) / min(plain_times) - 1) * 100, 2
+        ),
+    }
+
+    baseline_path = REPO / "BENCH_3.json"
+    gate: dict = {"baseline": baseline_path.name, "checked": False}
+    if baseline_path.is_file():
+        previous = json.loads(baseline_path.read_text()).get("full_tune", {})
+        old = previous.get("tpch", {}).get("best_time")
+        if old is not None:
+            gate["checked"] = True
+            ratio = float(plain_print["best_time"]) / float(old)
+            if ratio > 1.02:
+                raise SystemExit(
+                    f"journaled selection time is {(ratio - 1) * 100:.2f}% "
+                    f"worse than {baseline_path.name} "
+                    f"({old} -> {plain_print['best_time']}); 2% gate exceeded"
+                )
+            gate["bench3_best_time"] = old
+            gate["best_time"] = plain_print["best_time"]
+            gate["slowdown_pct"] = round((ratio - 1) * 100, 4)
+    else:
+        gate["note"] = "no committed BENCH_3.json; gate skipped"
+    report["overhead_gate"] = gate
+    return report
+
+
 # -- pytest-benchmark consumption ---------------------------------------------
 
 
@@ -492,8 +595,8 @@ def pytest_benchmarks() -> dict | None:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--output", type=Path, default=REPO / "BENCH_3.json",
-        help="report destination (default: BENCH_3.json at the repo root)",
+        "--output", type=Path, default=REPO / "BENCH_4.json",
+        help="report destination (default: BENCH_4.json at the repo root)",
     )
     parser.add_argument(
         "--workers", type=int, default=4,
@@ -574,6 +677,16 @@ def main() -> None:
         f"{chaos['serial_parallel_identical']}"
     )
 
+    print("== crash-safe sessions (journal overhead + resume) ==")
+    session_report = session_benchmark(compile_repeats)
+    print(
+        f"  journaled tune: identical={session_report['result_identical']}, "
+        f"wall overhead {session_report['journal_wall_overhead_pct']:+.2f}% "
+        f"({session_report['journal_events']} events); resume from boundary "
+        f"{session_report['resume_boundary']}: "
+        f"identical={session_report['resume_identical']}"
+    )
+
     report = {
         "dp_microbench": dp_report,
         "full_tune": tune_report,
@@ -581,6 +694,7 @@ def main() -> None:
         "parallel_selection": parallel_report,
         "compile_cache": compile_report,
         "fault_injection": fault_report,
+        "sessions": session_report,
         "python": sys.version.split()[0],
     }
     if not args.skip_pytest:

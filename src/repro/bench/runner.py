@@ -89,9 +89,7 @@ def run_lambda_tune(
         seed=seed,
     )
     tuner = LambdaTune(engine, SimulatedLLM(), opts)
-    result = tuner.tune(list(workload.queries))
-    result.workload = workload.name
-    return result
+    return tuner.tune(list(workload.queries), workload_name=workload.name)
 
 
 def run_scenario(

@@ -52,6 +52,19 @@ class Configuration:
     def is_empty(self) -> bool:
         return not self.settings and not self.indexes
 
+    def content_key(self) -> tuple:
+        """Hashable identity of this configuration's tuning content.
+
+        Covers name, parameter settings, and the recommended index set
+        -- everything evaluation reads -- so caches keyed on it are
+        invalidated when a configuration is mutated mid-selection.
+        """
+        return (
+            self.name,
+            tuple(sorted(self.settings.items())),
+            tuple(index.key for index in self.indexes),
+        )
+
     def without_indexes(self) -> "Configuration":
         """A copy restricted to parameter settings (Fig. 3 scenarios)."""
         return Configuration(

@@ -116,17 +116,8 @@ class ConfigurationEvaluator:
 
     @staticmethod
     def _config_key(config: Configuration) -> tuple:
-        """Identity of a configuration's tuning content.
-
-        Covers name, parameter settings and the recommended index set,
-        so mutating a configuration mid-selection invalidates every
-        derived cache entry.
-        """
-        return (
-            config.name,
-            tuple(sorted(config.settings.items())),
-            tuple(index.key for index in config.indexes),
-        )
+        """Cache identity of a configuration (see ``content_key``)."""
+        return config.content_key()
 
     @staticmethod
     def _evict_if_full(cache: dict) -> None:

@@ -34,6 +34,11 @@ from pathlib import Path
 
 from repro.core.config import Configuration
 from repro.core.evaluator import ConfigMeta, ConfigurationEvaluator
+from repro.core.rounds import (
+    ExecutionStrategy,
+    SelectionState,
+    TuningObserver,
+)
 from repro.db import engine as engine_module
 from repro.db.clock import RecordingClock
 from repro.db.engine import EngineState
@@ -342,3 +347,266 @@ class TaskRunner:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+# -- the parallel execution strategy ------------------------------------------------
+
+
+class ParallelExecution(ExecutionStrategy):
+    """Algorithm 2 with per-phase candidate evaluations fanned over a pool.
+
+    **Speculate / merge / recompute.**  Each phase -- one round of the
+    main loop, or the final candidates pass -- first computes the
+    canonical throughput order, then *speculates* every ``Update`` call
+    in that order: for candidate *i* it predicts the engine state the
+    serial algorithm would present (base settings merged with the
+    coerced settings of candidates ``1..i-1``, the unchanged physical
+    design -- evaluation is net-zero on indexes) and the effective
+    timeout, and ships both to an isolated worker.  Workers run
+    Algorithm 3 on forked engines with zero-based recording clocks.
+
+    The *merge* folds outcomes back in canonical order.  A speculative
+    outcome is folded only when it provably equals what a serial
+    ``Update`` would have produced:
+
+    - the predicted start settings match the live engine's settings
+      (detects mispredicted settings threading, e.g. an earlier
+      candidate that was skipped serially but speculated as run), and
+    - the predicted timeout matches the actual one exactly, **or** the
+      speculative run completed and replaying Algorithm 3's
+      ``remaining_time`` cascade over its per-query execution times --
+      the exact float subtractions and comparisons the serial path would
+      perform -- shows every budget check still passing under the actual
+      timeout (a completed run is step-for-step identical under any
+      timeout its cascade fits).
+
+    A fold applies the candidate's settings to the main engine without
+    restart cost, then replays the worker's individual clock advances in
+    order -- the restart advance is the first of them -- so clock floats
+    accumulate in exactly the serial order.  Any outcome failing the
+    checks is discarded and *recomputed* via the driver's serial
+    ``update`` on the main engine.  During the geometric rounds the
+    predictions are exact by construction (no candidate is complete
+    before the first completion, so no ``Update`` is skipped and every
+    timeout equals the round timeout); recomputes only arise in the
+    final candidates pass when an early candidate improves ``best``.
+
+    Results are **byte-identical** to :class:`SerialExecution` -- same
+    ``SelectionResult`` floats, trace, and rounds for the same seed --
+    which the equivalence tests and ``scripts/bench.py`` assert.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 0,
+        executor: str = "process",
+        mp_context: str | None = None,
+    ) -> None:
+        self._workers = max(1, int(workers))
+        self._executor = executor
+        self._mp_context = mp_context
+        self._runner: TaskRunner | None = None
+
+    def begin(self, driver, workload, state) -> None:
+        super().begin(driver, workload, state)
+        engine = driver.engine
+        ctx = WorkerContext(
+            engine_cls=type(engine),
+            catalog=engine.catalog,
+            hardware=engine.hardware,
+            workload=tuple(workload),
+            evaluator_options=driver.evaluator.worker_options(),
+            caches_enabled=engine_module.CACHES_ENABLED,
+            realtime_factor=engine.realtime_factor,
+            fault_plan=engine.fault_plan,
+        )
+        self._runner = TaskRunner(
+            ctx,
+            workers=self._workers,
+            executor=self._executor,
+            mp_context=self._mp_context,
+        )
+
+    def finish(self) -> None:
+        if self._runner is not None:
+            self._runner.close()
+            self._runner = None
+
+    def run_round(self, ordered, offset, workload, state, observer):
+        tasks = self._speculate(ordered, workload, state)
+        stream = self._runner.stream(tasks)
+        winner = None
+        try:
+            for position, (config, (task, outcome)) in enumerate(
+                zip(ordered, stream), start=offset
+            ):
+                self._merge(
+                    config, task, outcome, workload, state, observer, position
+                )
+                if state.meta[config.name].is_complete:
+                    winner = config
+                    break
+        finally:
+            # The serial algorithm stops a round at its first
+            # completion; closing the stream cancels speculative work
+            # past the break point.
+            stream.close()
+        return winner
+
+    def run_final(self, ordered, offset, workload, state, observer) -> None:
+        if ordered:
+            # Evaluate the throughput leader inline on the live engine:
+            # it is the likeliest candidate to improve ``best``, and
+            # speculating the rest only *after* its result is folded
+            # gives them near-exact timeout predictions -- without this,
+            # every remaining candidate is speculated against the stale
+            # pre-phase ``best`` and the pool burns its time on timeouts
+            # the serial path never grants.
+            state.stats["inline"] += 1
+            self.driver.update(ordered[0], workload, state, observer, offset)
+        rest = ordered[1:]
+        tasks = self._speculate(rest, workload, state)
+        for position, (config, (task, outcome)) in enumerate(
+            zip(rest, self._runner.stream(tasks)), start=offset + 1
+        ):
+            self._merge(config, task, outcome, workload, state, observer, position)
+
+    # -- speculation ----------------------------------------------------------------
+
+    def _speculate(
+        self,
+        ordered: list[Configuration],
+        workload: list[Query],
+        state: SelectionState,
+    ) -> list[EvalTask | None]:
+        """Build one task per candidate the serial pass would evaluate.
+
+        ``None`` marks candidates the serial pass is predicted to skip;
+        those slots never reach the pool.
+        """
+        driver = self.driver
+        base_state = driver.engine.capture_state()
+        settings = dict(base_state.settings)
+        tasks: list[EvalTask | None] = []
+        for position, config in enumerate(ordered):
+            config_meta = state.meta[config.name]
+            pending = driver.pending(workload, config_meta)
+            if config_meta.failed:
+                tasks.append(None)
+                continue
+            if config_meta.is_complete and not pending:
+                tasks.append(None)
+                continue
+            predicted_timeout = driver.effective_timeout(state, config_meta)
+            if predicted_timeout is None:
+                tasks.append(None)
+                continue
+            tasks.append(
+                EvalTask(
+                    position=position,
+                    config=config,
+                    pending=frozenset(query.name for query in pending),
+                    timeout=predicted_timeout,
+                    state=EngineState(
+                        settings=tuple(sorted(settings.items())),
+                        indexes=base_state.indexes,
+                        clock=0.0,
+                    ),
+                    meta_time=config_meta.time,
+                    meta_complete=config_meta.is_complete,
+                    meta_index_time=config_meta.index_time,
+                    meta_completed=tuple(sorted(config_meta.completed_queries)),
+                )
+            )
+            # Thread the predicted settings: a run (not skipped) Update
+            # leaves the candidate's coerced settings applied.
+            settings.update(driver.engine.coerced_settings(config.settings))
+        return tasks
+
+    # -- merge ----------------------------------------------------------------------
+
+    def _merge(
+        self,
+        config: Configuration,
+        task: EvalTask | None,
+        outcome: EvalOutcome | None,
+        workload: list[Query],
+        state: SelectionState,
+        observer: TuningObserver,
+        position: int,
+    ) -> None:
+        """Fold one speculative outcome, or recompute it serially."""
+        driver = self.driver
+        config_meta = state.meta[config.name]
+        if config_meta.failed:
+            state.stats["skipped"] += 1
+            return
+        if config_meta.is_complete and not driver.pending(workload, config_meta):
+            state.stats["skipped"] += 1
+            return
+        actual_timeout = driver.effective_timeout(state, config_meta)
+        if actual_timeout is None:
+            state.stats["skipped"] += 1
+            return
+
+        if not self._fold_is_valid(task, outcome, actual_timeout):
+            # Misprediction (an earlier candidate changed ``best`` or the
+            # settings threading): fall back to the serial Update on the
+            # live engine.
+            state.stats["recomputed"] += 1
+            driver.update(config, workload, state, observer, position)
+            return
+        state.stats["folded"] += 1
+
+        # Mirror ``config.apply_settings`` minus the restart advance --
+        # the worker recorded that advance, and replaying the recording
+        # preserves the serial order of clock-float additions.  When the
+        # script itself is inapplicable the serial apply raises before
+        # mutating anything, so the fold leaves the settings untouched
+        # too (the worker recorded the same failure and no advances).
+        if outcome.settings_applied:
+            driver.engine.set_many(config.settings)
+        clock = driver.engine.clock
+        for seconds in outcome.advances:
+            clock.advance(seconds)
+
+        config_meta.time = outcome.time
+        config_meta.is_complete = outcome.is_complete
+        config_meta.index_time = outcome.index_time
+        config_meta.completed_queries = set(outcome.completed)
+        config_meta.failed = outcome.failed
+        config_meta.failure = outcome.failure
+
+        driver.fold(config, config_meta, state, observer, position)
+
+    def _fold_is_valid(
+        self,
+        task: EvalTask | None,
+        outcome: EvalOutcome | None,
+        actual_timeout: float,
+    ) -> bool:
+        if task is None or outcome is None:
+            return False
+        live_settings = tuple(sorted(self.driver.engine.config.items()))
+        if task.state.settings != live_settings:
+            return False
+        if task.timeout == actual_timeout:
+            return True
+        if not outcome.is_complete:
+            return False
+        # The speculative run completed under the predicted timeout.  It
+        # is step-for-step identical under the actual timeout iff every
+        # per-query budget check still passes -- decided by replaying
+        # Algorithm 3's ``remaining_time`` cascade with the *exact*
+        # float operations ``evaluate``/``execute`` would perform.  (A
+        # summed comparison is not enough: the serial cascade subtracts
+        # sequentially, so at exact ties -- duplicate candidates make
+        # ``best.time - meta.time`` hit the run length to the bit -- a
+        # differently-associated sum can disagree with it by one ulp.)
+        remaining = actual_timeout
+        for seconds in outcome.executions:
+            if remaining <= 0 or seconds > remaining:
+                return False
+            remaining -= seconds
+        return True

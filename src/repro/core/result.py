@@ -44,3 +44,43 @@ class TuningResult:
         self.trace.append(TracePoint(time=time, best_time=best_time))
         if best_time < self.best_time:
             self.best_time = best_time
+
+    def fingerprint(self) -> dict:
+        """Bit-exact, JSON-serializable identity of this result.
+
+        Floats are rendered with ``repr`` (shortest round-trip form), so
+        two results fingerprint equal iff their floats are bit-identical
+        -- the equality the determinism, parallel-equivalence, and
+        crash-resume guarantees are stated in.  Per-configuration
+        ``meta`` records are included when present in ``extras``;
+        execution bookkeeping (e.g. parallel merge stats) is not part of
+        result identity and is excluded.
+        """
+        meta = self.extras.get("meta", {})
+        return {
+            "tuner": self.tuner,
+            "workload": self.workload,
+            "system": self.system,
+            "best_time": repr(self.best_time),
+            "tuning_seconds": repr(self.tuning_seconds),
+            "best_config": self.best_config.name if self.best_config else None,
+            "configs_evaluated": self.configs_evaluated,
+            "rounds": self.extras.get("rounds"),
+            "trace": [
+                (repr(point.time), repr(point.best_time))
+                for point in self.trace
+            ],
+            "meta": {
+                name: {
+                    "time": repr(m.time),
+                    "is_complete": m.is_complete,
+                    "index_time": repr(m.index_time),
+                    "completed_queries": sorted(m.completed_queries),
+                    "failed": m.failed,
+                    "failure": m.failure,
+                }
+                for name, m in sorted(meta.items())
+            },
+            "failed_configs": list(self.extras.get("failed_configs", [])),
+            "fallback": self.extras.get("fallback", False),
+        }

@@ -1,52 +1,48 @@
 """Configuration selection (paper §4, Algorithm 2).
 
-Evaluates the k candidate configurations in rounds with geometrically
-increasing timeouts (factor alpha), never re-runs completed queries,
-iterates in decreasing-throughput order, folds index-creation overheads
-into the round timeout, and -- once a first configuration completes --
-gives every other candidate one chance under the configuration-specific
-timeout ``best.time - meta[c].time`` (any configuration exceeding it is
-provably sub-optimal).
+The selection control flow lives in :mod:`repro.core.rounds` -- one
+round-driver over an explicit :class:`~repro.core.rounds.SelectionState`
+-- and the classes here bind it to an execution strategy:
 
-Theorem 4.3: total evaluation time is O(k * alpha * C_best) for
-alpha >= 2.
+- :class:`ConfigurationSelector` runs the paper's serial algorithm
+  (:class:`~repro.core.rounds.SerialExecution`);
+- :class:`ParallelConfigurationSelector` fans each phase's candidate
+  evaluations over a worker pool
+  (:class:`~repro.core.parallel.ParallelExecution`) with byte-identical
+  results.
+
+Both accept a rehydrated ``state``/``cursor`` pair (see
+:mod:`repro.session`) to continue an interrupted selection exactly where
+it stopped.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-
+from repro.core.evaluator import ConfigurationEvaluator
 from repro.core.config import Configuration
-from repro.core.evaluator import ConfigMeta, ConfigurationEvaluator
-from repro.core.parallel import EvalOutcome, EvalTask, TaskRunner, WorkerContext
-from repro.db import engine as engine_module
-from repro.db.engine import DatabaseEngine, EngineState
-from repro.errors import BudgetExceededError
+from repro.core.parallel import ParallelExecution
+from repro.core.rounds import (
+    BestConfig,
+    RoundCursor,
+    RoundDriver,
+    SelectionResult,
+    SelectionState,
+    SerialExecution,
+    TuningObserver,
+)
+from repro.db.engine import DatabaseEngine
 from repro.workloads.base import Query
 
-
-@dataclass(slots=True)
-class BestConfig:
-    """The best fully-evaluated configuration so far."""
-
-    time: float = math.inf
-    config: Configuration | None = None
-
-
-@dataclass(slots=True)
-class SelectionResult:
-    """Outcome of Algorithm 2 with per-configuration metadata."""
-
-    best: BestConfig
-    meta: dict[str, ConfigMeta]
-    rounds: int
-    #: (clock time, best completed workload time) trace for plots.
-    trace: list[tuple[float, float]] = field(default_factory=list)
+__all__ = [
+    "BestConfig",
+    "SelectionResult",
+    "ConfigurationSelector",
+    "ParallelConfigurationSelector",
+]
 
 
 class ConfigurationSelector:
-    """Runs Algorithm 2 against a live engine."""
+    """Runs Algorithm 2 against a live engine, one Update at a time."""
 
     def __init__(
         self,
@@ -58,177 +54,52 @@ class ConfigurationSelector:
         adaptive_timeout: bool = True,
         max_rounds: int = 64,
     ) -> None:
-        if initial_timeout <= 0:
-            raise BudgetExceededError("initial timeout must be positive")
-        if alpha <= 1.0:
-            raise BudgetExceededError("alpha must exceed 1 for progress")
-        self._engine = engine
-        self._evaluator = evaluator
-        self._initial_timeout = initial_timeout
-        self._alpha = alpha
-        self._adaptive_timeout = adaptive_timeout
-        self._max_rounds = max_rounds
+        self._driver = RoundDriver(
+            engine,
+            evaluator,
+            initial_timeout=initial_timeout,
+            alpha=alpha,
+            adaptive_timeout=adaptive_timeout,
+            max_rounds=max_rounds,
+        )
+
+    @property
+    def driver(self) -> RoundDriver:
+        return self._driver
+
+    def _strategy(self):
+        return SerialExecution()
 
     def select(
-        self, workload: list[Query], configs: list[Configuration]
+        self,
+        workload: list[Query],
+        configs: list[Configuration],
+        *,
+        state: SelectionState | None = None,
+        cursor: RoundCursor | None = None,
+        observer: TuningObserver | None = None,
     ) -> SelectionResult:
         """Identify the best configuration among the candidates.
 
-        Candidates whose evaluation fails (crash, OOM, inapplicable
-        script) are quarantined: they drop out of every later round and
-        of the final candidates pass.  If every candidate fails, the
-        result carries ``best.config is None`` and the per-candidate
-        failure records -- callers degrade gracefully instead of
-        receiving an exception mid-tune.
+        See :meth:`repro.core.rounds.RoundDriver.run` for quarantine and
+        resume semantics.
         """
-        if not configs:
-            raise BudgetExceededError("no candidate configurations to select from")
-        best = BestConfig()
-        meta: dict[str, ConfigMeta] = {
-            config.name: ConfigMeta() for config in configs
-        }
-        trace: list[tuple[float, float]] = []
-
-        timeout = self._initial_timeout
-        rounds = 0
-        candidates: list[Configuration] = []
-
-        while math.isinf(best.time):
-            active = self._surviving(configs, meta)
-            if not active:
-                # Every candidate is quarantined; report, don't raise.
-                return SelectionResult(
-                    best=best, meta=meta, rounds=rounds, trace=trace
-                )
-            rounds += 1
-            if rounds > self._max_rounds:
-                raise BudgetExceededError(
-                    f"no configuration finished within {self._max_rounds} rounds"
-                )
-            for config in self._by_throughput(active, meta):
-                self._update(config, workload, meta, timeout, best, trace)
-                if meta[config.name].is_complete:
-                    candidates = [c for c in configs if c.name != config.name]
-                    break
-            if self._adaptive_timeout:
-                # Fold reconfiguration overheads into the timeout so
-                # index builds never dominate query evaluation (§4).
-                # ``index_time`` is cumulative across rounds: evaluation
-                # drops its indexes on exit, so a slow configuration may
-                # rebuild the same index every round and the cumulative
-                # figure is the conservative upper bound on what the
-                # next round may spend rebuilding before any query runs.
-                index_times = (m.index_time for m in meta.values())
-                timeout = max(timeout, *index_times)
-            timeout *= self._alpha
-
-        for config in self._by_throughput(self._surviving(candidates, meta), meta):
-            self._update(config, workload, meta, timeout, best, trace)
-
-        return SelectionResult(best=best, meta=meta, rounds=rounds, trace=trace)
-
-    # -- internals ----------------------------------------------------------------
-
-    @staticmethod
-    def _surviving(
-        configs: list[Configuration], meta: dict[str, ConfigMeta]
-    ) -> list[Configuration]:
-        """Candidates not yet quarantined by a failed evaluation."""
-        return [config for config in configs if not meta[config.name].failed]
-
-    def _by_throughput(
-        self, configs: list[Configuration], meta: dict[str, ConfigMeta]
-    ) -> list[Configuration]:
-        """Decreasing order of queries finished per unit time."""
-        return sorted(
+        return self._driver.run(
+            workload,
             configs,
-            key=lambda config: -meta[config.name].throughput(),
+            self._strategy(),
+            state=state,
+            cursor=cursor,
+            observer=observer,
         )
-
-    def _update(
-        self,
-        config: Configuration,
-        workload: list[Query],
-        meta: dict[str, ConfigMeta],
-        timeout: float,
-        best: BestConfig,
-        trace: list[tuple[float, float]],
-    ) -> None:
-        """The paper's Update procedure (Algorithm 2, lines 16-25)."""
-        config_meta = meta[config.name]
-        if config_meta.failed:
-            return
-        if config_meta.is_complete and not self._pending(workload, config_meta):
-            return
-
-        effective_timeout = timeout
-        if not math.isinf(best.time):
-            # Configuration-specific timeout: anything slower than the
-            # best known total is provably sub-optimal.
-            effective_timeout = best.time - config_meta.time
-            if effective_timeout <= 0:
-                return
-
-        pending = self._pending(workload, config_meta)
-        self._evaluator.evaluate(config, pending, effective_timeout, config_meta)
-
-        if config_meta.is_complete and config_meta.time < best.time:
-            best.time = config_meta.time
-            best.config = config
-            trace.append((self._engine.clock.now, best.time))
-
-    @staticmethod
-    def _pending(workload: list[Query], config_meta: ConfigMeta) -> list[Query]:
-        return [
-            query
-            for query in workload
-            if query.name not in config_meta.completed_queries
-        ]
 
 
 class ParallelConfigurationSelector(ConfigurationSelector):
     """Algorithm 2 with per-round candidate evaluations fanned over a pool.
 
-    **Speculate / merge / recompute.**  Each phase -- one round of the
-    main loop, or the final candidates pass -- first computes the
-    canonical throughput order, then *speculates* every ``Update`` call
-    in that order: for candidate *i* it predicts the engine state the
-    serial algorithm would present (base settings merged with the
-    coerced settings of candidates ``1..i-1``, the unchanged physical
-    design -- evaluation is net-zero on indexes) and the effective
-    timeout, and ships both to an isolated worker
-    (:mod:`repro.core.parallel`).  Workers run Algorithm 3 on forked
-    engines with zero-based recording clocks.
-
-    The *merge* folds outcomes back in canonical order.  A speculative
-    outcome is folded only when it provably equals what a serial
-    ``Update`` would have produced:
-
-    - the predicted start settings match the live engine's settings
-      (detects mispredicted settings threading, e.g. an earlier
-      candidate that was skipped serially but speculated as run), and
-    - the predicted timeout matches the actual one exactly, **or** the
-      speculative run completed and replaying Algorithm 3's
-      ``remaining_time`` cascade over its per-query execution times --
-      the exact float subtractions and comparisons the serial path would
-      perform -- shows every budget check still passing under the actual
-      timeout (a completed run is step-for-step identical under any
-      timeout its cascade fits).
-
-    A fold applies the candidate's settings to the main engine without
-    restart cost, then replays the worker's individual clock advances in
-    order -- the restart advance is the first of them -- so clock floats
-    accumulate in exactly the serial order.  Any outcome failing the
-    checks is discarded and *recomputed* serially via the inherited
-    ``_update`` on the main engine.  During the geometric rounds the
-    predictions are exact by construction (no candidate is complete
-    before the first completion, so no ``Update`` is skipped and every
-    timeout equals the round timeout); recomputes only arise in the
-    final candidates pass when an early candidate improves ``best``.
-
-    Results are **byte-identical** to :class:`ConfigurationSelector` --
-    same ``SelectionResult`` floats, trace, and rounds for the same
-    seed -- which the equivalence tests and ``scripts/bench.py`` assert.
+    Speculate/merge/recompute semantics (and the proof sketch of
+    byte-identity with the serial selector) are documented on
+    :class:`repro.core.parallel.ParallelExecution`.
     """
 
     def __init__(
@@ -250,230 +121,24 @@ class ParallelConfigurationSelector(ConfigurationSelector):
         #: recomputed serially, and Update calls skipped entirely.
         self.last_stats: dict[str, int] = {}
 
-    def select(
-        self, workload: list[Query], configs: list[Configuration]
-    ) -> SelectionResult:
-        if not configs:
-            raise BudgetExceededError("no candidate configurations to select from")
-        best = BestConfig()
-        meta: dict[str, ConfigMeta] = {
-            config.name: ConfigMeta() for config in configs
-        }
-        trace: list[tuple[float, float]] = []
-
-        timeout = self._initial_timeout
-        rounds = 0
-        candidates: list[Configuration] = []
-        self.last_stats = {"folded": 0, "recomputed": 0, "skipped": 0, "inline": 0}
-
-        ctx = WorkerContext(
-            engine_cls=type(self._engine),
-            catalog=self._engine.catalog,
-            hardware=self._engine.hardware,
-            workload=tuple(workload),
-            evaluator_options=self._evaluator.worker_options(),
-            caches_enabled=engine_module.CACHES_ENABLED,
-            realtime_factor=self._engine.realtime_factor,
-            fault_plan=self._engine.fault_plan,
-        )
-        with TaskRunner(
-            ctx,
+    def _strategy(self):
+        return ParallelExecution(
             workers=self._workers,
             executor=self._executor,
             mp_context=self._mp_context,
-        ) as runner:
-            while math.isinf(best.time):
-                active = self._surviving(configs, meta)
-                if not active:
-                    return SelectionResult(
-                        best=best, meta=meta, rounds=rounds, trace=trace
-                    )
-                rounds += 1
-                if rounds > self._max_rounds:
-                    raise BudgetExceededError(
-                        f"no configuration finished within {self._max_rounds} rounds"
-                    )
-                ordered = self._by_throughput(active, meta)
-                tasks = self._speculate(ordered, workload, meta, timeout, best)
-                stream = runner.stream(tasks)
-                try:
-                    for config, (task, outcome) in zip(ordered, stream):
-                        self._fold(config, task, outcome, workload, meta, timeout, best, trace)
-                        if meta[config.name].is_complete:
-                            candidates = [c for c in configs if c.name != config.name]
-                            break
-                finally:
-                    # The serial algorithm stops a round at its first
-                    # completion; closing the stream cancels speculative
-                    # work past the break point.
-                    stream.close()
-                if self._adaptive_timeout:
-                    index_times = (m.index_time for m in meta.values())
-                    timeout = max(timeout, *index_times)
-                timeout *= self._alpha
+        )
 
-            ordered = self._by_throughput(self._surviving(candidates, meta), meta)
-            if ordered:
-                # Evaluate the throughput leader inline on the live
-                # engine: it is the likeliest candidate to improve
-                # ``best``, and speculating the rest only *after* its
-                # result is folded gives them near-exact timeout
-                # predictions -- without this, every remaining candidate
-                # is speculated against the stale pre-phase ``best`` and
-                # the pool burns its time on timeouts the serial path
-                # never grants.
-                self.last_stats["inline"] += 1
-                self._update(ordered[0], workload, meta, timeout, best, trace)
-            rest = ordered[1:]
-            tasks = self._speculate(rest, workload, meta, timeout, best)
-            for config, (task, outcome) in zip(rest, runner.stream(tasks)):
-                self._fold(config, task, outcome, workload, meta, timeout, best, trace)
-
-        return SelectionResult(best=best, meta=meta, rounds=rounds, trace=trace)
-
-    # -- speculation ---------------------------------------------------------------
-
-    def _speculate(
+    def select(
         self,
-        ordered: list[Configuration],
         workload: list[Query],
-        meta: dict[str, ConfigMeta],
-        timeout: float,
-        best: BestConfig,
-    ) -> list[EvalTask | None]:
-        """Build one task per candidate the serial pass would evaluate.
-
-        ``None`` marks candidates the serial pass is predicted to skip;
-        those slots never reach the pool.
-        """
-        base_state = self._engine.capture_state()
-        settings = dict(base_state.settings)
-        tasks: list[EvalTask | None] = []
-        for position, config in enumerate(ordered):
-            config_meta = meta[config.name]
-            pending = self._pending(workload, config_meta)
-            if config_meta.failed:
-                tasks.append(None)
-                continue
-            if config_meta.is_complete and not pending:
-                tasks.append(None)
-                continue
-            predicted_timeout = timeout
-            if not math.isinf(best.time):
-                predicted_timeout = best.time - config_meta.time
-                if predicted_timeout <= 0:
-                    tasks.append(None)
-                    continue
-            tasks.append(
-                EvalTask(
-                    position=position,
-                    config=config,
-                    pending=frozenset(query.name for query in pending),
-                    timeout=predicted_timeout,
-                    state=EngineState(
-                        settings=tuple(sorted(settings.items())),
-                        indexes=base_state.indexes,
-                        clock=0.0,
-                    ),
-                    meta_time=config_meta.time,
-                    meta_complete=config_meta.is_complete,
-                    meta_index_time=config_meta.index_time,
-                    meta_completed=tuple(sorted(config_meta.completed_queries)),
-                )
-            )
-            # Thread the predicted settings: a run (not skipped) Update
-            # leaves the candidate's coerced settings applied.
-            settings.update(self._engine.coerced_settings(config.settings))
-        return tasks
-
-    # -- merge ---------------------------------------------------------------------
-
-    def _fold(
-        self,
-        config: Configuration,
-        task: EvalTask | None,
-        outcome: EvalOutcome | None,
-        workload: list[Query],
-        meta: dict[str, ConfigMeta],
-        timeout: float,
-        best: BestConfig,
-        trace: list[tuple[float, float]],
-    ) -> None:
-        """Fold one speculative outcome, or recompute it serially."""
-        config_meta = meta[config.name]
-        if config_meta.failed:
-            self.last_stats["skipped"] += 1
-            return
-        if config_meta.is_complete and not self._pending(workload, config_meta):
-            self.last_stats["skipped"] += 1
-            return
-        actual_timeout = timeout
-        if not math.isinf(best.time):
-            actual_timeout = best.time - config_meta.time
-            if actual_timeout <= 0:
-                self.last_stats["skipped"] += 1
-                return
-
-        if not self._fold_is_valid(task, outcome, actual_timeout):
-            # Misprediction (an earlier candidate changed ``best`` or the
-            # settings threading): fall back to the serial Update on the
-            # live engine.
-            self.last_stats["recomputed"] += 1
-            self._update(config, workload, meta, timeout, best, trace)
-            return
-        self.last_stats["folded"] += 1
-
-        # Mirror ``config.apply_settings`` minus the restart advance --
-        # the worker recorded that advance, and replaying the recording
-        # preserves the serial order of clock-float additions.  When the
-        # script itself is inapplicable the serial apply raises before
-        # mutating anything, so the fold leaves the settings untouched
-        # too (the worker recorded the same failure and no advances).
-        if outcome.settings_applied:
-            self._engine.set_many(config.settings)
-        clock = self._engine.clock
-        for seconds in outcome.advances:
-            clock.advance(seconds)
-
-        config_meta.time = outcome.time
-        config_meta.is_complete = outcome.is_complete
-        config_meta.index_time = outcome.index_time
-        config_meta.completed_queries = set(outcome.completed)
-        config_meta.failed = outcome.failed
-        config_meta.failure = outcome.failure
-
-        if config_meta.is_complete and config_meta.time < best.time:
-            best.time = config_meta.time
-            best.config = config
-            trace.append((clock.now, best.time))
-
-    def _fold_is_valid(
-        self,
-        task: EvalTask | None,
-        outcome: EvalOutcome | None,
-        actual_timeout: float,
-    ) -> bool:
-        if task is None or outcome is None:
-            return False
-        live_settings = tuple(sorted(self._engine.config.items()))
-        if task.state.settings != live_settings:
-            return False
-        if task.timeout == actual_timeout:
-            return True
-        if not outcome.is_complete:
-            return False
-        # The speculative run completed under the predicted timeout.  It
-        # is step-for-step identical under the actual timeout iff every
-        # per-query budget check still passes -- decided by replaying
-        # Algorithm 3's ``remaining_time`` cascade with the *exact*
-        # float operations ``evaluate``/``execute`` would perform.  (A
-        # summed comparison is not enough: the serial cascade subtracts
-        # sequentially, so at exact ties -- duplicate candidates make
-        # ``best.time - meta.time`` hit the run length to the bit -- a
-        # differently-associated sum can disagree with it by one ulp.)
-        remaining = actual_timeout
-        for seconds in outcome.executions:
-            if remaining <= 0 or seconds > remaining:
-                return False
-            remaining -= seconds
-        return True
+        configs: list[Configuration],
+        *,
+        state: SelectionState | None = None,
+        cursor: RoundCursor | None = None,
+        observer: TuningObserver | None = None,
+    ) -> SelectionResult:
+        result = super().select(
+            workload, configs, state=state, cursor=cursor, observer=observer
+        )
+        self.last_stats = result.stats
+        return result

@@ -8,6 +8,13 @@
 
 ``LambdaTune.tune`` returns the same :class:`TuningResult` the baseline
 tuners produce, so the harness can compare all systems uniformly.
+
+Every stage reports to a :class:`~repro.core.rounds.TuningObserver`
+(no-op by default); :class:`repro.session.TuningSession` uses this to
+journal the pipeline, and ``tune`` accepts a rehydrated resume point to
+continue an interrupted run exactly where it stopped -- journaled
+samples are not re-requested from the LLM and journaled selection
+progress is not re-evaluated.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from repro.core.config import Configuration, parse_config_script
 from repro.core.evaluator import ConfigurationEvaluator
 from repro.core.prompt.template import PromptGenerator
 from repro.core.result import TuningResult
+from repro.core.rounds import NULL_OBSERVER, RoundCursor, SelectionState, TuningObserver
 from repro.core.selector import (
     ConfigurationSelector,
     ParallelConfigurationSelector,
@@ -27,6 +35,14 @@ from repro.db.engine import DatabaseEngine
 from repro.errors import ConfigurationError, LLMError
 from repro.llm.client import LLMClient
 from repro.workloads.base import Query
+
+#: Valid pool flavors for ``LambdaTuneOptions.executor`` (mirrors
+#: :data:`repro.core.parallel._EXECUTOR_KINDS`).
+EXECUTOR_KINDS = ("process", "thread", "serial")
+
+#: Selection labels used in observer events and session journals.
+SELECTION_PRIMARY = "primary"
+SELECTION_FALLBACK = "fallback"
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,6 +85,22 @@ class LambdaTuneOptions:
     #: Pool flavor for ``workers > 1``: process, thread, or serial.
     executor: str = "process"
 
+    def __post_init__(self) -> None:
+        # Fail at construction, not rounds deep inside a worker pool.
+        if self.num_configs < 1:
+            raise ConfigurationError(
+                f"num_configs must be at least 1, got {self.num_configs!r}"
+            )
+        if self.workers < 0:
+            raise ConfigurationError(
+                f"workers cannot be negative, got {self.workers!r}"
+            )
+        if self.executor not in EXECUTOR_KINDS:
+            raise ConfigurationError(
+                f"unknown executor {self.executor!r}; "
+                f"expected one of {EXECUTOR_KINDS}"
+            )
+
     def ablated(self, **changes: object) -> "LambdaTuneOptions":
         """A copy with selected fields changed (ablation studies)."""
         return replace(self, **changes)
@@ -94,6 +126,16 @@ class LambdaTune:
         #: Terminal LLM errors behind those drops.
         self.last_llm_errors: list[LLMError] = []
 
+    @property
+    def engine(self) -> DatabaseEngine:
+        """The engine under tuning (exposed for session journaling)."""
+        return self._engine
+
+    @property
+    def llm(self) -> LLMClient:
+        """The LLM client samples are drawn from."""
+        return self._llm
+
     # -- pipeline stages (public so tests and ablations can call them) ----------
 
     def generate_prompt(self, queries: list[Query]):
@@ -110,7 +152,13 @@ class LambdaTune:
             budget = max(1, self._llm.max_input_tokens - 200)
         return generator.generate(queries, budget)
 
-    def sample_configurations(self, prompt) -> list[Configuration]:
+    def sample_configurations(
+        self,
+        prompt,
+        *,
+        observer: TuningObserver | None = None,
+        known: dict[int, tuple] | None = None,
+    ) -> list[Configuration]:
         """Sample and parse the k candidate scripts.
 
         Transient LLM failures are retried with backoff inside
@@ -119,11 +167,29 @@ class LambdaTune:
         rather than aborting the tune, so a flaky provider degrades the
         candidate pool instead of the whole pipeline.  Dropped samples
         are recorded in :attr:`last_dropped_samples`.
+
+        ``known`` maps ordinals to journaled outcomes from an
+        interrupted session -- ``("accepted", config)`` or
+        ``("dropped", reason, was_llm_error)`` -- which are replayed
+        without touching the LLM (and without re-notifying the
+        observer; their journal events already exist).
         """
+        observer = observer or NULL_OBSERVER
+        known = known or {}
         self.last_dropped_samples = []
         self.last_llm_errors = []
         configs: list[Configuration] = []
         for ordinal in range(self.options.num_configs):
+            record = known.get(ordinal)
+            if record is not None:
+                if record[0] == "accepted":
+                    configs.append(record[1])
+                else:
+                    _, reason, was_llm_error = record
+                    self.last_dropped_samples.append((ordinal, reason))
+                    if was_llm_error:
+                        self.last_llm_errors.append(LLMError(reason))
+                continue
             try:
                 response = self._llm.complete_with_retry(
                     prompt.text,
@@ -133,6 +199,7 @@ class LambdaTune:
             except LLMError as error:
                 self.last_dropped_samples.append((ordinal, str(error)))
                 self.last_llm_errors.append(error)
+                observer.sample_dropped(ordinal, str(error), llm_error=True)
                 continue
             text = response.text
             if prompt.obfuscator is not None:
@@ -147,15 +214,25 @@ class LambdaTune:
                 )
             except ConfigurationError as error:
                 self.last_dropped_samples.append((ordinal, str(error)))
+                observer.sample_dropped(ordinal, str(error))
                 continue
             if self.options.parameters_only:
                 config = config.without_indexes()
             if self.options.indexes_only:
                 config = config.indexes_only()
             configs.append(config)
+            observer.sample_accepted(ordinal, config)
         return configs
 
-    def select_best(self, queries: list[Query], configs: list[Configuration]):
+    def select_best(
+        self,
+        queries: list[Query],
+        configs: list[Configuration],
+        *,
+        observer: TuningObserver | None = None,
+        state: SelectionState | None = None,
+        cursor: RoundCursor | None = None,
+    ):
         evaluator = ConfigurationEvaluator(
             self._engine,
             use_scheduler=self.options.use_scheduler,
@@ -180,26 +257,20 @@ class LambdaTune:
                 alpha=self.options.alpha,
                 adaptive_timeout=self.options.adaptive_timeout,
             )
-        return selector.select(queries, configs)
-
-    # -- graceful degradation ----------------------------------------------------
-
-    def _fallback_selection(self, queries: list[Query]) -> SelectionResult:
-        """Evaluate the default configuration as the last-resort candidate.
-
-        Called when every LLM candidate was dropped or quarantined.  The
-        default configuration (no setting changes, no indexes) is always
-        *applicable*; if the engine faults even under it, the returned
-        selection reports that too (``best.config`` stays ``None`` and
-        the caller ships the default with an unknown workload time) --
-        the tuner still never raises.
-        """
-        default = Configuration(name="default-config")
-        return self.select_best(queries, [default])
+        return selector.select(
+            queries, configs, state=state, cursor=cursor, observer=observer
+        )
 
     # -- Algorithm 1 -------------------------------------------------------------
 
-    def tune(self, queries: list[Query]) -> TuningResult:
+    def tune(
+        self,
+        queries: list[Query],
+        *,
+        workload_name: str = "",
+        observer: TuningObserver | None = None,
+        resume=None,
+    ) -> TuningResult:
         """Run the full pipeline and return the comparable result.
 
         Failure handling (chaos-tested): unusable LLM samples shrink the
@@ -207,13 +278,21 @@ class LambdaTune:
         by selection; and if *nothing* survives, the tuner falls back to
         the default configuration instead of raising (the result's
         ``extras['fallback']`` records the degradation).
+
+        ``resume`` is a :class:`repro.session.ResumePoint` rehydrated
+        from a journal; journaled stages are replayed from it instead of
+        re-executed, and the run continues mid-selection if that is
+        where it stopped.
         """
         if not queries:
             raise ConfigurationError("cannot tune an empty workload")
-        start = self._engine.clock.now
+        observer = observer or NULL_OBSERVER
+        clock = self._engine.clock
+        start = resume.start_clock if resume is not None else clock.now
 
-        prompt = self.generate_prompt(queries)
-        configs = self.sample_configurations(prompt)
+        prompt_tokens, coverage, configs = self._sampling_stage(
+            queries, observer, resume
+        )
         dropped = list(self.last_dropped_samples)
         if not configs and len(self.last_llm_errors) == self.options.num_configs:
             # Every sample died with a terminal LLM error: the provider
@@ -222,11 +301,30 @@ class LambdaTune:
             # default configuration.
             raise self.last_llm_errors[-1]
 
-        selection = self.select_best(queries, configs) if configs else None
+        selection = (
+            self._run_selection(
+                SELECTION_PRIMARY, queries, configs, observer, resume
+            )
+            if configs
+            else None
+        )
         fallback = selection is None or selection.best.config is None
         if fallback:
             failed_meta = selection.meta if selection is not None else {}
-            selection = self._fallback_selection(queries)
+            # Evaluate the default configuration (no setting changes, no
+            # indexes) as the last-resort candidate: it is always
+            # *applicable*; if the engine faults even under it, the
+            # returned selection reports that too and the caller ships
+            # the default with an unknown workload time -- the tuner
+            # still never raises.
+            selection = self._run_selection(
+                SELECTION_FALLBACK,
+                queries,
+                [Configuration(name="default-config")],
+                observer,
+                resume,
+                carryover_meta=failed_meta,
+            )
             # Keep the quarantined candidates' records visible alongside
             # the fallback evaluation.
             for name, meta in failed_meta.items():
@@ -239,14 +337,14 @@ class LambdaTune:
 
         result = TuningResult(
             tuner=self.name,
-            workload="",
+            workload=workload_name,
             system=self._engine.system,
             best_time=selection.best.time,
             best_config=selection.best.config,
             configs_evaluated=len(configs),
-            tuning_seconds=self._engine.clock.now - start,
+            tuning_seconds=clock.now - start,
             extras={
-                "prompt_tokens": prompt.tokens,
+                "prompt_tokens": prompt_tokens,
                 "rounds": selection.rounds,
                 "meta": selection.meta,
                 "fallback": fallback,
@@ -254,12 +352,69 @@ class LambdaTune:
                 "failed_configs": sorted(
                     name for name, m in selection.meta.items() if m.failed
                 ),
-                "compression_coverage": (
-                    prompt.compression.coverage if prompt.compression else None
-                ),
+                "compression_coverage": coverage,
             },
         )
         for time, best_time in selection.trace:
             result.record(time, best_time)
-        result.best_time = selection.best.time
+        observer.done(result)
         return result
+
+    # -- stage drivers -----------------------------------------------------------
+
+    def _sampling_stage(
+        self, queries: list[Query], observer: TuningObserver, resume
+    ) -> tuple[int, float | None, list[Configuration]]:
+        """Prompt + sampling, skipping whatever the journal already has.
+
+        Prompt generation is pure (no clock advance, deterministic for a
+        given workload and options), so re-running it on resume is safe;
+        it is skipped only when every sample outcome is already known
+        and the prompt text is therefore unneeded.
+        """
+        known = resume.samples if resume is not None else {}
+        journaled_prompt = resume is not None and resume.prompt_tokens is not None
+        if journaled_prompt and len(known) >= self.options.num_configs:
+            configs = self.sample_configurations(
+                None, observer=observer, known=known
+            )
+            return resume.prompt_tokens, resume.compression_coverage, configs
+
+        prompt = self.generate_prompt(queries)
+        if journaled_prompt:
+            prompt_tokens = resume.prompt_tokens
+            coverage = resume.compression_coverage
+        else:
+            observer.prompt_generated(prompt)
+            prompt_tokens = prompt.tokens
+            coverage = prompt.compression.coverage if prompt.compression else None
+        configs = self.sample_configurations(prompt, observer=observer, known=known)
+        return prompt_tokens, coverage, configs
+
+    def _run_selection(
+        self,
+        label: str,
+        queries: list[Query],
+        configs: list[Configuration],
+        observer: TuningObserver,
+        resume,
+        carryover_meta: dict | None = None,
+    ) -> SelectionResult:
+        """Run (or resume, or replay) one labeled selection."""
+        replay = resume.selections.get(label) if resume is not None else None
+        if replay is not None and replay.finished:
+            # The journal saw this selection through to the end; its
+            # replayed state IS the result -- never re-enter the driver,
+            # final-pass updates are not idempotent.
+            return replay.state.result()
+        if replay is not None:
+            state, cursor = replay.state, replay.cursor
+            configs = replay.configs
+        else:
+            state = cursor = None
+            observer.selection_started(label, configs, carryover_meta)
+        selection = self.select_best(
+            queries, configs, observer=observer, state=state, cursor=cursor
+        )
+        observer.selection_finished(label, selection)
+        return selection

@@ -97,3 +97,14 @@ class BudgetExceededError(ReproError):
 
 class SchedulerError(ReproError):
     """Raised when query scheduling receives inconsistent input."""
+
+
+class SessionError(ReproError):
+    """Raised when a tuning-session journal is unreadable or inconsistent.
+
+    Covers codec version mismatches, corrupt (non-tail) journal lines,
+    and resume attempts against state the journal cannot support.  A
+    *torn* trailing line -- the expected artifact of a crash mid-write --
+    is not an error: journal readers drop it and resume from the last
+    intact event.
+    """

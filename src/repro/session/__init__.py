@@ -1,0 +1,33 @@
+"""Crash-safe tuning sessions: write-ahead journal, checkpoint, resume.
+
+See :mod:`repro.session.session` for the recovery model.  Import the
+public surface from here::
+
+    from repro.session import TuningSession
+
+    session = TuningSession(tuner, "run.journal", workload_name="tpch")
+    result = session.run(queries)          # journals as it goes
+    ...                                    # crash at any point
+    result = TuningSession.resume("run.journal", engine=engine, llm=llm)
+"""
+
+from repro.session import codec
+from repro.session.journal import JournalEvent, TuningJournal
+from repro.session.session import (
+    JournalingObserver,
+    ResumePoint,
+    SelectionReplay,
+    TuningSession,
+    rehydrate,
+)
+
+__all__ = [
+    "JournalEvent",
+    "JournalingObserver",
+    "ResumePoint",
+    "SelectionReplay",
+    "TuningJournal",
+    "TuningSession",
+    "codec",
+    "rehydrate",
+]

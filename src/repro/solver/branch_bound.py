@@ -34,7 +34,7 @@ Strategy: depth-first branch-and-bound over variables ordered by
 from __future__ import annotations
 
 from repro.errors import SolverError
-from repro.solver.model import ILPModel, ILPSolution
+from repro.solver.model import FEASIBILITY_TOLERANCE, ILPModel, ILPSolution
 
 _NODE_LIMIT = 2_000_000
 
@@ -42,7 +42,7 @@ _NODE_LIMIT = 2_000_000
 #: capacity computation here works under the same slack tolerance, or
 #: the knapsack bound would prune tolerance-feasible solutions (e.g. a
 #: subnormal coefficient against a 0.0 bound).
-_FEASIBILITY_TOL = 1e-9
+_FEASIBILITY_TOL = FEASIBILITY_TOLERANCE
 
 #: Dominance detection is O(n^2 * m); skip it on models large enough
 #: that the pass would cost more than the pruning saves.

@@ -10,6 +10,13 @@ from dataclasses import dataclass, field
 
 from repro.errors import SolverError
 
+#: The repo-wide feasibility slack: a point is feasible iff every
+#: constraint holds within this absolute tolerance.  Every backend must
+#: solve under the *same* tolerance -- HiGHS, for instance, defaults to
+#: a much looser 1e-6 MIP row tolerance and will happily "improve" the
+#: objective with a point the model itself rejects.
+FEASIBILITY_TOLERANCE = 1e-9
+
 
 @dataclass(frozen=True, slots=True)
 class LinearConstraint:
@@ -18,7 +25,9 @@ class LinearConstraint:
     coefficients: dict[int, float]
     bound: float
 
-    def satisfied(self, values: list[int], tolerance: float = 1e-9) -> bool:
+    def satisfied(
+        self, values: list[int], tolerance: float = FEASIBILITY_TOLERANCE
+    ) -> bool:
         total = sum(
             coefficient * values[index]
             for index, coefficient in self.coefficients.items()

@@ -29,6 +29,22 @@ class TestOptions:
         assert not changed.use_scheduler
         assert options.use_scheduler  # original untouched
 
+    def test_invalid_num_configs_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="num_configs"):
+            LambdaTuneOptions(num_configs=0)
+
+    def test_negative_workers_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="workers"):
+            LambdaTuneOptions(workers=-1)
+
+    def test_unknown_executor_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="executor"):
+            LambdaTuneOptions(executor="fibers")
+
+    def test_ablated_revalidates(self):
+        with pytest.raises(ConfigurationError, match="executor"):
+            LambdaTuneOptions().ablated(executor="bogus")
+
 
 class TestPipeline:
     def test_empty_workload_rejected(self, pg_engine):
@@ -44,6 +60,19 @@ class TestPipeline:
         assert result.configs_evaluated == 5
         assert result.tuning_seconds > 0
         assert result.trace
+
+    def test_best_time_agrees_with_trace(self, pg_engine, tiny_workload):
+        # Regression: best_time is selection.best.time; the trace's last
+        # point must already agree, with no post-hoc overwrite.
+        result = make_tuner(pg_engine).tune(list(tiny_workload.queries))
+        assert result.trace
+        assert result.best_time == result.trace[-1].best_time
+
+    def test_workload_name_threaded_into_result(self, pg_engine, tiny_workload):
+        result = make_tuner(pg_engine).tune(
+            list(tiny_workload.queries), workload_name=tiny_workload.name
+        )
+        assert result.workload == "tiny"
 
     def test_improves_over_default(self, pg_engine, tiny_workload):
         default_time = sum(

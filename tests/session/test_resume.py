@@ -1,0 +1,167 @@
+"""Kill-at-every-journal-boundary resume sweeps (the PR's acceptance bar).
+
+For ≥8 seeds × {serial, thread, process} executors, a journaled tune is
+truncated after *every* event line -- simulating a crash at each
+durability boundary -- and resumed on a fresh engine.  Every resumed
+run must
+
+- reproduce the uninterrupted run's result byte-for-byte (floats via
+  ``repr``, trace, meta, workload name, tuning clock), and
+- never re-execute a query the journal already recorded as completed
+  (enforced by ``no_rerun_guard`` for the whole sweep).
+
+A chaos variant repeats the sweep with a PR-3 ``FaultPlan`` installed
+engine- and LLM-side: resume must reinstall the journaled plan and
+still converge to the identical fingerprint.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.session import TuningJournal
+from tests.session.conftest import (
+    fingerprint,
+    journaled_tune,
+    plain_tune,
+    resume_tune,
+)
+
+#: ≥8 distinct LLM seeds; worker counts cycle with the seed.
+RESUME_SEEDS = list(range(8))
+EXECUTORS = ["serial", "thread", "process"]
+
+
+def boundary_sweep(workload, tmp_path, *, seed, workers, executor, plan=None):
+    """Truncate after every journal line; resume; compare fingerprints."""
+    kwargs = dict(seed=seed, workers=workers, executor=executor, plan=plan)
+    reference = plain_tune(workload, **kwargs)
+
+    path = tmp_path / "run.journal"
+    journaled = journaled_tune(workload, path, **kwargs)
+    assert fingerprint(journaled) == fingerprint(reference), (
+        f"journaling changed the result (seed={seed}, executor={executor})"
+    )
+
+    lines = path.read_text().splitlines(keepends=True)
+    assert len(lines) >= 8, "journal suspiciously short for a full tune"
+    kinds = [json.loads(line)["kind"] for line in lines]
+    for boundary in range(1, len(lines) + 1):
+        trunc = tmp_path / "crash.journal"
+        trunc.write_text("".join(lines[:boundary]))
+        resumed = resume_tune(workload, trunc, plan=plan)
+        assert fingerprint(resumed) == fingerprint(reference), (
+            f"resume diverged at boundary {boundary}/{len(lines)} "
+            f"(after {kinds[boundary - 1]!r}; seed={seed}, "
+            f"workers={workers}, executor={executor}, plan={plan!r})"
+        )
+
+
+class TestBoundarySweep:
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("seed", RESUME_SEEDS)
+    def test_resume_is_byte_identical_at_every_boundary(
+        self, tiny_workload, tmp_path, seed, executor, no_rerun_guard
+    ):
+        workers = 0 if executor == "serial" else 2 + seed % 3
+        boundary_sweep(
+            tiny_workload,
+            tmp_path,
+            seed=seed,
+            workers=workers,
+            executor=executor,
+        )
+
+    def test_resume_after_torn_tail(self, tiny_workload, tmp_path):
+        # A crash mid-write leaves a torn final line; resume must drop
+        # it and continue from the last intact event.
+        reference = plain_tune(tiny_workload)
+        path = tmp_path / "run.journal"
+        journaled_tune(tiny_workload, path)
+        lines = path.read_text().splitlines(keepends=True)
+        trunc = tmp_path / "crash.journal"
+        trunc.write_text("".join(lines[:10]) + lines[10][: len(lines[10]) // 2])
+        resumed = resume_tune(tiny_workload, trunc)
+        assert fingerprint(resumed) == fingerprint(reference)
+
+
+class TestChaosBoundarySweep:
+    """The sweep under PR-3 fault injection."""
+
+    @pytest.mark.parametrize(
+        "seed,density,executor",
+        [
+            (0, 0.05, "serial"),
+            (1, 0.15, "serial"),
+            (2, 0.4, "thread"),
+            (3, 0.15, "thread"),
+            (4, 0.05, "process"),
+            (5, 0.4, "serial"),
+        ],
+    )
+    def test_resume_under_faults(
+        self, tiny_workload, tmp_path, seed, density, executor, no_rerun_guard
+    ):
+        plan = FaultPlan(seed=seed, density=density)
+        workers = 0 if executor == "serial" else 3
+        boundary_sweep(
+            tiny_workload,
+            tmp_path,
+            seed=seed,
+            workers=workers,
+            executor=executor,
+            plan=plan,
+        )
+
+    def test_fault_plan_reinstalled_on_resume(self, tiny_workload, tmp_path):
+        # resume_tune builds the engine WITHOUT the plan; equality with
+        # the faulted reference proves resume reinstalled it from the
+        # journal header.
+        plan = FaultPlan(seed=2, density=0.4)
+        reference = plain_tune(tiny_workload, plan=plan)
+        path = tmp_path / "run.journal"
+        journaled_tune(tiny_workload, path, plan=plan)
+        lines = path.read_text().splitlines(keepends=True)
+        trunc = tmp_path / "crash.journal"
+        trunc.write_text("".join(lines[: len(lines) // 2]))
+        resumed = resume_tune(tiny_workload, trunc, plan=plan)
+        assert fingerprint(resumed) == fingerprint(reference)
+        assert reference.extras["failed_configs"] or reference.extras[
+            "dropped_samples"
+        ], "plan injected no faults; chaos sweep is vacuous"
+
+
+class TestNoReexecution:
+    def test_completed_queries_never_rerun_on_resume(
+        self, tiny_workload, tmp_path, monkeypatch
+    ):
+        """Strict form: resumed evaluations may only see pending queries."""
+        from repro.core.evaluator import ConfigurationEvaluator
+
+        path = tmp_path / "run.journal"
+        journaled_tune(tiny_workload, path)
+        lines = path.read_text().splitlines(keepends=True)
+
+        executed: list[tuple[str, str]] = []
+        original = ConfigurationEvaluator.evaluate
+
+        def spying(self, config, queries, timeout, meta):
+            overlap = {q.name for q in queries} & meta.completed_queries
+            assert not overlap, f"re-ran {sorted(overlap)} for {config.name}"
+            executed.extend((config.name, q.name) for q in queries)
+            return original(self, config, queries, timeout, meta)
+
+        monkeypatch.setattr(ConfigurationEvaluator, "evaluate", spying)
+
+        # Resume from the last checkpoint: the replayed prefix holds
+        # completed work that must not be touched again.
+        checkpoint_at = max(
+            i
+            for i, line in enumerate(lines)
+            if json.loads(line)["kind"] == "checkpoint"
+        )
+        trunc = tmp_path / "crash.journal"
+        trunc.write_text("".join(lines[: checkpoint_at + 1]))
+        resume_tune(tiny_workload, trunc)
+        assert executed, "resume did no work at all -- sweep is vacuous"

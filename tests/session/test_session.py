@@ -1,0 +1,135 @@
+"""TuningSession semantics: journaling is free, rehydration is strict."""
+
+import json
+
+import pytest
+
+from repro.db.postgres import PostgresEngine
+from repro.errors import SessionError
+from repro.llm.mock import SimulatedLLM
+from repro.session import (
+    JournalEvent,
+    TuningJournal,
+    TuningSession,
+    codec,
+    rehydrate,
+)
+from tests.session.conftest import (
+    fingerprint,
+    journaled_tune,
+    plain_tune,
+    resume_tune,
+)
+
+
+class TestJournaledRun:
+    def test_matches_unjournaled_run_exactly(self, tiny_workload, tmp_path):
+        plain = plain_tune(tiny_workload)
+        journaled = journaled_tune(tiny_workload, tmp_path / "run.journal")
+        assert fingerprint(journaled) == fingerprint(plain)
+
+    def test_threads_workload_name(self, tiny_workload, tmp_path):
+        result = journaled_tune(tiny_workload, tmp_path / "run.journal")
+        assert result.workload == "tiny"
+
+    def test_journal_shape(self, tiny_workload, tmp_path):
+        path = tmp_path / "run.journal"
+        journaled_tune(tiny_workload, path)
+        kinds = [e.kind for e in TuningJournal.read(path)]
+        assert kinds[0] == "session_start"
+        assert kinds[-1] == "done"
+        assert "prompt_generated" in kinds
+        assert kinds.count("selection_started") == kinds.count(
+            "selection_finished"
+        )
+        # Every main round checkpoints; the final pass never does (its
+        # updates are not idempotent, so resume must not re-enter it
+        # from a post-final checkpoint).
+        rounds = [k for k in kinds if k == "round_started"]
+        checkpoints = [k for k in kinds if k == "checkpoint"]
+        assert len(checkpoints) == len(rounds) - kinds.count(
+            "selection_started"
+        )
+
+    def test_session_start_header_is_complete(self, tiny_workload, tmp_path):
+        path = tmp_path / "run.journal"
+        journaled_tune(tiny_workload, path, seed=3)
+        header = TuningJournal.read(path)[0].payload
+        assert header["codec_version"] == codec.CODEC_VERSION
+        assert header["workload_name"] == "tiny"
+        assert header["system"] == "postgres"
+        assert header["options"].seed == 3
+        assert [name for name, _ in header["queries"]] == [
+            q.name for q in tiny_workload.queries
+        ]
+        assert header["start_clock"] == 0.0
+
+
+class TestResumeOfFinishedJournal:
+    def test_returns_recorded_result_without_touching_engine(
+        self, tiny_workload, tmp_path
+    ):
+        path = tmp_path / "run.journal"
+        original = journaled_tune(tiny_workload, path)
+        engine = PostgresEngine(tiny_workload.catalog)
+        resumed = TuningSession.resume(path, engine=engine, llm=SimulatedLLM())
+        assert fingerprint(resumed) == fingerprint(original)
+        # The run was already done: the engine must not have been
+        # restored, faulted, or driven.
+        assert engine.clock.now == 0.0
+        fresh = PostgresEngine(tiny_workload.catalog)
+        assert engine.capture_state() == fresh.capture_state()
+
+    def test_resume_is_idempotent(self, tiny_workload, tmp_path):
+        path = tmp_path / "run.journal"
+        original = journaled_tune(tiny_workload, path)
+        first = resume_tune(tiny_workload, path)
+        second = resume_tune(tiny_workload, path)
+        assert fingerprint(first) == fingerprint(original)
+        assert fingerprint(second) == fingerprint(original)
+
+
+class TestRehydrateStrictness:
+    def test_empty_journal_rejected(self):
+        with pytest.raises(SessionError, match="session_start"):
+            rehydrate([], catalog=None)
+
+    def test_journal_not_starting_with_header_rejected(
+        self, tiny_workload, tmp_path
+    ):
+        path = tmp_path / "run.journal"
+        journaled_tune(tiny_workload, path)
+        events = TuningJournal.read(path)[1:]
+        with pytest.raises(SessionError, match="session_start"):
+            rehydrate(events, tiny_workload.catalog)
+
+    def test_codec_version_mismatch_rejected(self, tiny_workload, tmp_path):
+        path = tmp_path / "run.journal"
+        journaled_tune(tiny_workload, path)
+        lines = path.read_text().splitlines(keepends=True)
+        header = json.loads(lines[0])
+        header["payload"]["codec_version"] = codec.CODEC_VERSION + 1
+        lines[0] = json.dumps(header, separators=(",", ":")) + "\n"
+        path.write_text("".join(lines))
+        engine = PostgresEngine(tiny_workload.catalog)
+        with pytest.raises(SessionError, match="codec version"):
+            TuningSession.resume(path, engine=engine, llm=SimulatedLLM())
+
+    def test_unknown_event_kind_rejected(self, tiny_workload, tmp_path):
+        path = tmp_path / "run.journal"
+        journaled_tune(tiny_workload, path)
+        events = TuningJournal.read(path)
+        events[1] = JournalEvent(seq=1, kind="mystery", payload={})
+        with pytest.raises(SessionError, match="unknown journal event"):
+            rehydrate(events, tiny_workload.catalog)
+
+    def test_selection_event_before_selection_started_rejected(
+        self, tiny_workload, tmp_path
+    ):
+        path = tmp_path / "run.journal"
+        journaled_tune(tiny_workload, path)
+        events = TuningJournal.read(path)
+        header = events[0]
+        round_event = next(e for e in events if e.kind == "round_started")
+        with pytest.raises(SessionError, match="before any selection_started"):
+            rehydrate([header, round_event], tiny_workload.catalog)

@@ -80,6 +80,21 @@ class TestKnownInstances:
         for solve in (solve_with_scipy, solve_with_branch_bound):
             assert solve(model).objective == 0.0
 
+    def test_tiny_coefficient_respects_model_tolerance(self):
+        # Hypothesis-found divergence: a 2^-23 coefficient against a 0.0
+        # bound makes x1=1 infeasible under the model's 1e-9 tolerance,
+        # yet HiGHS's default 1e-6 MIP tolerance accepted it and
+        # reported objective 1.0.  Both backends must agree on 0.0 --
+        # and both answers must be feasible by the model's own test.
+        model = ILPModel()
+        x0 = model.add_variable("x0", 0.0)
+        x1 = model.add_variable("x1", 1.0)
+        model.add_constraint({x0: 0.0, x1: 1.192092896e-07}, 0.0)
+        for solve in (solve_with_scipy, solve_with_branch_bound):
+            solution = solve(model)
+            assert model.is_feasible(solution.values)
+            assert solution.objective == pytest.approx(0.0, abs=1e-9)
+
 
 class TestGreedy:
     def test_greedy_feasible(self):
