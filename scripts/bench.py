@@ -27,15 +27,25 @@ implementations and verifies bit-identical results:
    within 2% of the committed ``BENCH_3.json`` value, and a resume from
    a truncated journal must reproduce the identical result; the
    wall-clock journaling overhead (append + fsync) is reported.
-7. Optionally consumes ``pytest-benchmark`` stats from
+7. Persistent artifact cache: a full TPC-H tune against a cold
+   content-addressed disk cache vs a warm one (fresh process-equivalent
+   cache instance, so every artifact is re-read and re-verified from
+   disk).  The warm tune must be ≥3x faster than the cold one, the
+   fingerprints byte-identical to the uncached run, and the selection
+   time within 2% of the committed ``BENCH_4.json`` value.
+8. Batched multi-workload tuning: ``tune_many`` over three overlapping
+   TPC-H jobs sharing one artifact cache vs three isolated cold runs;
+   shared must be faster and every fingerprint byte-identical to the
+   serial no-cache reference.
+9. Optionally consumes ``pytest-benchmark`` stats from
    ``benchmarks/test_perf_scheduler.py`` via ``--benchmark-json``.
 
-Regression gate: if a committed ``BENCH_3.json`` (or, failing that,
-``BENCH_2.json`` / ``BENCH_1.json``) exists, the tuned TPC-H/JOB
-``best_time`` must not be worse than recorded there; the script exits
-non-zero otherwise.
+Regression gate: if a committed ``BENCH_4.json`` (or, failing that,
+``BENCH_3.json`` / ``BENCH_2.json`` / ``BENCH_1.json``) exists, the
+tuned TPC-H/JOB ``best_time`` must not be worse than recorded there;
+the script exits non-zero otherwise.
 
-Writes the combined report to ``BENCH_4.json`` (or ``--output``):
+Writes the combined report to ``BENCH_5.json`` (or ``--output``):
 
     PYTHONPATH=src python scripts/bench.py
     PYTHONPATH=src python scripts/bench.py --skip-pytest --quick --workers 2
@@ -60,7 +70,13 @@ sys.path.insert(0, str(REPO / "src"))
 import repro.core.evaluator as evaluator_module  # noqa: E402
 import repro.core.tuner as tuner_module  # noqa: E402
 import repro.db.engine as engine_module  # noqa: E402
-from repro.core import LambdaTune, LambdaTuneOptions  # noqa: E402
+from repro.cache import ArtifactCache, install_cache  # noqa: E402
+from repro.core import (  # noqa: E402
+    BatchJob,
+    LambdaTune,
+    LambdaTuneOptions,
+    tune_many,
+)
 from repro.core.evaluator import ConfigurationEvaluator  # noqa: E402
 from repro.core.scheduler import (  # noqa: E402
     compute_order_dp,
@@ -150,12 +166,14 @@ def _timed_tune(workload) -> tuple[dict, float]:
 
 
 class _reference_mode:
-    """Disable every optimization: caches off, reference DP."""
+    """Disable every optimization: caches off (persistent artifact cache
+    included), reference DP."""
 
     def __enter__(self):
         self._caches = engine_module.CACHES_ENABLED
         self._dp = evaluator_module.compute_order_dp
         self._evaluator = tuner_module.ConfigurationEvaluator
+        self._artifact_cache = install_cache(None)
         engine_module.CACHES_ENABLED = False
         evaluator_module.compute_order_dp = compute_order_dp_reference
         tuner_module.ConfigurationEvaluator = functools.partial(
@@ -167,6 +185,7 @@ class _reference_mode:
         engine_module.CACHES_ENABLED = self._caches
         evaluator_module.compute_order_dp = self._dp
         tuner_module.ConfigurationEvaluator = self._evaluator
+        install_cache(self._artifact_cache)
         return False
 
 
@@ -294,7 +313,7 @@ def compile_cache_benchmark(repeats: int) -> dict:
 
 def _newest_baseline() -> Path:
     """The most recent committed benchmark report, newest first."""
-    for name in ("BENCH_3.json", "BENCH_2.json", "BENCH_1.json"):
+    for name in ("BENCH_4.json", "BENCH_3.json", "BENCH_2.json", "BENCH_1.json"):
         path = REPO / name
         if path.is_file():
             return path
@@ -553,6 +572,167 @@ def session_benchmark(repeats: int) -> dict:
     return report
 
 
+# -- persistent artifact cache ------------------------------------------------
+
+
+def artifact_cache_benchmark(repeats: int) -> dict:
+    """Cold vs warm full ``tune()`` over the persistent artifact cache.
+
+    Gate 1 (identity): the tuned fingerprint must be byte-identical
+    across uncached / cold-cache / warm-cache runs -- the cache stores
+    exact artifacts, it never changes results.
+
+    Gate 2 (≥3x): a warm tune (every plan, compiled workload, ILP
+    solution, LLM sample and plan order served from disk) must be at
+    least 3x faster than the cold tune that populated the cache.
+
+    Gate 3 (≤2%): the tuned selection time (``best_time``, virtual
+    seconds) must be within 2% of the committed ``BENCH_4.json`` value;
+    the cache machinery must not perturb what is selected.
+
+    Every run uses a fresh ``tpch_workload()`` object so the in-process
+    per-catalog caches start cold and the persistent tier is what is
+    measured; warm runs additionally use a fresh ``ArtifactCache``
+    instance (empty memory tier), simulating a new process over the
+    same cache directory.
+    """
+    reps = max(3, repeats // 4)
+    previous = install_cache(None)
+    try:
+        none_print, none_s = _timed_tune(tpch_workload())
+        with tempfile.TemporaryDirectory() as tmp:
+            cold_times = []
+            for i in range(reps):  # each repetition populates its own dir
+                install_cache(ArtifactCache(Path(tmp) / f"cold-{i}"))
+                cold_print, elapsed = _timed_tune(tpch_workload())
+                cold_times.append(elapsed)
+            populated = Path(tmp) / f"cold-{reps - 1}"
+            warm_times = []
+            for _ in range(reps):
+                warm_cache = ArtifactCache(populated)
+                install_cache(warm_cache)
+                warm_print, elapsed = _timed_tune(tpch_workload())
+                warm_times.append(elapsed)
+            stats = warm_cache.stats.snapshot()
+    finally:
+        install_cache(previous)
+
+    identical = none_print == cold_print == warm_print
+    assert identical, "cached tune diverged from the uncached run"
+    if stats["stores"]:
+        raise SystemExit(
+            f"warm tune recomputed {stats['stores']} artifacts; cache keys "
+            f"are unstable across runs"
+        )
+    cold_s, warm_s = min(cold_times), min(warm_times)
+    speedup = cold_s / warm_s
+    if speedup < 3.0:
+        raise SystemExit(
+            f"warm tune is only {speedup:.2f}x faster than cold "
+            f"({cold_s:.3f} s -> {warm_s:.3f} s); 3x gate missed"
+        )
+
+    baseline_path = REPO / "BENCH_4.json"
+    gate: dict = {"baseline": baseline_path.name, "checked": False}
+    if baseline_path.is_file():
+        previous_tune = json.loads(baseline_path.read_text()).get("full_tune", {})
+        old = previous_tune.get("tpch", {}).get("best_time")
+        if old is not None:
+            gate["checked"] = True
+            ratio = float(warm_print["best_time"]) / float(old)
+            if ratio > 1.02:
+                raise SystemExit(
+                    f"selection time with the artifact cache is "
+                    f"{(ratio - 1) * 100:.2f}% worse than {baseline_path.name} "
+                    f"({old} -> {warm_print['best_time']}); 2% gate exceeded"
+                )
+            gate["bench4_best_time"] = old
+            gate["best_time"] = warm_print["best_time"]
+            gate["slowdown_pct"] = round((ratio - 1) * 100, 4)
+    else:
+        gate["note"] = "no committed BENCH_4.json; gate skipped"
+
+    return {
+        "workload": "tpch",
+        "uncached_s": round(none_s, 4),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "warm_speedup_vs_cold": round(speedup, 2),
+        "result_identical": identical,
+        "best_time": warm_print["best_time"],
+        "tuning_seconds": warm_print["tuning_seconds"],
+        "warm_disk_hits": stats["disk_hits"],
+        "warm_stores": stats["stores"],
+        "selection_gate": gate,
+    }
+
+
+# -- batched multi-workload tuning --------------------------------------------
+
+
+def batched_tuning_benchmark(realtime_factor: float) -> dict:
+    """``tune_many`` over three overlapping jobs: shared vs isolated cache.
+
+    Three TPC-H jobs (seeds 9/10/11) under a latency-realistic engine.
+    *Isolated* runs them sequentially, each against its own cold cache
+    directory -- the multi-tenant worst case.  *Shared* runs them
+    concurrently over one cache directory, so plans, compiled workloads
+    and plan orders computed for one job are reused by the others.
+    Shared must beat isolated on wall-clock, and every fingerprint must
+    be byte-identical to the serial no-cache reference.
+    """
+
+    def jobs(factor: float) -> list[BatchJob]:
+        return [
+            BatchJob(
+                workload=tpch_workload(),
+                options=TUNE_OPTIONS.ablated(seed=9 + i),
+                realtime_factor=factor,
+            )
+            for i in range(3)
+        ]
+
+    # The realtime waits never touch the virtual clock, so the fast
+    # no-wait serial run is the reference fingerprint.
+    reference = [
+        _fingerprint(result) for result in tune_many(jobs(0.0), max_workers=1)
+    ]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        start = time.perf_counter()
+        isolated = []
+        for i, job in enumerate(jobs(realtime_factor)):
+            isolated.extend(
+                tune_many([job], max_workers=1, cache_dir=Path(tmp) / f"iso-{i}")
+            )
+        isolated_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        shared = tune_many(
+            jobs(realtime_factor), max_workers=3, cache_dir=Path(tmp) / "shared"
+        )
+        shared_s = time.perf_counter() - start
+
+    if [_fingerprint(result) for result in isolated] != reference:
+        raise SystemExit("isolated batched tuning diverged from serial reference")
+    if [_fingerprint(result) for result in shared] != reference:
+        raise SystemExit("shared batched tuning diverged from serial reference")
+    if shared_s >= isolated_s:
+        raise SystemExit(
+            f"shared-cache batch ({shared_s:.2f} s) did not beat three "
+            f"isolated cold runs ({isolated_s:.2f} s)"
+        )
+    return {
+        "jobs": 3,
+        "workload": "tpch (seeds 9/10/11)",
+        "realtime_factor": realtime_factor,
+        "isolated_cold_s": round(isolated_s, 4),
+        "shared_cache_s": round(shared_s, 4),
+        "speedup": round(isolated_s / shared_s, 2),
+        "result_identical": True,
+    }
+
+
 # -- pytest-benchmark consumption ---------------------------------------------
 
 
@@ -595,8 +775,8 @@ def pytest_benchmarks() -> dict | None:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--output", type=Path, default=REPO / "BENCH_4.json",
-        help="report destination (default: BENCH_4.json at the repo root)",
+        "--output", type=Path, default=REPO / "BENCH_5.json",
+        help="report destination (default: BENCH_5.json at the repo root)",
     )
     parser.add_argument(
         "--workers", type=int, default=4,
@@ -687,6 +867,25 @@ def main() -> None:
         f"identical={session_report['resume_identical']}"
     )
 
+    print("== persistent artifact cache (cold vs warm full tune) ==")
+    cache_report = artifact_cache_benchmark(compile_repeats)
+    print(
+        f"  cold {cache_report['cold_s']:.3f} s -> warm "
+        f"{cache_report['warm_s']:.3f} s "
+        f"({cache_report['warm_speedup_vs_cold']}x, "
+        f"{cache_report['warm_disk_hits']} disk hits), "
+        f"identical={cache_report['result_identical']}"
+    )
+
+    print("== batched multi-workload tuning (shared vs isolated cache) ==")
+    batch_report = batched_tuning_benchmark(realtime_factor)
+    print(
+        f"  3 isolated cold runs {batch_report['isolated_cold_s']:.2f} s -> "
+        f"shared cache {batch_report['shared_cache_s']:.2f} s "
+        f"({batch_report['speedup']}x), "
+        f"identical={batch_report['result_identical']}"
+    )
+
     report = {
         "dp_microbench": dp_report,
         "full_tune": tune_report,
@@ -695,6 +894,8 @@ def main() -> None:
         "compile_cache": compile_report,
         "fault_injection": fault_report,
         "sessions": session_report,
+        "artifact_cache": cache_report,
+        "batched_tuning": batch_report,
         "python": sys.version.split()[0],
     }
     if not args.skip_pytest:

@@ -1,0 +1,87 @@
+#!/bin/sh
+# Profile a small end-to-end tune with cProfile and print the top-N
+# hotspots for bench triage.
+#
+# Gated like scripts/lint.sh: when the repo's python stack is not
+# importable this script says so and exits 0 rather than failing CI
+# runs that only want the test suite.
+#
+#     scripts/profile.sh                     # top 25 by cumulative time
+#     scripts/profile.sh -n 40               # top 40
+#     scripts/profile.sh -s tottime          # sort by self time
+#     scripts/profile.sh -w job              # profile the JOB workload
+#     scripts/profile.sh -c /tmp/warm-cache  # tune over a persistent cache
+
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+PYTHON=${PYTHON:-python3}
+top_n=25
+sort_key=cumulative
+workload=tpch
+cache_dir=""
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+        -n) top_n=$2; shift 2 ;;
+        -s) sort_key=$2; shift 2 ;;
+        -w) workload=$2; shift 2 ;;
+        -c) cache_dir=$2; shift 2 ;;
+        *) echo "profile: unknown argument $1" >&2; exit 2 ;;
+    esac
+done
+
+if ! command -v "$PYTHON" >/dev/null 2>&1; then
+    echo "profile: $PYTHON is not installed in this environment; skipping" >&2
+    exit 0
+fi
+if ! PYTHONPATH=src "$PYTHON" -c "import repro" >/dev/null 2>&1; then
+    echo "profile: the repro package is not importable (missing numpy/scipy?); skipping" >&2
+    exit 0
+fi
+
+PROFILE_TOP_N="$top_n" PROFILE_SORT="$sort_key" \
+PROFILE_WORKLOAD="$workload" PROFILE_CACHE_DIR="$cache_dir" \
+PYTHONPATH=src exec "$PYTHON" - <<'PYEOF'
+"""cProfile harness over one small tune (the bench TUNE_OPTIONS shape)."""
+import cProfile
+import io
+import os
+import pstats
+
+from repro.cache import configure_cache
+from repro.core import LambdaTune, LambdaTuneOptions
+from repro.llm.mock import SimulatedLLM
+from repro.workloads.compile import make_engine
+from repro.workloads.registry import load_workload
+
+top_n = int(os.environ["PROFILE_TOP_N"])
+sort_key = os.environ["PROFILE_SORT"]
+workload_name = os.environ["PROFILE_WORKLOAD"]
+cache_dir = os.environ["PROFILE_CACHE_DIR"]
+
+if cache_dir:
+    configure_cache(cache_dir)
+
+workload = load_workload(workload_name)
+engine = make_engine(workload, "postgres")
+tuner = LambdaTune(
+    engine,
+    SimulatedLLM(),
+    LambdaTuneOptions(token_budget=400, initial_timeout=0.5, alpha=2.0, seed=9),
+)
+
+profiler = cProfile.Profile()
+profiler.enable()
+result = tuner.tune(list(workload.queries), workload_name=workload.name)
+profiler.disable()
+
+buffer = io.StringIO()
+stats = pstats.Stats(profiler, stream=buffer)
+stats.strip_dirs().sort_stats(sort_key).print_stats(top_n)
+print(f"# workload={workload.name} best_time={result.best_time!r} "
+      f"tuning_seconds={result.tuning_seconds!r} cache={cache_dir or 'off'}")
+print(buffer.getvalue())
+PYEOF

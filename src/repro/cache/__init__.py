@@ -1,0 +1,87 @@
+"""Persistent, content-addressed artifact caching.
+
+PRs 1-4 made every hot path fast *within* a process; this package makes
+the work survive across processes.  A single process-wide
+:class:`ArtifactCache` (memory LRU + disk tier) is consulted by the
+planner, workload compiler, ILP solver, simulated LLM, and plan-order
+scheduler.  Because every key folds in every input that can change the
+artifact -- catalog fingerprint, knob configuration, hardware profile,
+seed, format version -- a warm hit is byte-identical to a cold compute
+and the cache is semantically invisible.
+
+The cache is *off* by default.  Enable it explicitly::
+
+    from repro.cache import configure_cache
+    configure_cache("/var/tmp/lambda-tune-cache")
+
+or via the environment::
+
+    LAMBDA_TUNE_CACHE_DIR=/var/tmp/lambda-tune-cache python ...
+
+Clear it by deleting the directory; the format-versioned layout means a
+stale or foreign tree is never misread, only missed.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.cache.keys import CACHE_FORMAT_VERSION, digest_key, stable_key
+from repro.cache.store import MISS, ArtifactCache, CacheStats
+
+#: Environment variable naming the disk-tier directory.
+CACHE_DIR_ENV = "LAMBDA_TUNE_CACHE_DIR"
+
+_active: ArtifactCache | None = None
+_initialized = False
+
+
+def active_cache() -> ArtifactCache | None:
+    """The process-wide cache, or ``None`` when caching is disabled.
+
+    First call initialises from ``LAMBDA_TUNE_CACHE_DIR`` when set; an
+    unset/empty variable leaves persistent caching off.
+    """
+    global _initialized, _active
+    if not _initialized:
+        _initialized = True
+        path = os.environ.get(CACHE_DIR_ENV, "").strip()
+        if path:
+            _active = ArtifactCache(path)
+    return _active
+
+
+def configure_cache(
+    root: str | os.PathLike[str] | None,
+) -> ArtifactCache | None:
+    """Point the process-wide cache at ``root`` (``None`` disables).
+
+    Returns the newly installed cache.
+    """
+    cache = ArtifactCache(root) if root is not None else None
+    install_cache(cache)
+    return cache
+
+
+def install_cache(cache: ArtifactCache | None) -> ArtifactCache | None:
+    """Install ``cache`` as the process-wide cache; returns the previous
+    one so callers (tests, benchmarks) can save and restore."""
+    global _initialized, _active
+    previous = active_cache()
+    _initialized = True
+    _active = cache
+    return previous
+
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "CACHE_DIR_ENV",
+    "CACHE_FORMAT_VERSION",
+    "MISS",
+    "active_cache",
+    "configure_cache",
+    "digest_key",
+    "install_cache",
+    "stable_key",
+]

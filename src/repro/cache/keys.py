@@ -1,0 +1,61 @@
+"""Stable, content-addressed cache keys.
+
+Every persistent artifact is addressed by a SHA-256 digest of a
+*canonical rendering* of its exact inputs.  The rendering must be
+stable across processes, interpreter hash seeds, and platforms, so it
+is built from ``repr`` of primitives plus explicit, sorted composite
+forms -- never from ``hash()`` or dict iteration order.
+
+Key material is ordinary Python data (strings, numbers, tuples, dicts,
+...).  Anything the renderer does not recognise raises ``TypeError``
+loudly: a silently lossy key is a correctness bug, not a cache miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+#: Format version for both the key address space and the on-disk entry
+#: layout.  Bumping it retires every existing entry at once (old files
+#: live under a different ``v<N>/`` directory and old digests can never
+#: collide with current ones) -- the same discipline as
+#: ``session/codec.py``'s ``CODEC_VERSION``.
+CACHE_FORMAT_VERSION = 1
+
+
+def stable_key(value: Any) -> str:
+    """Render ``value`` as a canonical, process-independent string."""
+    if value is None or isinstance(value, (bool, int, float)):
+        # repr() of floats is exact (shortest round-trip repr), so two
+        # floats render identically iff they are the same double.
+        return repr(value)
+    if isinstance(value, str):
+        return "s:" + repr(value)
+    if isinstance(value, bytes):
+        return "b:" + value.hex()
+    if isinstance(value, (tuple, list)):
+        inner = ",".join(stable_key(item) for item in value)
+        return f"[{inner}]"
+    if isinstance(value, (set, frozenset)):
+        inner = ",".join(sorted(stable_key(item) for item in value))
+        return f"{{{inner}}}"
+    if isinstance(value, dict):
+        inner = ",".join(
+            f"{stable_key(key)}=>{stable_key(item)}"
+            for key, item in sorted(
+                value.items(), key=lambda pair: stable_key(pair[0])
+            )
+        )
+        return f"{{d:{inner}}}"
+    raise TypeError(f"cannot build a stable cache key from {type(value)!r}")
+
+
+def digest_key(kind: str, material: Any) -> str:
+    """SHA-256 hex digest addressing one artifact of ``kind``.
+
+    The cache format version is folded into every digest so a format
+    bump invalidates the whole address space at once.
+    """
+    rendered = f"v{CACHE_FORMAT_VERSION}|{kind}|{stable_key(material)}"
+    return hashlib.sha256(rendered.encode("utf-8")).hexdigest()

@@ -13,12 +13,15 @@
 - :mod:`repro.core.tuner` -- the full pipeline (Algorithm 1).
 """
 
+from repro.core.batch import BatchJob, tune_many
 from repro.core.config import Configuration, parse_config_script
 from repro.core.tuner import LambdaTune, LambdaTuneOptions
 
 __all__ = [
+    "BatchJob",
     "Configuration",
     "parse_config_script",
     "LambdaTune",
     "LambdaTuneOptions",
+    "tune_many",
 ]

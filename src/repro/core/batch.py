@@ -1,0 +1,106 @@
+"""Batched multi-workload tuning over a shared pool and shared cache.
+
+:func:`tune_many` runs N independent tuning jobs concurrently.  Each job
+gets its own engine, virtual clock, and LLM client, so job results are
+byte-identical to running the same jobs serially -- concurrency changes
+wall-clock time only.  What the jobs *share* is the process-wide
+persistent :class:`repro.cache.ArtifactCache`: overlapping workloads
+(TPC-H / TPC-DS / JOB share the planner, solver, and scheduler work for
+any queries, plans, and prompts they have in common) warm each other's
+artifacts mid-batch, and the disk tier carries the warmth to the next
+invocation.
+
+Threads, not processes, drive the jobs: a tune's wall-clock cost under a
+positive ``realtime_factor`` is dominated by engine waits (sleeps), which
+release the GIL -- the same property the PR-2 parallel selector exploits
+-- and within one process all jobs see the same cache object without any
+serialization.  Each job can still fan its own candidate evaluation over
+worker processes via ``LambdaTuneOptions(workers=..., executor=...)``;
+the round-based control flow inside each job is the unchanged PR-4
+``RoundDriver`` machinery.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.cache import ArtifactCache, active_cache, install_cache
+from repro.core.result import TuningResult
+from repro.core.tuner import LambdaTune, LambdaTuneOptions
+from repro.db.engine import DatabaseEngine
+from repro.errors import ConfigurationError
+from repro.llm.client import LLMClient
+from repro.workloads.base import Workload
+from repro.workloads.compile import make_engine
+
+
+@dataclass(slots=True)
+class BatchJob:
+    """One workload to tune, with everything the tune needs.
+
+    ``engine`` and ``llm`` default to a fresh default-configured engine
+    for ``system`` and a fresh :class:`repro.llm.mock.SimulatedLLM`.
+    Jobs must not share mutable collaborators: passing the same engine
+    or a stateful LLM client (e.g. the fault-injecting wrapper) to two
+    jobs makes results depend on scheduling order.
+    """
+
+    workload: Workload
+    system: str = "postgres"
+    options: LambdaTuneOptions = field(default_factory=LambdaTuneOptions)
+    engine: DatabaseEngine | None = None
+    llm: LLMClient | None = None
+    #: Wall-clock seconds slept per simulated second of engine work on
+    #: this job's engine (see ``DatabaseEngine.realtime_factor``).
+    realtime_factor: float = 0.0
+
+    def build(self) -> LambdaTune:
+        engine = self.engine
+        if engine is None:
+            engine = make_engine(self.workload, self.system)
+        if self.realtime_factor > 0:
+            engine.realtime_factor = self.realtime_factor
+        llm = self.llm
+        if llm is None:
+            from repro.llm.mock import SimulatedLLM
+
+            llm = SimulatedLLM()
+        return LambdaTune(engine, llm, options=self.options)
+
+
+def _run_job(job: BatchJob) -> TuningResult:
+    tuner = job.build()
+    return tuner.tune(job.workload.queries, workload_name=job.workload.name)
+
+
+def tune_many(
+    jobs: list[BatchJob],
+    *,
+    max_workers: int | None = None,
+    cache_dir: str | os.PathLike[str] | None = None,
+) -> list[TuningResult]:
+    """Tune every job, concurrently, returning results in job order.
+
+    ``cache_dir`` installs a shared persistent artifact cache for the
+    duration of the batch (restoring the previously active cache after);
+    omit it to use whatever cache is already active -- including none.
+    """
+    if not jobs:
+        raise ConfigurationError("tune_many needs at least one job")
+    if max_workers is None:
+        max_workers = min(len(jobs), os.cpu_count() or 1)
+    max_workers = max(1, min(max_workers, len(jobs)))
+
+    previous = active_cache()
+    if cache_dir is not None:
+        install_cache(ArtifactCache(cache_dir))
+    try:
+        if max_workers == 1:
+            return [_run_job(job) for job in jobs]
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(_run_job, jobs))
+    finally:
+        if cache_dir is not None:
+            install_cache(previous)

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.cache import MISS, active_cache
 from repro.core.clustering import cluster_queries
 from repro.core.config import Configuration
 from repro.core.scheduler import MAX_DP_INPUT, compute_order_dp, greedy_order
@@ -221,6 +222,35 @@ class ConfigurationEvaluator:
                 by_name = {query.name: query for query in queries}
                 return [by_name[name] for name in cached]
 
+        # Persistent tier: the clustering + DP order is the single most
+        # expensive pure derivation in a tune, and it is fully
+        # determined by content the key below spells out.
+        persistent = active_cache() if key is not None else None
+        material = None
+        if persistent is not None:
+            engine = self._engine
+            material = (
+                engine.system,
+                (
+                    engine.hardware.memory_gb,
+                    engine.hardware.cores,
+                    engine.hardware.disk_mb_per_s,
+                ),
+                engine.catalog.content_fingerprint(),
+                engine.content_key(),
+                self._config_key(config),
+                tuple((query.name, query.sql) for query in queries),
+                self._cluster_seed,
+                self._max_dp_input,
+            )
+            value = persistent.fetch("order", material)
+            if value is not MISS:
+                names = list(value)
+                self._evict_if_full(self._order_cache)
+                self._order_cache[key] = names
+                by_name = {query.name: query for query in queries}
+                return [by_name[name] for name in names]
+
         index_map = self.query_index_map(queries, config)
         index_cost = self.index_cost_map(config)
 
@@ -251,7 +281,10 @@ class ConfigurationEvaluator:
 
         if key is not None:
             self._evict_if_full(self._order_cache)
-            self._order_cache[key] = [query.name for query in ordered]
+            names = [query.name for query in ordered]
+            self._order_cache[key] = names
+            if persistent is not None:
+                persistent.store("order", material, tuple(names))
         return ordered
 
     # -- evaluation (Algorithm 3) ----------------------------------------------------------

@@ -360,6 +360,23 @@ class LambdaTune:
         observer.done(result)
         return result
 
+    @staticmethod
+    def tune_many(
+        jobs: list,
+        *,
+        max_workers: int | None = None,
+        cache_dir=None,
+    ) -> list[TuningResult]:
+        """Tune N workloads concurrently over a shared artifact cache.
+
+        Thin entry point to :func:`repro.core.batch.tune_many`; see that
+        module for the concurrency and determinism contract.  ``jobs``
+        is a list of :class:`repro.core.batch.BatchJob`.
+        """
+        from repro.core.batch import tune_many as _tune_many
+
+        return _tune_many(jobs, max_workers=max_workers, cache_dir=cache_dir)
+
     # -- stage drivers -----------------------------------------------------------
 
     def _sampling_stage(

@@ -75,8 +75,52 @@ class Catalog:
     def __init__(self, name: str = "db") -> None:
         self.name = name
         self._tables: dict[str, Table] = {}
+        self._generation = 0
+        self._fingerprint: str | None = None
 
     # -- schema construction ---------------------------------------------------
+
+    def _bump_generation(self) -> None:
+        self._generation += 1
+        self._fingerprint = None
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped on every schema mutation.
+
+        Process-local memoization (e.g. planner selectivities) keys on
+        this to invalidate when the schema changes underneath it.
+        """
+        return self._generation
+
+    def content_fingerprint(self) -> str:
+        """SHA-256 over the full schema content (names, rows, stats).
+
+        Unlike :attr:`generation` this is stable across processes, so
+        the persistent artifact cache uses it as key material.  Memoized
+        until the next schema mutation.
+        """
+        if self._fingerprint is None:
+            from hashlib import sha256
+
+            parts = [f"catalog|{self.name}"]
+            for table_name in sorted(self._tables):
+                table = self._tables[table_name]
+                parts.append(f"t|{table.name}|{table.rows}")
+                for column_name in sorted(table.columns):
+                    column = table.columns[column_name]
+                    parts.append(
+                        "c|{}|{}|{}|{}".format(
+                            column.name,
+                            column.width,
+                            column.ndv,
+                            int(column.is_primary_key),
+                        )
+                    )
+            self._fingerprint = sha256(
+                "\n".join(parts).encode("utf-8")
+            ).hexdigest()
+        return self._fingerprint
 
     def add_table(
         self,
@@ -90,6 +134,7 @@ class Catalog:
             raise CatalogError(f"table {name!r} already exists")
         table = Table(name=key, rows=rows)
         self._tables[key] = table
+        self._bump_generation()
         for column in columns or []:
             self.add_column(key, column)
         return table
@@ -101,6 +146,7 @@ class Catalog:
                 f"duplicate column {column.name!r} in table {table_name!r}"
             )
         table.columns[column.name] = column
+        self._bump_generation()
 
     # -- lookups -----------------------------------------------------------------
 

@@ -21,6 +21,7 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 
+from repro.cache import MISS, active_cache
 from repro.db.catalog import Catalog
 from repro.db.clock import VirtualClock
 from repro.db.cost_model import PlannerCosts, RuntimeEnv, deterministic_noise
@@ -223,6 +224,19 @@ class DatabaseEngine(abc.ABC):
         query-index maps and plan orders.
         """
         return self._config_signature
+
+    def content_key(self) -> tuple[str, str]:
+        """Cross-process content key for the engine's mutable state.
+
+        ``config_signature`` collapses the same content to 64 bits for
+        hot-path dict keys; the persistent artifact cache wants the full
+        pre-image (settings text plus sorted index keys) so digests are
+        collision-free by construction.
+        """
+        return (
+            self._settings_text,
+            ",".join(str(index_key) for index_key in sorted(self._indexes)),
+        )
 
     def get(self, knob_name: str) -> object:
         """Current value of one knob."""
@@ -546,20 +560,49 @@ class DatabaseEngine(abc.ABC):
         key = (self.system, self.hardware, sql, self._config_signature)
         cached = self._plan_cache.get(key)
         if cached is None:
-            env = self.runtime_env()
-            planner = Planner(
-                self.catalog, self._indexes, self.planner_costs(), env
-            )
-            plan = planner.plan(info)
-            base_seconds = (
-                plan.actual_cost
-                * env.seconds_per_cost_unit
-                * env.logging_factor
-                * env.swap_factor
-            )
+            persistent = active_cache() if CACHES_ENABLED else None
+            material = None
+            if persistent is not None:
+                material = (
+                    self.system,
+                    (
+                        self.hardware.memory_gb,
+                        self.hardware.cores,
+                        self.hardware.disk_mb_per_s,
+                    ),
+                    self.catalog.content_fingerprint(),
+                    self.content_key(),
+                    sql,
+                )
+                value = persistent.fetch("plan", material)
+                if value is not MISS:
+                    cached = value
+            if cached is None:
+                env = self.runtime_env()
+                selectivity_cache = (
+                    shared_catalog_cache(self.catalog, "selectivity")
+                    if CACHES_ENABLED
+                    else None
+                )
+                planner = Planner(
+                    self.catalog,
+                    self._indexes,
+                    self.planner_costs(),
+                    env,
+                    selectivity_cache=selectivity_cache,
+                )
+                plan = planner.plan(info)
+                base_seconds = (
+                    plan.actual_cost
+                    * env.seconds_per_cost_unit
+                    * env.logging_factor
+                    * env.swap_factor
+                )
+                cached = (plan, base_seconds)
+                if persistent is not None:
+                    persistent.store("plan", material, cached)
             if len(self._plan_cache) > _MAX_SHARED_CACHE_ENTRIES:
                 self._plan_cache.clear()
-            cached = (plan, base_seconds)
             self._plan_cache[key] = cached
         plan, seconds = cached
         seconds *= deterministic_noise(self.system, name, self._config_signature)

@@ -116,10 +116,17 @@ class Planner:
         indexes: dict[tuple[str, tuple[str, ...]], Index],
         planner_costs: PlannerCosts,
         env: RuntimeEnv,
+        selectivity_cache: dict | None = None,
     ) -> None:
         self._catalog = catalog
         self._planner = planner_costs
         self._env = env
+        # Optional cross-planner memo for per-predicate selectivities.
+        # Selectivity depends only on catalog statistics and the query's
+        # predicate list -- never on indexes or knobs -- so the engine
+        # shares one dict per catalog and keys fold in the catalog
+        # generation for invalidation on schema change.
+        self._selectivity_cache = selectivity_cache
         self._indexes_by_table: dict[str, list[Index]] = {}
         for index in indexes.values():
             self._indexes_by_table.setdefault(index.table, []).append(index)
@@ -281,10 +288,38 @@ class Planner:
                 best = (index, selectivity)
         return best
 
+    def _predicate_signature(
+        self, table: Table, info: QueryInfo, column: str | None
+    ) -> tuple:
+        """Ordered key material for the predicates a memo entry covers.
+
+        Order is preserved: float multiplication is not associative, so
+        two predicate lists must share a memo entry only when they would
+        multiply in exactly the same sequence.
+        """
+        return tuple(
+            (predicate.column, predicate.op, predicate.selectivity)
+            for predicate in info.filters
+            if predicate.table == table.name
+            and (column is None or predicate.column == column)
+        )
+
     def _column_selectivity(
         self, table: Table, column: str, info: QueryInfo
     ) -> float | None:
         """Combined selectivity of predicates on one column, None if none."""
+        cache = self._selectivity_cache
+        if cache is not None:
+            key = (
+                "column",
+                self._catalog.generation,
+                table.name,
+                column,
+                self._predicate_signature(table, info, column),
+            )
+            cached = cache.get(key)
+            if cached is not None:
+                return cached[0]
         product: float | None = None
         for predicate in info.filters:
             if predicate.table != table.name or predicate.column != column:
@@ -294,9 +329,22 @@ class Planner:
                 ndv = table.column(column).distinct_values(table.rows)
                 selectivity = 1.0 / ndv
             product = selectivity if product is None else product * selectivity
+        if cache is not None:
+            cache[key] = (product,)
         return product
 
     def _table_selectivity(self, table: Table, info: QueryInfo) -> float:
+        cache = self._selectivity_cache
+        if cache is not None:
+            key = (
+                "table",
+                self._catalog.generation,
+                table.name,
+                self._predicate_signature(table, info, None),
+            )
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
         product = 1.0
         seen_eq: set[str] = set()
         for predicate in info.filters:
@@ -308,7 +356,10 @@ class Planner:
                 selectivity = 1.0 / ndv
                 seen_eq.add(predicate.column)
             product *= selectivity
-        return max(product, 1e-9)
+        product = max(product, 1e-9)
+        if cache is not None:
+            cache[key] = product
+        return product
 
     def _scan_workers(self, pages: int) -> int:
         # Parallel scans only pay off on big tables (PostgreSQL gates this

@@ -58,6 +58,12 @@ class LLMClient(abc.ABC):
     backoff_cap: float = 2.0
     #: Injection point for tests (and simulations) that must not sleep.
     sleep = staticmethod(time.sleep)
+    #: Whether completions may be served from the persistent artifact
+    #: cache.  Only clients whose output is a pure function of
+    #: ``(model, prompt, temperature, seed)`` may opt in -- the bundled
+    #: simulator does; real providers and the fault-injecting wrapper
+    #: (whose behaviour depends on mutable attempt state) must not.
+    cacheable: bool = False
 
     @abc.abstractmethod
     def complete(
@@ -76,10 +82,26 @@ class LLMClient(abc.ABC):
         budget raises a terminal :class:`LLMError` chained to the last
         transient failure.
         """
+        persistent = None
+        material = None
+        if self.cacheable:
+            from repro.cache import MISS, active_cache
+
+            persistent = active_cache()
+            if persistent is not None:
+                material = (self.model, repr(float(temperature)), seed, prompt)
+                value = persistent.fetch("llm", material)
+                if value is not MISS:
+                    return value
         attempt = 0
         while True:
             try:
-                return self.complete(prompt, temperature=temperature, seed=seed)
+                response = self.complete(prompt, temperature=temperature, seed=seed)
+                if persistent is not None:
+                    # LLMResponse is frozen, so the cached instance is
+                    # safe to hand out to every future caller.
+                    persistent.store("llm", material, response)
+                return response
             except LLMTransientError as error:
                 if attempt >= self.max_retries:
                     raise LLMError(

@@ -59,6 +59,9 @@ class SimulatedLLM(LLMClient):
     """GPT-4 stand-in with deterministic, seeded sampling."""
 
     model = "simulated-gpt-4"
+    #: Output is a pure function of (model, prompt, temperature, seed),
+    #: so completions may be served from the persistent artifact cache.
+    cacheable = True
 
     #: Fraction of high-temperature samples that come out pathologically
     #: bad (the paper's motivation for bounded-cost selection).

@@ -123,25 +123,73 @@ class ILPModel:
 
     # -- solving ---------------------------------------------------------------------
 
+    def content_material(self, backend: str) -> tuple:
+        """Full model fingerprint as cache-key material.
+
+        Covers everything that can change the solution: the resolved
+        backend (different backends may legitimately return different
+        optimal vertices), the exact objective vector, and every
+        constraint's sparse coefficients and bound.  Variable *names*
+        are excluded on purpose -- they label the solution but cannot
+        change it.
+        """
+        return (
+            backend,
+            len(self._names),
+            tuple(self._objective),
+            tuple(
+                (tuple(sorted(constraint.coefficients.items())), constraint.bound)
+                for constraint in self._constraints
+            ),
+        )
+
     def solve(self, method: str = "auto") -> ILPSolution:
         """Solve with the requested backend.
 
         ``auto`` prefers scipy's HiGHS MILP and falls back to the
-        in-repo branch-and-bound if scipy is unavailable.
+        in-repo branch-and-bound if scipy is unavailable.  Solutions are
+        transparently memoized in the persistent artifact cache (when
+        one is active) keyed by the full model fingerprint *and* the
+        resolved backend, so both backends cache independently.
         """
         from repro.solver.branch_bound import solve_with_branch_bound
         from repro.solver.greedy import solve_greedy
 
+        solver = None
         if method == "greedy":
-            return solve_greedy(self)
-        if method == "branch_bound":
-            return solve_with_branch_bound(self)
-        if method in ("auto", "scipy"):
+            backend, solver = "greedy", solve_greedy
+        elif method == "branch_bound":
+            backend, solver = "branch_bound", solve_with_branch_bound
+        elif method in ("auto", "scipy"):
             try:
                 from repro.solver.scipy_backend import solve_with_scipy
+
+                backend, solver = "scipy", solve_with_scipy
             except ImportError:
                 if method == "scipy":
                     raise SolverError("scipy is not available") from None
-                return solve_with_branch_bound(self)
-            return solve_with_scipy(self)
-        raise SolverError(f"unknown solver method {method!r}")
+                backend, solver = "branch_bound", solve_with_branch_bound
+        else:
+            raise SolverError(f"unknown solver method {method!r}")
+
+        from repro.cache import MISS, active_cache
+
+        persistent = active_cache()
+        if persistent is None:
+            return solver(self)
+        material = self.content_material(backend)
+        value = persistent.fetch("ilp", material)
+        if value is not MISS:
+            values, objective, optimal = value
+            # Rebuild a fresh solution object: ILPSolution is mutable,
+            # and a shared cached instance must never alias callers.
+            return ILPSolution(
+                values=list(values), objective=objective, optimal=optimal
+            )
+        solution = solver(self)
+        persistent.store(
+            "ilp",
+            material,
+            (tuple(solution.values), solution.objective, solution.optimal),
+        )
+        return solution

@@ -1,0 +1,296 @@
+"""Key coverage: every input that can change an artifact changes its key.
+
+The acceptance test for cache correctness-safety: for each cached
+artifact type, mutate one input at a time -- catalog content, knob
+settings, physical design, hardware profile, seed, SQL text, format
+version -- and assert the persistent cache *misses* (a fresh store
+happens instead of a hit).  A false hit here would mean a stale artifact
+could silently change tuning results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import ArtifactCache, digest_key, install_cache, stable_key
+from repro.core.config import Configuration
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.db.catalog import Catalog, Column
+from repro.db.hardware import HardwareSpec
+from repro.db.indexes import Index
+from repro.db.postgres import PostgresEngine
+from repro.llm.mock import SimulatedLLM
+from repro.solver.model import ILPModel
+from repro.workloads.base import Query, Workload
+from repro.workloads.compile import compile_workload
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    """A fresh persistent cache installed process-wide for the test."""
+    cache = ArtifactCache(tmp_path)
+    previous = install_cache(cache)
+    yield cache
+    install_cache(previous)
+
+
+def make_catalog(event_rows: int = 500_000) -> Catalog:
+    """A fresh catalog object per call: in-process caches start cold, so
+    every lookup actually consults the persistent tier."""
+    catalog = Catalog("tiny")
+    catalog.add_table("users", 10_000, [
+        Column("user_id", 4, is_primary_key=True),
+        Column("country", 2, 50),
+        Column("age", 4, 80),
+    ])
+    catalog.add_table("events", event_rows, [
+        Column("event_id", 4, is_primary_key=True),
+        Column("user_id2", 4, 10_000),
+        Column("kind", 8, 20),
+    ])
+    return catalog
+
+
+SQL = "SELECT count(*) FROM users WHERE country = 'US'"
+
+
+class Outcome:
+    def __init__(self, cache: ArtifactCache, action):
+        before = cache.stats.snapshot()
+        action()
+        after = cache.stats.snapshot()
+        self.stored = after["stores"] - before["stores"]
+        self.hits = (
+            after["memory_hits"]
+            + after["disk_hits"]
+            - before["memory_hits"]
+            - before["disk_hits"]
+        )
+
+
+def assert_miss(cache: ArtifactCache, action) -> None:
+    outcome = Outcome(cache, action)
+    assert outcome.stored > 0, "expected a cache miss (fresh store)"
+
+
+def assert_hit(cache: ArtifactCache, action) -> None:
+    outcome = Outcome(cache, action)
+    assert outcome.stored == 0 and outcome.hits > 0, "expected a cache hit"
+
+
+# -- query plans ------------------------------------------------------------------
+
+
+def plan_once(
+    cache,
+    *,
+    event_rows: int = 500_000,
+    hardware: HardwareSpec | None = None,
+    knobs: dict | None = None,
+    index: Index | None = None,
+    sql: str = SQL,
+):
+    engine = PostgresEngine(make_catalog(event_rows), hardware)
+    if knobs:
+        engine.set_many(knobs)
+    if index is not None:
+        engine.create_index(index)
+    return lambda: engine.estimate_seconds(sql)
+
+
+def test_plan_key_covers_every_input(cache):
+    assert_miss(cache, plan_once(cache))  # populate
+    assert_hit(cache, plan_once(cache))  # identical inputs hit
+
+    assert_miss(cache, plan_once(cache, event_rows=600_000))  # catalog
+    assert_miss(cache, plan_once(cache, knobs={"work_mem": "128MB"}))  # knob
+    assert_miss(
+        cache, plan_once(cache, index=Index("users", ("country",)))
+    )  # physical design
+    assert_miss(
+        cache,
+        plan_once(cache, hardware=HardwareSpec(memory_gb=16.0, cores=2)),
+    )  # hardware
+    assert_miss(
+        cache, plan_once(cache, sql="SELECT count(*) FROM users WHERE age > 30")
+    )  # SQL text
+
+
+def test_plan_key_covers_format_version(cache, monkeypatch):
+    assert_miss(cache, plan_once(cache))
+    monkeypatch.setattr("repro.cache.keys.CACHE_FORMAT_VERSION", 2)
+    monkeypatch.setattr("repro.cache.store.CACHE_FORMAT_VERSION", 2)
+    assert_miss(cache, plan_once(cache))  # version bump = new key space
+
+
+# -- LLM samples ---------------------------------------------------------------------
+
+
+def test_llm_key_covers_prompt_seed_temperature_model(cache):
+    llm = SimulatedLLM()
+    prompt = "Recommend a postgres configuration.\nMemory: 61.0 GB\nCores: 8"
+
+    call = lambda **kw: lambda: llm.complete_with_retry(
+        kw.get("prompt", prompt),
+        temperature=kw.get("temperature", 0.7),
+        seed=kw.get("seed", 0),
+    )
+    assert_miss(cache, call())
+    assert_hit(cache, call())
+    assert_miss(cache, call(prompt=prompt + "\nExtra fact"))
+    assert_miss(cache, call(seed=1))
+    assert_miss(cache, call(temperature=0.2))
+
+    other = SimulatedLLM()
+    other.model = "simulated-gpt-4-turbo"
+    assert_miss(cache, lambda: other.complete_with_retry(prompt, seed=0))
+
+
+def test_uncacheable_clients_never_touch_the_cache(cache):
+    llm = SimulatedLLM()
+    llm.cacheable = False
+    before = cache.stats.snapshot()
+    llm.complete_with_retry("Recommend a postgres configuration.", seed=0)
+    assert cache.stats.snapshot() == before
+
+
+# -- ILP solutions ----------------------------------------------------------------------
+
+
+def build_model(objective=(3.0, 2.0, 1.0), bound=2.0, coefficient=1.0):
+    model = ILPModel()
+    for i, value in enumerate(objective):
+        model.add_variable(f"x{i}", value)
+    model.add_constraint({0: coefficient, 1: 1.0, 2: 1.0}, bound)
+    return model
+
+
+def test_ilp_key_covers_model_content_and_backend(cache):
+    assert_miss(cache, lambda: build_model().solve("greedy"))
+    assert_hit(cache, lambda: build_model().solve("greedy"))
+
+    assert_miss(cache, lambda: build_model(objective=(3.0, 2.5, 1.0)).solve("greedy"))
+    assert_miss(cache, lambda: build_model(bound=1.0).solve("greedy"))
+    assert_miss(cache, lambda: build_model(coefficient=2.0).solve("greedy"))
+    # A different backend caches independently even on the same model.
+    assert_miss(cache, lambda: build_model().solve("branch_bound"))
+
+
+def test_ilp_variable_names_do_not_change_the_key(cache):
+    model = build_model()
+    assert_miss(cache, lambda: model.solve("greedy"))
+    renamed = ILPModel()
+    for i, value in enumerate((3.0, 2.0, 1.0)):
+        renamed.add_variable(f"snippet-{i}", value)
+    renamed.add_constraint({0: 1.0, 1: 1.0, 2: 1.0}, 2.0)
+    assert_hit(cache, lambda: renamed.solve("greedy"))
+
+
+def test_ilp_hit_returns_equal_but_unaliased_solution(cache):
+    first = build_model().solve("greedy")
+    second = build_model().solve("greedy")
+    assert second.values == first.values
+    assert repr(second.objective) == repr(first.objective)
+    assert second is not first
+    second.values[0] ^= 1
+    assert build_model().solve("greedy").values == first.values
+
+
+# -- compiled workloads --------------------------------------------------------------
+
+
+def make_workload(sql: str = SQL, event_rows: int = 500_000) -> Workload:
+    catalog = make_catalog(event_rows)
+    queries = [
+        Query.from_sql("q1", sql, catalog),
+        Query.from_sql("q2", "SELECT count(*) FROM events WHERE kind = 'k'", catalog),
+    ]
+    return Workload(name="tiny", catalog=catalog, queries=queries)
+
+
+def test_compiled_key_covers_queries_catalog_and_engine_state(cache):
+    # compile_workload plans every query, so plan stores ride along;
+    # track only the "compiled" artifact via a kind-scoped count.
+    def compiled_stores() -> int:
+        files = cache_root_files(cache, "compiled")
+        return len(files)
+
+    compile_workload(make_workload())
+    baseline = compiled_stores()
+    assert baseline == 1
+
+    compile_workload(make_workload())  # identical -> no new entry
+    assert compiled_stores() == baseline
+
+    compile_workload(make_workload(event_rows=600_000))  # catalog content
+    assert compiled_stores() == baseline + 1
+
+    changed_sql = "SELECT count(*) FROM users WHERE age > 30"
+    compile_workload(make_workload(sql=changed_sql))  # query text
+    assert compiled_stores() == baseline + 2
+
+    workload = make_workload()
+    engine = PostgresEngine(workload.catalog)
+    engine.set_many({"work_mem": "128MB"})
+    compile_workload(workload, engine=engine)  # engine knob state
+    assert compiled_stores() == baseline + 3
+
+
+def cache_root_files(cache: ArtifactCache, kind: str) -> list[str]:
+    import glob
+    import os
+
+    assert cache.root is not None
+    return sorted(
+        glob.glob(
+            os.path.join(cache.root, "**", kind, "**", "*.bin"), recursive=True
+        )
+    )
+
+
+# -- plan orders -------------------------------------------------------------------------
+
+
+def order_once(cache, *, cluster_seed=0, max_dp_input=13, with_index=True):
+    workload = make_workload()
+    engine = PostgresEngine(workload.catalog)
+    evaluator = ConfigurationEvaluator(
+        engine, cluster_seed=cluster_seed, max_dp_input=max_dp_input
+    )
+    indexes = [Index("users", ("country",))] if with_index else []
+    config = Configuration(name="c", indexes=indexes)
+    return lambda: evaluator.plan_order(workload.queries, config)
+
+
+def test_order_key_covers_seed_dp_cap_and_config(cache):
+    def order_stores() -> int:
+        return len(cache_root_files(cache, "order"))
+
+    order_once(cache)()
+    baseline = order_stores()
+    assert baseline == 1
+    order_once(cache)()  # identical -> hit
+    assert order_stores() == baseline
+    order_once(cache, cluster_seed=7)()
+    assert order_stores() == baseline + 1
+    order_once(cache, max_dp_input=2)()
+    assert order_stores() == baseline + 2
+    order_once(cache, with_index=False)()
+    assert order_stores() == baseline + 3
+
+
+# -- key rendering -----------------------------------------------------------------------
+
+
+def test_stable_key_distinguishes_types_and_orders():
+    assert stable_key(1) != stable_key("1")
+    assert stable_key(1) != stable_key(1.0)
+    assert stable_key(True) != stable_key(1)
+    assert stable_key((1, 2)) != stable_key((2, 1))
+    assert stable_key({"a": 1, "b": 2}) == stable_key({"b": 2, "a": 1})
+    assert stable_key({1, 2, 3}) == stable_key({3, 1, 2})
+    assert stable_key(b"ab") != stable_key("ab")
+
+
+def test_digest_key_separates_kinds():
+    assert digest_key("plan", ("x",)) != digest_key("order", ("x",))

@@ -1,0 +1,216 @@
+"""Mechanics of the two-tier artifact store."""
+
+from __future__ import annotations
+
+import glob
+import os
+import threading
+
+import pytest
+
+from repro.cache import (
+    CACHE_FORMAT_VERSION,
+    MISS,
+    ArtifactCache,
+    configure_cache,
+    install_cache,
+)
+from repro.cache.keys import stable_key
+from repro.cache.store import _decode_entry, _encode_entry
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_cache():
+    previous = install_cache(None)
+    yield
+    install_cache(previous)
+
+
+def entry_files(root) -> list[str]:
+    return sorted(
+        glob.glob(os.path.join(str(root), "**", "*.bin"), recursive=True)
+    )
+
+
+def test_memory_tier_hit_without_disk():
+    cache = ArtifactCache(None)
+    assert cache.fetch("k", ("a",)) is MISS
+    cache.store("k", ("a",), {"x": 1})
+    assert cache.fetch("k", ("a",)) == {"x": 1}
+    assert cache.stats.memory_hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_disk_tier_survives_new_cache_instance(tmp_path):
+    first = ArtifactCache(tmp_path)
+    first.store("plan", ("q1",), [1.5, 2.5])
+    # A new instance over the same root simulates a new process.
+    second = ArtifactCache(tmp_path)
+    assert second.fetch("plan", ("q1",)) == [1.5, 2.5]
+    assert second.stats.disk_hits == 1
+    # The value is now promoted to the memory tier.
+    assert second.fetch("plan", ("q1",)) == [1.5, 2.5]
+    assert second.stats.memory_hits == 1
+
+
+def test_cached_none_is_distinguished_from_miss():
+    cache = ArtifactCache(None)
+    cache.store("k", ("key",), None)
+    assert cache.fetch("k", ("key",)) is None
+    assert cache.fetch("k", ("other",)) is MISS
+
+
+def test_get_or_compute_computes_once(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return 42
+
+    assert cache.get_or_compute("k", ("a",), compute) == 42
+    assert cache.get_or_compute("k", ("a",), compute) == 42
+    assert len(calls) == 1
+
+
+@pytest.mark.parametrize(
+    "corrupt",
+    [
+        lambda raw: raw[:-1],  # truncated payload
+        lambda raw: b"XXXX" + raw[4:],  # wrong magic
+        lambda raw: raw[:4] + (99).to_bytes(4, "big") + raw[8:],  # future version
+        lambda raw: raw[:-1] + bytes([raw[-1] ^ 0xFF]),  # flipped payload byte
+        lambda raw: raw[:20],  # shorter than the header
+        lambda raw: b"",  # empty file
+    ],
+)
+def test_poisoned_entries_are_recomputed_never_trusted(tmp_path, corrupt):
+    cache = ArtifactCache(tmp_path)
+    cache.store("k", ("a",), "good value")
+    (path,) = entry_files(tmp_path)
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    with open(path, "wb") as handle:
+        handle.write(corrupt(raw))
+
+    fresh = ArtifactCache(tmp_path)  # no memory-tier copy
+    assert fresh.fetch("k", ("a",)) is MISS
+    assert fresh.stats.poisoned == 1
+    # get_or_compute falls back to the real computation.
+    assert fresh.get_or_compute("k", ("a",), lambda: "recomputed") == "recomputed"
+
+
+def test_poisoned_entry_is_discarded_from_disk(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.store("k", ("a",), "value")
+    (path,) = entry_files(tmp_path)
+    with open(path, "wb") as handle:
+        handle.write(b"garbage")
+    fresh = ArtifactCache(tmp_path)
+    assert fresh.fetch("k", ("a",)) is MISS
+    assert not os.path.exists(path)
+
+
+def test_entry_encoding_round_trip_and_digest_check():
+    raw = _encode_entry(b"payload")
+    assert _decode_entry(raw) == b"payload"
+    assert _decode_entry(raw[:-1]) is None
+    assert _decode_entry(b"") is None
+
+
+def test_entries_live_under_version_directory(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.store("plan", ("a",), 1)
+    (path,) = entry_files(tmp_path)
+    assert f"v{CACHE_FORMAT_VERSION}" in path
+    assert os.sep + "plan" + os.sep in path
+
+
+def test_version_bump_orphans_old_entries(tmp_path, monkeypatch):
+    cache = ArtifactCache(tmp_path)
+    cache.store("k", ("a",), "old")
+    monkeypatch.setattr("repro.cache.keys.CACHE_FORMAT_VERSION", 2)
+    monkeypatch.setattr("repro.cache.store.CACHE_FORMAT_VERSION", 2)
+    fresh = ArtifactCache(tmp_path)
+    # Old entries are invisible under the new version: different digest
+    # address space and a different directory.
+    assert fresh.fetch("k", ("a",)) is MISS
+    fresh.store("k", ("a",), "new")
+    assert any("v2" in path for path in entry_files(tmp_path))
+    assert fresh.fetch("k", ("a",)) == "new"
+
+
+def test_memory_lru_is_bounded():
+    cache = ArtifactCache(None, memory_entries=4)
+    for i in range(10):
+        cache.store("k", (i,), i)
+    assert len(cache._memory.entries) == 4
+    assert cache.fetch("k", (9,)) == 9
+    assert cache.fetch("k", (0,)) is MISS
+
+
+def test_failing_disk_writes_degrade_to_memory_only(tmp_path, monkeypatch):
+    def refuse(*args, **kwargs):
+        raise OSError("disk full")
+
+    # chmod tricks don't work under root, so inject the failure where
+    # the atomic publish happens.
+    monkeypatch.setattr("os.replace", refuse)
+    cache = ArtifactCache(tmp_path)
+    cache.store("k", ("a",), "value")  # disk write fails silently
+    assert cache.stats.errors >= 1
+    assert cache.fetch("k", ("a",)) == "value"  # memory tier still works
+    assert entry_files(tmp_path) == []
+
+
+def test_failing_disk_reads_degrade_to_miss(tmp_path, monkeypatch):
+    cache = ArtifactCache(tmp_path)
+    cache.store("k", ("a",), "value")
+
+    def refuse(*args, **kwargs):
+        raise OSError("I/O error")
+
+    monkeypatch.setattr("builtins.open", refuse)
+    fresh = ArtifactCache(tmp_path)
+    assert fresh.fetch("k", ("a",)) is MISS
+    assert fresh.stats.errors == 1
+
+
+def test_concurrent_readers_and_writers(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    errors = []
+
+    def worker(worker_id: int) -> None:
+        try:
+            for i in range(50):
+                key = ("item", i % 10)
+                value = cache.get_or_compute("k", key, lambda i=i: i % 10)
+                assert value == i % 10
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    fresh = ArtifactCache(tmp_path)
+    for i in range(10):
+        assert fresh.fetch("k", ("item", i)) == i
+
+
+def test_configure_and_install_cache_roundtrip(tmp_path):
+    from repro.cache import active_cache
+
+    installed = configure_cache(tmp_path)
+    assert installed is not None and installed.root == str(tmp_path)
+    assert active_cache() is installed
+    restored = install_cache(None)
+    assert restored is installed
+    assert active_cache() is None
+
+
+def test_stable_key_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        stable_key(object())

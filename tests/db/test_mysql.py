@@ -88,3 +88,89 @@ class TestSystemIdentity:
     def test_no_parallel_query(self, mysql_engine):
         env = mysql_engine._runtime_env()  # noqa: SLF001
         assert env.parallel_workers == 1
+
+
+class TestLoggingFactor:
+    """Each durability/housekeeping knob contributes its haircut."""
+
+    def logging(self, engine) -> float:
+        return engine._runtime_env().logging_factor  # noqa: SLF001
+
+    def test_relaxed_trx_commit_reduces_logging_cost(self, mysql_engine):
+        strict = self.logging(mysql_engine)
+        mysql_engine.set_many({"innodb_flush_log_at_trx_commit": 2})
+        assert self.logging(mysql_engine) == pytest.approx(strict - 0.003)
+
+    def test_small_redo_log_penalized(self, mysql_engine):
+        mysql_engine.set_many({"innodb_log_file_size": "1GB"})
+        big = self.logging(mysql_engine)
+        mysql_engine.set_many({"innodb_log_file_size": "64MB"})
+        assert self.logging(mysql_engine) == pytest.approx(big + 0.003)
+
+    def test_disabling_adaptive_hash_index_penalized(self, mysql_engine):
+        enabled = self.logging(mysql_engine)
+        mysql_engine.set_many({"innodb_adaptive_hash_index": False})
+        assert self.logging(mysql_engine) == pytest.approx(enabled + 0.01)
+
+    def test_low_io_capacity_penalized(self, mysql_engine):
+        mysql_engine.set_many({"innodb_io_capacity": 2000})
+        tuned = self.logging(mysql_engine)
+        mysql_engine.set_many({"innodb_io_capacity": 200})
+        assert self.logging(mysql_engine) == pytest.approx(tuned + 0.002)
+
+    def test_small_table_open_cache_penalized(self, mysql_engine):
+        mysql_engine.set_many({"table_open_cache": 4000})
+        tuned = self.logging(mysql_engine)
+        mysql_engine.set_many({"table_open_cache": 100})
+        assert self.logging(mysql_engine) == pytest.approx(tuned + 0.002)
+
+    def test_small_thread_cache_penalized(self, mysql_engine):
+        mysql_engine.set_many({"thread_cache_size": 16})
+        tuned = self.logging(mysql_engine)
+        mysql_engine.set_many({"thread_cache_size": 4})
+        assert self.logging(mysql_engine) == pytest.approx(tuned + 0.001)
+
+
+class TestIOAndMemoryDerivations:
+    def test_io_threads_raise_io_concurrency(self, mysql_engine):
+        base = mysql_engine._runtime_env().io_concurrency  # noqa: SLF001
+        mysql_engine.set_many({"innodb_read_io_threads": 32})
+        more_threads = mysql_engine._runtime_env().io_concurrency  # noqa: SLF001
+        assert more_threads > base
+        mysql_engine.set_many({"innodb_parallel_read_threads": 16})
+        with_parallel_read = mysql_engine._runtime_env().io_concurrency  # noqa: SLF001
+        assert with_parallel_read > more_threads
+
+    def test_agg_memory_is_min_of_tmp_and_heap_limits(self, mysql_engine):
+        mysql_engine.set_many({
+            "tmp_table_size": "64MB",
+            "max_heap_table_size": "16MB",
+        })
+        env = mysql_engine._runtime_env()  # noqa: SLF001
+        assert env.agg_mem_bytes == 16 * 1024**2
+
+    def test_maintenance_memory_floor(self, mysql_engine):
+        mysql_engine.set_many({"sort_buffer_size": "256kB"})
+        env = mysql_engine._runtime_env()  # noqa: SLF001
+        assert env.maintenance_mem_bytes == 32 * 1024**2
+        mysql_engine.set_many({"sort_buffer_size": "128MB"})
+        env = mysql_engine._runtime_env()  # noqa: SLF001
+        assert env.maintenance_mem_bytes == 128 * 1024**2
+
+
+class TestPlannerDerivations:
+    def test_search_depth_zero_means_exhaustive_62(self, mysql_engine):
+        mysql_engine.set_many({"optimizer_search_depth": 0})
+        costs = mysql_engine._planner_costs()  # noqa: SLF001
+        assert costs.join_search_depth == 62
+
+    def test_buffer_pool_doubles_as_effective_cache(self, mysql_engine):
+        mysql_engine.set_many({"innodb_buffer_pool_size": "2GB"})
+        costs = mysql_engine._planner_costs()  # noqa: SLF001
+        assert costs.effective_cache_bytes == 2 * 1024**3
+
+    def test_restart_costs_three_seconds(self, mysql_engine):
+        before = mysql_engine.clock.now
+        seconds = mysql_engine.apply_config({"innodb_buffer_pool_size": "1GB"})
+        assert seconds == 3.0
+        assert mysql_engine.clock.now == before + 3.0

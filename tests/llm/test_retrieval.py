@@ -76,3 +76,77 @@ class TestAugment:
         augmented = augmenter.augment(prompt, system="postgres")
         response = SimulatedLLM().complete(augmented, temperature=0.0)
         assert "ALTER SYSTEM SET" in response.text
+
+
+class TestRetrieveScoring:
+    def corpus(self):
+        from repro.llm.corpus import ManualHint
+
+        return [
+            ManualHint("postgres", "b_param", "absolute", 1.0, "alpha beta gamma"),
+            ManualHint("postgres", "a_param", "absolute", 1.0, "alpha beta gamma"),
+            ManualHint("postgres", "c_param", "absolute", 1.0, "alpha delta"),
+            ManualHint("postgres", "rare", "absolute", 1.0, "epsilon zeta"),
+        ]
+
+    def test_equal_scores_tie_break_by_parameter_name(self):
+        augmenter = RetrievalAugmenter(corpus=self.corpus())
+        passages = augmenter.retrieve("alpha beta gamma", top_k=3)
+        # a_param and b_param score identically; the deterministic
+        # tie-break orders them by parameter name.
+        assert [p.hint.parameter for p in passages[:2]] == ["a_param", "b_param"]
+        assert passages[0].score == passages[1].score
+
+    def test_rare_terms_outweigh_common_ones(self):
+        augmenter = RetrievalAugmenter(corpus=self.corpus())
+        # "alpha" appears in 3 of 4 documents, "epsilon" in 1: IDF must
+        # rank the document matching the rare term first.
+        passages = augmenter.retrieve("alpha epsilon", top_k=4)
+        assert passages[0].hint.parameter == "rare"
+
+    def test_repeated_query_terms_do_not_inflate_scores(self):
+        augmenter = RetrievalAugmenter(corpus=self.corpus())
+        once = augmenter.retrieve("epsilon", top_k=1)
+        thrice = augmenter.retrieve("epsilon epsilon epsilon", top_k=1)
+        assert once[0].score == thrice[0].score
+
+    def test_top_k_zero_returns_nothing(self):
+        augmenter = RetrievalAugmenter(corpus=self.corpus())
+        assert augmenter.retrieve("alpha", top_k=0) == []
+
+
+class TestAugmentBudget:
+    def test_all_passages_over_budget_leave_prompt_untouched(self):
+        from repro.llm.corpus import ManualHint
+
+        huge = ManualHint(
+            "postgres", "big", "absolute", 1.0, "shared_buffers " + "word " * 400
+        )
+        augmenter = RetrievalAugmenter(corpus=[huge])
+        prompt = "tune shared_buffers"
+        # The passage matches but cannot fit: the header alone must not
+        # be appended.
+        assert augmenter.augment(prompt, token_budget=50) == prompt
+
+    def test_budget_exhaustion_stops_mid_list(self):
+        from repro.llm.corpus import ManualHint
+        from repro.core.prompt.tokens import count_tokens
+
+        short = ManualHint("postgres", "a_small", "absolute", 1.0, "alpha hint")
+        long = ManualHint(
+            "postgres", "b_large", "absolute", 1.0, "alpha " + "filler " * 100
+        )
+        augmenter = RetrievalAugmenter(corpus=[short, long])
+        budget = count_tokens("\nRelevant documentation:") + count_tokens(
+            short.text
+        ) + 1
+        augmented = augmenter.augment("alpha", token_budget=budget, top_k=5)
+        assert short.text in augmented
+        assert "filler" not in augmented
+
+    def test_augmented_text_ends_with_newline(self):
+        augmenter = RetrievalAugmenter()
+        augmented = augmenter.augment(
+            "shared_buffers memory settings", system="postgres"
+        )
+        assert augmented.endswith("\n")
