@@ -37,15 +37,22 @@ implementations and verifies bit-identical results:
    TPC-H jobs sharing one artifact cache vs three isolated cold runs;
    shared must be faster and every fingerprint byte-identical to the
    serial no-cache reference.
-9. Optionally consumes ``pytest-benchmark`` stats from
-   ``benchmarks/test_perf_scheduler.py`` via ``--benchmark-json``.
+9. Planning throughput: the batched numpy planner
+   (``Planner.plan_many``) vs the retained scalar reference over
+   SF100-scale synthetic workloads of 200 / 1000 / 2000 queries (plus
+   TPC-H SF100 for reference).  Every plan tree must match the scalar
+   planner node-for-node (repr-exact, so bit-identical floats) and the
+   batched path must be ≥5x faster on workloads of ≥1000 queries; the
+   script refuses to write the report otherwise.
+10. Optionally consumes ``pytest-benchmark`` stats from
+    ``benchmarks/test_perf_scheduler.py`` via ``--benchmark-json``.
 
-Regression gate: if a committed ``BENCH_4.json`` (or, failing that,
-``BENCH_3.json`` / ``BENCH_2.json`` / ``BENCH_1.json``) exists, the
-tuned TPC-H/JOB ``best_time`` must not be worse than recorded there;
-the script exits non-zero otherwise.
+Regression gate: if a committed ``BENCH_5.json`` (or, failing that,
+``BENCH_4.json`` / ``BENCH_3.json`` / ``BENCH_2.json`` /
+``BENCH_1.json``) exists, the tuned TPC-H/JOB ``best_time`` must not be
+worse than recorded there; the script exits non-zero otherwise.
 
-Writes the combined report to ``BENCH_5.json`` (or ``--output``):
+Writes the combined report to ``BENCH_6.json`` (or ``--output``):
 
     PYTHONPATH=src python scripts/bench.py
     PYTHONPATH=src python scripts/bench.py --skip-pytest --quick --workers 2
@@ -70,6 +77,7 @@ sys.path.insert(0, str(REPO / "src"))
 import repro.core.evaluator as evaluator_module  # noqa: E402
 import repro.core.tuner as tuner_module  # noqa: E402
 import repro.db.engine as engine_module  # noqa: E402
+import repro.db.planner as planner_module  # noqa: E402
 from repro.cache import ArtifactCache, install_cache  # noqa: E402
 from repro.core import (  # noqa: E402
     BatchJob,
@@ -86,6 +94,7 @@ from repro.db.postgres import PostgresEngine  # noqa: E402
 from repro.workloads import (  # noqa: E402
     compile_workload,
     job_workload,
+    load_workload,
     tpch_workload,
 )
 
@@ -167,15 +176,17 @@ def _timed_tune(workload) -> tuple[dict, float]:
 
 class _reference_mode:
     """Disable every optimization: caches off (persistent artifact cache
-    included), reference DP."""
+    included), reference DP, scalar reference planner."""
 
     def __enter__(self):
         self._caches = engine_module.CACHES_ENABLED
         self._dp = evaluator_module.compute_order_dp
         self._evaluator = tuner_module.ConfigurationEvaluator
+        self._vectorized = planner_module.VECTORIZED_ENABLED
         self._artifact_cache = install_cache(None)
         engine_module.CACHES_ENABLED = False
         evaluator_module.compute_order_dp = compute_order_dp_reference
+        planner_module.VECTORIZED_ENABLED = False
         tuner_module.ConfigurationEvaluator = functools.partial(
             ConfigurationEvaluator, enable_caches=False
         )
@@ -185,6 +196,7 @@ class _reference_mode:
         engine_module.CACHES_ENABLED = self._caches
         evaluator_module.compute_order_dp = self._dp
         tuner_module.ConfigurationEvaluator = self._evaluator
+        planner_module.VECTORIZED_ENABLED = self._vectorized
         install_cache(self._artifact_cache)
         return False
 
@@ -313,7 +325,13 @@ def compile_cache_benchmark(repeats: int) -> dict:
 
 def _newest_baseline() -> Path:
     """The most recent committed benchmark report, newest first."""
-    for name in ("BENCH_4.json", "BENCH_3.json", "BENCH_2.json", "BENCH_1.json"):
+    for name in (
+        "BENCH_5.json",
+        "BENCH_4.json",
+        "BENCH_3.json",
+        "BENCH_2.json",
+        "BENCH_1.json",
+    ):
         path = REPO / name
         if path.is_file():
             return path
@@ -322,7 +340,7 @@ def _newest_baseline() -> Path:
 
 def regression_gate(tune_report: dict) -> dict:
     """Fail (exit non-zero) if tuned best_time regressed vs the newest
-    committed baseline (BENCH_3.json, else BENCH_2.json, else BENCH_1.json)."""
+    committed baseline (BENCH_5.json, else BENCH_4.json, ... BENCH_1.json)."""
     baseline_path = _newest_baseline()
     gate: dict = {"baseline": baseline_path.name, "checked": False}
     if not baseline_path.is_file():
@@ -733,6 +751,86 @@ def batched_tuning_benchmark(realtime_factor: float) -> dict:
     }
 
 
+# -- planning throughput (batched numpy planner vs scalar reference) ----------
+
+
+def planning_throughput_benchmark(repeats: int) -> dict:
+    """Batched numpy planner vs the scalar reference over SF100 workloads.
+
+    Times a full planning pass (plan cache cleared inside the timed
+    region) through ``engine.plan_many`` -- the batched numpy path --
+    against a scalar ``engine.explain`` loop, which always runs the
+    retained reference planner.  Two hard gates refuse the report:
+
+    - every batched plan must equal the scalar plan node-for-node
+      (dataclass ``repr`` comparison, so every cardinality and cost
+      float is compared bit-for-bit), and ``estimate_many`` must match
+      a scalar ``estimate_seconds`` loop ``repr``-exactly; and
+    - the batched path must be ≥5x faster on every workload of ≥1000
+      queries.
+    """
+    reps = max(3, repeats // 4)
+    scale_up = "scale=100,dimension_tables=8,max_joins=6,max_filters=4"
+    report: dict = {}
+    for label, spec in (
+        ("tpch-sf100", "tpch-sf100"),
+        ("synthetic-200", f"synthetic:queries=200,{scale_up}"),
+        ("synthetic-1000", f"synthetic:queries=1000,{scale_up}"),
+        ("synthetic-2000", f"synthetic:queries=2000,{scale_up}"),
+    ):
+        workload = load_workload(spec)
+        queries = list(workload.queries)
+        engine = PostgresEngine(workload.catalog)
+
+        def scalar_pass():
+            engine._plan_cache.clear()
+            return [engine.explain(query) for query in queries]
+
+        def batched_pass():
+            engine._plan_cache.clear()
+            return engine.plan_many(queries)
+
+        reference_plans = scalar_pass()  # warms catalog stats + statics
+        batched_plans = batched_pass()
+        for position, (ref, got) in enumerate(zip(reference_plans, batched_plans)):
+            if repr(ref) != repr(got):
+                raise SystemExit(
+                    f"planning throughput ({label}): batched plan for query "
+                    f"{queries[position].name!r} diverged from the scalar "
+                    f"reference planner; refusing to write the report"
+                )
+        reference_seconds = [repr(engine.estimate_seconds(q)) for q in queries]
+        batched_seconds = [repr(value) for value in engine.estimate_many(queries)]
+        if reference_seconds != batched_seconds:
+            raise SystemExit(
+                f"planning throughput ({label}): estimate_many diverged from "
+                f"the scalar estimate_seconds loop; refusing to write the report"
+            )
+
+        reference_s = _best_of(scalar_pass, reps)
+        batched_s = _best_of(batched_pass, reps)
+        speedup = reference_s / batched_s
+        gated = len(queries) >= 1000
+        if gated and speedup < 5.0:
+            raise SystemExit(
+                f"planning throughput ({label}): batched planner is only "
+                f"{speedup:.2f}x faster than the scalar reference over "
+                f"{len(queries)} queries; 5x gate missed"
+            )
+        report[label] = {
+            "queries": len(queries),
+            "reference_s": round(reference_s, 4),
+            "batched_s": round(batched_s, 4),
+            "speedup": round(speedup, 2),
+            "reference_queries_per_s": round(len(queries) / reference_s, 1),
+            "batched_queries_per_s": round(len(queries) / batched_s, 1),
+            "plans_identical": True,
+            "seconds_identical": True,
+            "speedup_gate": "≥5x" if gated else "informational",
+        }
+    return report
+
+
 # -- pytest-benchmark consumption ---------------------------------------------
 
 
@@ -775,8 +873,8 @@ def pytest_benchmarks() -> dict | None:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--output", type=Path, default=REPO / "BENCH_5.json",
-        help="report destination (default: BENCH_5.json at the repo root)",
+        "--output", type=Path, default=REPO / "BENCH_6.json",
+        help="report destination (default: BENCH_6.json at the repo root)",
     )
     parser.add_argument(
         "--workers", type=int, default=4,
@@ -886,9 +984,19 @@ def main() -> None:
         f"identical={batch_report['result_identical']}"
     )
 
+    print("== planning throughput (batched numpy planner vs scalar) ==")
+    planning_report = planning_throughput_benchmark(compile_repeats)
+    for label, row in planning_report.items():
+        print(
+            f"  {label}: {row['queries']} queries, "
+            f"{row['reference_s']:.3f} s -> {row['batched_s']:.3f} s "
+            f"({row['speedup']}x, gate {row['speedup_gate']})"
+        )
+
     report = {
         "dp_microbench": dp_report,
         "full_tune": tune_report,
+        "planning_throughput": planning_report,
         "regression_gate": gate_report,
         "parallel_selection": parallel_report,
         "compile_cache": compile_report,

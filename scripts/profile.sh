@@ -11,6 +11,7 @@
 #     scripts/profile.sh -s tottime          # sort by self time
 #     scripts/profile.sh -w job              # profile the JOB workload
 #     scripts/profile.sh -c /tmp/warm-cache  # tune over a persistent cache
+#     scripts/profile.sh -j out.json         # also dump hotspots as JSON
 
 set -eu
 
@@ -22,6 +23,7 @@ top_n=25
 sort_key=cumulative
 workload=tpch
 cache_dir=""
+json_out=""
 
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -29,6 +31,7 @@ while [ $# -gt 0 ]; do
         -s) sort_key=$2; shift 2 ;;
         -w) workload=$2; shift 2 ;;
         -c) cache_dir=$2; shift 2 ;;
+        -j) json_out=$2; shift 2 ;;
         *) echo "profile: unknown argument $1" >&2; exit 2 ;;
     esac
 done
@@ -44,10 +47,12 @@ fi
 
 PROFILE_TOP_N="$top_n" PROFILE_SORT="$sort_key" \
 PROFILE_WORKLOAD="$workload" PROFILE_CACHE_DIR="$cache_dir" \
+PROFILE_JSON_OUT="$json_out" \
 PYTHONPATH=src exec "$PYTHON" - <<'PYEOF'
 """cProfile harness over one small tune (the bench TUNE_OPTIONS shape)."""
 import cProfile
 import io
+import json
 import os
 import pstats
 
@@ -61,6 +66,7 @@ top_n = int(os.environ["PROFILE_TOP_N"])
 sort_key = os.environ["PROFILE_SORT"]
 workload_name = os.environ["PROFILE_WORKLOAD"]
 cache_dir = os.environ["PROFILE_CACHE_DIR"]
+json_out = os.environ["PROFILE_JSON_OUT"]
 
 if cache_dir:
     configure_cache(cache_dir)
@@ -84,4 +90,32 @@ stats.strip_dirs().sort_stats(sort_key).print_stats(top_n)
 print(f"# workload={workload.name} best_time={result.best_time!r} "
       f"tuning_seconds={result.tuning_seconds!r} cache={cache_dir or 'off'}")
 print(buffer.getvalue())
+
+if json_out:
+    # One record per hotspot, in the printed order, so snapshots can be
+    # diffed across PRs alongside BENCH files.  pstats entries are
+    # (primitive_calls, total_calls, tottime, cumtime, callers).
+    hotspots = []
+    for key in stats.fcn_list[:top_n]:
+        filename, line, function = key
+        primitive_calls, total_calls, tottime, cumtime, _ = stats.stats[key]
+        hotspots.append({
+            "function": f"{filename}:{line}:{function}",
+            "ncalls": total_calls,
+            "primitive_calls": primitive_calls,
+            "tottime": round(tottime, 6),
+            "cumtime": round(cumtime, 6),
+        })
+    snapshot = {
+        "workload": workload.name,
+        "sort": sort_key,
+        "cache": cache_dir or None,
+        "best_time": repr(result.best_time),
+        "tuning_seconds": repr(result.tuning_seconds),
+        "hotspots": hotspots,
+    }
+    with open(json_out, "w") as handle:
+        json.dump(snapshot, handle, indent=2)
+        handle.write("\n")
+    print(f"# wrote {len(hotspots)} hotspots to {json_out}")
 PYEOF

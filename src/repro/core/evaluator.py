@@ -33,10 +33,11 @@ from repro.cache import MISS, active_cache
 from repro.core.clustering import cluster_queries
 from repro.core.config import Configuration
 from repro.core.scheduler import MAX_DP_INPUT, compute_order_dp, greedy_order
+from repro.db import planner as planner_module
 from repro.db.engine import DatabaseEngine
 from repro.db.indexes import Index
 from repro.errors import ConfigurationError, ConfigurationRejectedError, EngineFaultError
-from repro.workloads.base import Query
+from repro.workloads.base import Query, workload_identity
 
 #: Safety valve: drop memoized derivations if a pathological workload
 #: would otherwise grow them without bound.
@@ -141,7 +142,7 @@ class ConfigurationEvaluator:
         key = None
         if self._enable_caches:
             key = (
-                tuple(query.name for query in queries),
+                workload_identity(queries).names,
                 self._config_key(config),
             )
             cached = self._index_map_cache.get(key)
@@ -213,7 +214,7 @@ class ConfigurationEvaluator:
         key = None
         if self._enable_caches:
             key = (
-                tuple(query.name for query in queries),
+                workload_identity(queries).names,
                 self._config_key(config),
                 self._engine.config_signature,
             )
@@ -239,7 +240,7 @@ class ConfigurationEvaluator:
                 engine.catalog.content_fingerprint(),
                 engine.content_key(),
                 self._config_key(config),
-                tuple((query.name, query.sql) for query in queries),
+                workload_identity(queries).content,
                 self._cluster_seed,
                 self._max_dp_input,
             )
@@ -334,13 +335,19 @@ class ConfigurationEvaluator:
                             meta.index_time += engine.create_index(index)
                             created_here.append(index)
 
-                for query in ordered:
+                batch_end = 0
+                for position, query in enumerate(ordered):
                     if self._lazy_indexes:
                         for index in sorted(index_map[query.name], key=str):
                             if index.key in preexisting or engine.has_index(index):
                                 continue
                             meta.index_time += engine.create_index(index)
                             created_here.append(index)
+
+                    if planner_module.VECTORIZED_ENABLED and position >= batch_end:
+                        batch_end = self._plan_ahead(
+                            ordered, position, index_map, preexisting
+                        )
 
                     result = engine.execute(query, timeout=remaining_time)
                     if not result.complete:
@@ -358,3 +365,37 @@ class ConfigurationEvaluator:
                 # other configurations start from a clean slate (§5.1).
                 for index in created_here:
                     engine.drop_index(index)
+
+    def _plan_ahead(
+        self,
+        ordered: list[Query],
+        position: int,
+        index_map: dict[str, frozenset],
+        preexisting: set,
+    ) -> int:
+        """Warm the plan cache for the upcoming index-stable query run.
+
+        Plans depend on the engine's (settings, index set) signature,
+        which only changes at lazy index creations, so the run of
+        queries from ``position`` up to the next query needing a new
+        index can be costed in one vectorized ``plan_many`` batch.
+        Planning is a pure derivation -- no clock advance, no fault
+        sites -- so warming ahead of queries that may later time out is
+        only wall-clock work, never a behaviour change.  Returns the
+        exclusive end of the warmed segment.
+        """
+        engine = self._engine
+        end = position + 1
+        if self._lazy_indexes:
+            while end < len(ordered):
+                needs_index = any(
+                    index.key not in preexisting and not engine.has_index(index)
+                    for index in index_map[ordered[end].name]
+                )
+                if needs_index:
+                    break
+                end += 1
+        else:
+            end = len(ordered)
+        engine.plan_many(ordered[position:end])
+        return end

@@ -23,6 +23,8 @@ import hashlib
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.db.catalog import PAGE_SIZE
 from repro.db.hardware import HardwareSpec
 from repro.db.knobs import MB
@@ -137,3 +139,99 @@ def deterministic_noise(*parts: object, amplitude: float = 0.03) -> float:
     digest = hashlib.sha256("|".join(map(str, parts)).encode()).digest()
     unit = int.from_bytes(digest[:8], "big") / float(2**64)
     return 1.0 + amplitude * (2.0 * unit - 1.0)
+
+
+# -- array-form kernels -------------------------------------------------------
+#
+# Batched counterparts of the scalar kernels above, used by the
+# vectorized planner (``repro.db.planner_vec``).  The discipline is
+# bit-transparency: every element of an array result must equal the
+# scalar kernel applied to that element, down to the last ulp.  Plain
+# float64 arithmetic (+ - * / min max) is elementwise IEEE-754 and
+# matches CPython exactly, but numpy's transcendental ufuncs (log, log2,
+# pow) use SIMD implementations whose rounding differs from libm, so
+# every transcendental below is evaluated through ``math`` -- either on
+# the (typically tiny) masked subset that needs it, or once per unique
+# input.  The arrays carry the bulk arithmetic; libm carries the logs.
+
+
+def cache_hit_ratio_array(env: RuntimeEnv, working_set_bytes: np.ndarray) -> np.ndarray:
+    """Vector form of :func:`cache_hit_ratio` (pure arithmetic, exact)."""
+    working = np.asarray(working_set_bytes, dtype=np.float64)
+    pool = env.buffer_pool_bytes
+    os_cache = max(0, env.hardware.memory_bytes - pool) * 0.5
+    effective = pool + os_cache
+    ratio = np.maximum(0.0, np.minimum(0.99, effective / np.maximum(working, 1.0)))
+    return np.where(working <= 0, 1.0, ratio)
+
+
+def spill_passes_array(bytes_needed: np.ndarray, memory_bytes: int) -> np.ndarray:
+    """Vector form of :func:`spill_passes`.
+
+    ``log2`` is evaluated with :func:`math.log2` on the spilling subset
+    only, so every element is bit-identical to the scalar kernel.
+    """
+    needed = np.asarray(bytes_needed, dtype=np.float64)
+    memory = max(memory_bytes, 64 * 1024)
+    passes = np.zeros(needed.shape, dtype=np.float64)
+    spilling = np.nonzero((needed > memory) & (needed > 0))[0]
+    if spilling.size:
+        ratios = (needed[spilling] / memory).tolist()
+        logs = np.array([math.log2(ratio) for ratio in ratios], dtype=np.float64)
+        passes[spilling] = 1.0 + logs / 6.0
+    return passes
+
+
+def parallel_speedup_array(workers: np.ndarray, cores: int) -> np.ndarray:
+    """Vector form of :func:`parallel_speedup`.
+
+    ``** 0.8`` goes through CPython's ``pow`` once per *unique* worker
+    count (there are at most a handful), never through ``np.power``.
+    """
+    counts = np.asarray(workers)
+    effective = np.maximum(1, np.minimum(counts, cores))
+    result = np.empty(effective.shape, dtype=np.float64)
+    for count in np.unique(effective):
+        result[effective == count] = float(count) ** 0.8
+    return result
+
+
+def oversubscription_penalty_array(
+    allocated_bytes: np.ndarray, memory_bytes: int
+) -> np.ndarray:
+    """Vector form of :func:`oversubscription_penalty`.
+
+    The quadratic ramp is evaluated with scalar ``**`` on the (rare)
+    oversubscribed subset for exact parity with the scalar kernel.
+    """
+    allocated = np.asarray(allocated_bytes, dtype=np.float64)
+    ratio = allocated / max(1, memory_bytes)
+    penalty = np.ones(ratio.shape, dtype=np.float64)
+    over = np.nonzero(ratio > 0.8)[0]
+    if over.size:
+        values = ratio[over].tolist()
+        penalty[over] = [1.0 + ((value - 0.8) * 12.0) ** 2 for value in values]
+    return penalty
+
+
+def deterministic_noise_vector(
+    draws: list[tuple], amplitude: float = 0.03
+) -> np.ndarray:
+    """Batched :func:`deterministic_noise` over a vector of draw tuples.
+
+    The SHA-256 digests are inherently per-element; the arithmetic that
+    turns digests into jitter factors is a single array pass that
+    mirrors the scalar expression operation for operation.
+    """
+    units = np.array(
+        [
+            int.from_bytes(
+                hashlib.sha256("|".join(map(str, parts)).encode()).digest()[:8],
+                "big",
+            )
+            / float(2**64)
+            for parts in draws
+        ],
+        dtype=np.float64,
+    )
+    return 1.0 + amplitude * (2.0 * units - 1.0)

@@ -21,10 +21,17 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.cache import MISS, active_cache
 from repro.db.catalog import Catalog
 from repro.db.clock import VirtualClock
-from repro.db.cost_model import PlannerCosts, RuntimeEnv, deterministic_noise
+from repro.db.cost_model import (
+    PlannerCosts,
+    RuntimeEnv,
+    deterministic_noise,
+    deterministic_noise_vector,
+)
 from repro.db.hardware import HardwareSpec
 from repro.db.indexes import Index
 from repro.db.knobs import KnobSpace
@@ -427,6 +434,135 @@ class DatabaseEngine(abc.ABC):
         name, sql, info = self._query_parts(query)
         _, seconds = self._planned(name, sql, info)
         return seconds
+
+    def plan_many(self, queries: list) -> list[QueryPlan]:
+        """Batched :meth:`explain`: plan a whole workload in one pass.
+
+        Cache misses are costed together by ``Planner.plan_many`` (the
+        vectorized core) and stored through the same in-process and
+        persistent plan caches as :meth:`explain`, so results are
+        bit-identical to planning each query alone.
+        """
+        parts = [self._query_parts(query) for query in queries]
+        return [plan for plan, _ in self._planned_batch(parts)]
+
+    def estimate_many(self, queries: list) -> list[float]:
+        """Batched :meth:`estimate_seconds` over a list of queries."""
+        parts = [self._query_parts(query) for query in queries]
+        planned = self._planned_batch(parts)
+        bases = np.array([seconds for _, seconds in planned], dtype=np.float64)
+        noise = deterministic_noise_vector(
+            [
+                (self.system, name, self._config_signature)
+                for name, _, _ in parts
+            ]
+        )
+        seconds = np.maximum(bases * noise, 1e-4)
+        return [float(value) for value in seconds]
+
+    def _plan_material(self, sql: str) -> tuple:
+        """Persistent-cache material for one query's plan (see ``_planned``)."""
+        return (
+            self.system,
+            (
+                self.hardware.memory_gb,
+                self.hardware.cores,
+                self.hardware.disk_mb_per_s,
+            ),
+            self.catalog.content_fingerprint(),
+            self.content_key(),
+            sql,
+        )
+
+    def _planned_batch(
+        self, parts: list[tuple[str, str, QueryInfo]]
+    ) -> list[tuple[QueryPlan, float]]:
+        """Batch counterpart of ``_planned``, minus the per-name noise.
+
+        Returns ``(plan, base_seconds)`` per input part, with
+        ``base_seconds`` excluding the deterministic noise exactly like
+        the values ``_planned`` caches.
+        """
+        system = self.system
+        hardware = self.hardware
+        signature = self._config_signature
+        plan_cache = self._plan_cache
+        keys: dict[str, tuple] = {}
+        missing: dict[str, QueryInfo] = {}
+        # ``resolved`` collects one entry per unique sql -- shared-cache
+        # hits and everything this call plans -- so the final gather is
+        # immune to the size valve clearing the shared cache mid-batch.
+        resolved: dict[str, tuple[QueryPlan, float]] = {}
+        for _, sql, info in parts:
+            if sql not in keys:
+                key = keys[sql] = (system, hardware, sql, signature)
+                cached = plan_cache.get(key)
+                if cached is None:
+                    missing[sql] = info
+                else:
+                    resolved[sql] = cached
+
+        fresh: dict[str, tuple[QueryPlan, float]] = {}
+        if missing:
+            persistent = active_cache() if CACHES_ENABLED else None
+            unplanned: dict[str, QueryInfo] = {}
+            for sql, info in missing.items():
+                cached = None
+                if persistent is not None:
+                    value = persistent.fetch("plan", self._plan_material(sql))
+                    if value is not MISS:
+                        cached = value
+                if cached is None:
+                    unplanned[sql] = info
+                else:
+                    fresh[sql] = cached
+            if unplanned:
+                env = self.runtime_env()
+                selectivity_cache = (
+                    shared_catalog_cache(self.catalog, "selectivity")
+                    if CACHES_ENABLED
+                    else None
+                )
+                planner = Planner(
+                    self.catalog,
+                    self._indexes,
+                    self.planner_costs(),
+                    env,
+                    selectivity_cache=selectivity_cache,
+                )
+                sqls = list(unplanned)
+                plans = planner.plan_many([unplanned[sql] for sql in sqls])
+                # ``plan.actual_cost`` inlined (same left-to-right adds)
+                # with the env factors hoisted; the multiplication chain
+                # keeps the reference's order, so the product is
+                # bit-identical to what ``_planned`` caches.
+                seconds_per_cost_unit = env.seconds_per_cost_unit
+                logging_factor = env.logging_factor
+                swap_factor = env.swap_factor
+                for sql, plan in zip(sqls, plans):
+                    scans_total: float = 0
+                    for node in plan.scans:
+                        scans_total += node.actual_cost
+                    joins_total: float = 0
+                    for node in plan.joins:
+                        joins_total += node.actual_cost
+                    base_seconds = (
+                        (scans_total + joins_total + plan.post_actual_cost)
+                        * seconds_per_cost_unit
+                        * logging_factor
+                        * swap_factor
+                    )
+                    cached = (plan, base_seconds)
+                    if persistent is not None:
+                        persistent.store("plan", self._plan_material(sql), cached)
+                    fresh[sql] = cached
+            for sql, cached in fresh.items():
+                if len(plan_cache) > _MAX_SHARED_CACHE_ENTRIES:
+                    plan_cache.clear()
+                plan_cache[keys[sql]] = cached
+            resolved.update(fresh)
+
+        return [resolved[sql] for _, sql, _ in parts]
 
     def execute(
         self, query: "str | object", timeout: float | None = None

@@ -27,7 +27,7 @@ from repro.db.explain import join_condition_values
 from repro.db.hardware import HardwareSpec
 from repro.errors import ReproError
 from repro.sql.analyzer import JoinCondition
-from repro.workloads.base import Query, Workload
+from repro.workloads.base import Query, Workload, workload_identity
 
 
 @dataclass(slots=True)
@@ -98,7 +98,8 @@ def compile_workload(
             raise ReproError(
                 "compile_workload: engine catalog differs from workload catalog"
             )
-    names = tuple(query.name for query in workload.queries)
+    identity = workload_identity(workload.queries)
+    names = identity.names
     cache = None
     key = None
     if engine_module.CACHES_ENABLED:
@@ -136,7 +137,7 @@ def compile_workload(
             ),
             workload.catalog.content_fingerprint(),
             engine.content_key(),
-            tuple((query.name, query.sql) for query in workload.queries),
+            identity.content,
         )
         value = persistent.fetch("compiled", material)
         if value is not MISS:
@@ -145,15 +146,22 @@ def compile_workload(
             return value
 
     queries = list(workload.queries)
+    # Cost the whole workload in one vectorized pass first: the default
+    # costs warm the shared plan cache, so the per-query EXPLAIN walk in
+    # ``join_condition_values`` below hits it instead of re-planning.
+    default_costs = dict(
+        zip(
+            (query.name for query in queries),
+            engine.estimate_many(queries),
+        )
+    )
     compiled = CompiledWorkload(
         workload_name=workload.name,
         system=system,
         hardware=engine.hardware,
         queries=queries,
         join_values=join_condition_values(engine, queries),
-        default_costs={
-            query.name: engine.estimate_seconds(query) for query in queries
-        },
+        default_costs=default_costs,
     )
     if cache is not None:
         cache[key] = compiled

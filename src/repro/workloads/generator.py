@@ -203,13 +203,29 @@ class WorkloadGenerator:
 
 
 def synthetic_workload(
-    seed: int = 0, *, queries: int = 12, scale: float = 1.0
+    seed: int = 0,
+    *,
+    queries: int = 12,
+    scale: float = 1.0,
+    fact_tables: int = 2,
+    dimension_tables: int = 5,
+    max_joins: int = 4,
+    max_filters: int = 3,
 ) -> Workload:
-    """Convenience wrapper: a seeded synthetic workload."""
+    """Convenience wrapper: a seeded synthetic workload.
+
+    ``scale`` multiplies the base table sizes (scale 100 approximates an
+    SF100-style catalog); the remaining knobs mirror
+    :class:`GeneratorConfig` and default to its values.
+    """
     config = GeneratorConfig(
         seed=seed,
         queries=queries,
         fact_rows=int(2_000_000 * scale),
         dimension_rows=int(20_000 * scale),
+        fact_tables=fact_tables,
+        dimension_tables=dimension_tables,
+        max_joins_per_query=max_joins,
+        max_filters_per_query=max_filters,
     )
     return WorkloadGenerator(config).generate()

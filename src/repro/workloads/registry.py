@@ -1,25 +1,102 @@
-"""Workload lookup by name, as used by the benchmark harness and CLI."""
+"""Workload lookup by name or spec string, as used by the harness and CLI."""
 
 from __future__ import annotations
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.workloads.base import Workload
+from repro.workloads.generator import synthetic_workload
 from repro.workloads.job import job_workload
 from repro.workloads.tpcds import tpcds_workload
 from repro.workloads.tpch import tpch_workload
 
-WORKLOAD_NAMES = ["tpch-sf1", "tpch-sf10", "tpcds-sf1", "job"]
+WORKLOAD_NAMES = [
+    "tpch-sf1",
+    "tpch-sf10",
+    "tpch-sf100",
+    "tpcds-sf1",
+    "tpcds-sf10",
+    "tpcds-sf100",
+    "job",
+    "synthetic",
+]
+
+#: Options accepted in ``synthetic:`` spec strings, with their parsers.
+_SYNTHETIC_OPTIONS = {
+    "queries": int,
+    "scale": float,
+    "seed": int,
+    "fact_tables": int,
+    "dimension_tables": int,
+    "max_joins": int,
+    "max_filters": int,
+}
+
+
+def _parse_synthetic_spec(spec: str) -> dict:
+    """Parse ``queries=2000,scale=100``-style options for the generator."""
+    options: dict[str, object] = {}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            raise ConfigurationError(
+                f"synthetic workload spec has an empty item: {spec!r}"
+            )
+        key, separator, raw = item.partition("=")
+        key = key.strip()
+        if not separator:
+            raise ConfigurationError(
+                f"synthetic workload spec item {item!r} is not key=value"
+            )
+        parser = _SYNTHETIC_OPTIONS.get(key)
+        if parser is None:
+            raise ConfigurationError(
+                f"unknown synthetic workload option {key!r};"
+                f" choose from {sorted(_SYNTHETIC_OPTIONS)}"
+            )
+        try:
+            options[key] = parser(raw.strip())
+        except ValueError as error:
+            raise ConfigurationError(
+                f"bad value for synthetic workload option {key!r}:"
+                f" {raw.strip()!r}"
+            ) from error
+    return options
 
 
 def load_workload(name: str) -> Workload:
-    """Build a workload by its canonical name (see ``WORKLOAD_NAMES``)."""
+    """Build a workload by canonical name or spec string.
+
+    Plain names come from ``WORKLOAD_NAMES``.  The generated workload
+    additionally accepts a parameterized spec string, e.g.
+    ``load_workload("synthetic:queries=2000,scale=100")``; valid keys
+    are ``queries``, ``scale``, ``seed``, ``fact_tables``,
+    ``dimension_tables``, ``max_joins``, and ``max_filters``.  Spec
+    errors raise the typed :class:`ConfigurationError`.
+    """
     key = name.lower()
+    if key == "synthetic" or key.startswith("synthetic:"):
+        options = _parse_synthetic_spec(key[len("synthetic:"):]) if ":" in key else {}
+        seed = options.pop("seed", 0)
+        try:
+            return synthetic_workload(seed, **options)
+        except ConfigurationError:
+            raise
+        except ReproError as error:
+            raise ConfigurationError(
+                f"invalid synthetic workload spec {name!r}: {error}"
+            ) from error
     if key in ("tpch", "tpch-sf1"):
         return tpch_workload(1.0)
     if key == "tpch-sf10":
         return tpch_workload(10.0)
+    if key == "tpch-sf100":
+        return tpch_workload(100.0)
     if key in ("tpcds", "tpcds-sf1"):
         return tpcds_workload(1.0)
+    if key == "tpcds-sf10":
+        return tpcds_workload(10.0)
+    if key == "tpcds-sf100":
+        return tpcds_workload(100.0)
     if key == "job":
         return job_workload()
     raise ReproError(

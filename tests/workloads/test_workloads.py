@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.workloads import WORKLOAD_NAMES, load_workload
 from repro.workloads.base import Query, Workload
 from repro.workloads.job import job_catalog, job_query_sql
@@ -22,6 +22,51 @@ class TestRegistry:
 
     def test_aliases(self):
         assert load_workload("tpch").name == "tpch-sf1"
+
+    def test_sf100_presets_scale_cardinalities(self):
+        assert load_workload("tpch-sf100").catalog.table("lineitem").rows == 600_121_500
+        assert (
+            load_workload("tpcds-sf100").catalog.table("inventory").rows
+            == 1_174_500_000
+        )
+
+
+class TestSyntheticSpec:
+    def test_spec_string_sets_size_and_scale(self):
+        workload = load_workload("synthetic:queries=64,scale=10")
+        assert len(workload.queries) == 64
+        baseline = load_workload("synthetic:queries=64,scale=1")
+        assert max(t.rows for t in workload.catalog.tables) > max(
+            t.rows for t in baseline.catalog.tables
+        )
+
+    def test_spec_string_full_option_set(self):
+        workload = load_workload(
+            "synthetic:queries=20,scale=2,seed=7,fact_tables=3,"
+            "dimension_tables=8,max_joins=6,max_filters=4"
+        )
+        assert len(workload.queries) == 20
+        assert len(workload.catalog.tables) == 11  # 3 fact + 8 dimension
+
+    def test_spec_is_deterministic(self):
+        first = load_workload("synthetic:queries=15,seed=3")
+        second = load_workload("synthetic:queries=15,seed=3")
+        assert [q.sql for q in first.queries] == [q.sql for q in second.queries]
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "synthetic:frobnicate=2",
+            "synthetic:queries=abc",
+            "synthetic:queries",
+            "synthetic:,",
+            "synthetic:queries=0",
+            "synthetic:dimension_tables=0",
+        ],
+    )
+    def test_bad_specs_raise_typed_error(self, spec):
+        with pytest.raises(ConfigurationError):
+            load_workload(spec)
 
 
 class TestTPCH:
