@@ -17,14 +17,17 @@ import random
 
 import pytest
 
+import repro.db.planner as planner_module
 from repro.core import LambdaTune
+from repro.core.config import Configuration
+from repro.core.evaluator import ConfigMeta, ConfigurationEvaluator
 from repro.core.scheduler import (
     compute_order_dp,
     compute_order_dp_reference,
 )
 from repro.db.postgres import PostgresEngine
 from repro.llm import SimulatedLLM
-from repro.workloads import job_workload, tpch_workload
+from repro.workloads import job_workload, load_workload, tpch_workload
 
 pytestmark = pytest.mark.slow
 
@@ -71,3 +74,50 @@ def test_full_tune(benchmark, quick_options, workload_name):
     repeat = run()
     assert repeat.best_time == result.best_time
     assert repeat.tuning_seconds == result.tuning_seconds
+
+
+def _evaluate_harness(n_queries: int):
+    """A warm evaluator over an SF100 synthetic workload, plus a runner
+    that performs one full ``evaluate`` pass (fresh meta each call)."""
+    workload = load_workload(
+        f"synthetic:queries={n_queries},scale=100,"
+        "dimension_tables=8,max_joins=6,max_filters=4"
+    )
+    queries = list(workload.queries)
+    evaluator = ConfigurationEvaluator(PostgresEngine(workload.catalog))
+    config = Configuration(name="bench-probe", settings={"work_mem": "64MB"})
+
+    def run():
+        meta = ConfigMeta()
+        evaluator.evaluate(config, queries, 1e12, meta)
+        return meta
+
+    return run
+
+
+@pytest.mark.parametrize("n_queries", [500, 2000])
+def test_evaluate_batched(benchmark, n_queries):
+    """The segment-batched evaluate loop (``execute_many`` per segment)."""
+    run = _evaluate_harness(n_queries)
+    reference = run()  # warm plan/order/noise caches before timing
+    meta = benchmark(run)
+    assert meta.is_complete
+    assert repr(meta.time) == repr(reference.time)
+    assert meta.completed_queries == reference.completed_queries
+
+
+@pytest.mark.parametrize("n_queries", [2000])
+def test_evaluate_scalar_reference(benchmark, n_queries):
+    """The retained per-query loop, benchmarked for the speedup ratio."""
+    run = _evaluate_harness(n_queries)
+    batched_reference = run()
+    previous = planner_module.VECTORIZED_ENABLED
+    planner_module.VECTORIZED_ENABLED = False
+    try:
+        run()  # warm the scalar path too
+        meta = benchmark(run)
+    finally:
+        planner_module.VECTORIZED_ENABLED = previous
+    assert meta.is_complete
+    assert repr(meta.time) == repr(batched_reference.time)
+    assert meta.completed_queries == batched_reference.completed_queries

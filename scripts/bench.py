@@ -44,15 +44,24 @@ implementations and verifies bit-identical results:
    planner node-for-node (repr-exact, so bit-identical floats) and the
    batched path must be ≥5x faster on workloads of ≥1000 queries; the
    script refuses to write the report otherwise.
-10. Optionally consumes ``pytest-benchmark`` stats from
+10. Evaluator throughput: the segment-batched ``evaluate`` (whole
+    index-stable segments through ``engine.execute_many``) vs the
+    retained scalar per-query loop over SF100-scale synthetic workloads
+    of 500 / 2000 queries.  The batched ``ConfigMeta`` must match the
+    scalar one ``repr``-exactly (every float bit-for-bit), the batched
+    path must be ≥5x faster at ≥2000 queries, and the tuned TPC-H
+    ``best_time`` must stay within 2% of the committed ``BENCH_6.json``
+    value; the script refuses to write the report otherwise.
+11. Optionally consumes ``pytest-benchmark`` stats from
     ``benchmarks/test_perf_scheduler.py`` via ``--benchmark-json``.
 
-Regression gate: if a committed ``BENCH_5.json`` (or, failing that,
-``BENCH_4.json`` / ``BENCH_3.json`` / ``BENCH_2.json`` /
-``BENCH_1.json``) exists, the tuned TPC-H/JOB ``best_time`` must not be
-worse than recorded there; the script exits non-zero otherwise.
+Regression gate: if a committed ``BENCH_6.json`` (or, failing that,
+``BENCH_5.json`` / ``BENCH_4.json`` / ``BENCH_3.json`` /
+``BENCH_2.json`` / ``BENCH_1.json``) exists, the tuned TPC-H/JOB
+``best_time`` must not be worse than recorded there; the script exits
+non-zero otherwise.
 
-Writes the combined report to ``BENCH_6.json`` (or ``--output``):
+Writes the combined report to ``BENCH_7.json`` (or ``--output``):
 
     PYTHONPATH=src python scripts/bench.py
     PYTHONPATH=src python scripts/bench.py --skip-pytest --quick --workers 2
@@ -326,6 +335,7 @@ def compile_cache_benchmark(repeats: int) -> dict:
 def _newest_baseline() -> Path:
     """The most recent committed benchmark report, newest first."""
     for name in (
+        "BENCH_6.json",
         "BENCH_5.json",
         "BENCH_4.json",
         "BENCH_3.json",
@@ -340,7 +350,7 @@ def _newest_baseline() -> Path:
 
 def regression_gate(tune_report: dict) -> dict:
     """Fail (exit non-zero) if tuned best_time regressed vs the newest
-    committed baseline (BENCH_5.json, else BENCH_4.json, ... BENCH_1.json)."""
+    committed baseline (BENCH_6.json, else BENCH_5.json, ... BENCH_1.json)."""
     baseline_path = _newest_baseline()
     gate: dict = {"baseline": baseline_path.name, "checked": False}
     if not baseline_path.is_file():
@@ -831,6 +841,144 @@ def planning_throughput_benchmark(repeats: int) -> dict:
     return report
 
 
+# -- evaluator throughput (segment-batched evaluate vs scalar loop) -----------
+
+
+def evaluator_throughput_benchmark(tune_report: dict, repeats: int) -> dict:
+    """Segment-batched ``evaluate`` vs the retained scalar per-query loop.
+
+    Both paths run with warm plan/order/noise caches (one warm-up
+    evaluate each) and differ only in ``VECTORIZED_ENABLED``, so the
+    measurement isolates the execute-loop cost: one ``execute_many``
+    cumsum per index-stable segment against one ``execute`` round-trip
+    per query.  Three hard gates refuse the report:
+
+    - the batched ``ConfigMeta`` (time, completion, index time,
+      completed set, quarantine fields) and the engine clock must match
+      the scalar run ``repr``-exactly, so every float is bit-identical;
+    - the batched path must be ≥5x faster on workloads of ≥2000
+      queries; and
+    - chained to the committed ``BENCH_6.json``: the tuned TPC-H
+      ``best_time`` from the ``full_tune`` section above must be within
+      2% of that baseline (the batched execute path must not perturb
+      what selection picks).
+    """
+    from repro.core.config import Configuration
+    from repro.core.evaluator import ConfigMeta
+
+    reps = max(3, repeats // 4)
+    scale_up = "scale=100,dimension_tables=8,max_joins=6,max_filters=4"
+    report: dict = {}
+
+    def meta_label(meta, engine):
+        return (
+            repr(meta.time),
+            meta.is_complete,
+            repr(meta.index_time),
+            tuple(sorted(meta.completed_queries)),
+            meta.failed,
+            meta.failure,
+            repr(engine.clock.now),
+        )
+
+    for label, spec in (
+        ("synthetic-500", f"synthetic:queries=500,{scale_up}"),
+        ("synthetic-2000", f"synthetic:queries=2000,{scale_up}"),
+    ):
+        workload = load_workload(spec)
+        queries = list(workload.queries)
+        config = Configuration(
+            name="throughput-probe", settings={"work_mem": "64MB"}
+        )
+
+        def run_evaluate(batched: bool):
+            engine = PostgresEngine(workload.catalog)
+            evaluator = ConfigurationEvaluator(engine)
+            previous = planner_module.VECTORIZED_ENABLED
+            planner_module.VECTORIZED_ENABLED = batched
+
+            def one_pass():
+                meta = ConfigMeta()
+                evaluator.evaluate(config, queries, 1e12, meta)
+                return meta
+
+            try:
+                warm_meta = one_pass()  # warm plan/order/noise caches
+                elapsed = _best_of(one_pass, reps)
+            finally:
+                planner_module.VECTORIZED_ENABLED = previous
+            return meta_label(warm_meta, engine), elapsed
+
+        batched_label, batched_s = run_evaluate(True)
+        scalar_label, scalar_s = run_evaluate(False)
+        # The warm-up metas came from fresh engines whose clocks advanced
+        # differently afterwards; compare the first-evaluate labels only
+        # up to the clock, then the clock from dedicated single runs.
+        if batched_label[:-1] != scalar_label[:-1]:
+            raise SystemExit(
+                f"evaluator throughput ({label}): batched ConfigMeta "
+                f"diverged from the scalar loop; refusing to write the report"
+            )
+        clocks = []
+        for batched in (True, False):
+            engine = PostgresEngine(workload.catalog)
+            evaluator = ConfigurationEvaluator(engine)
+            previous = planner_module.VECTORIZED_ENABLED
+            planner_module.VECTORIZED_ENABLED = batched
+            try:
+                evaluator.evaluate(config, queries, 1e12, ConfigMeta())
+            finally:
+                planner_module.VECTORIZED_ENABLED = previous
+            clocks.append(repr(engine.clock.now))
+        if clocks[0] != clocks[1]:
+            raise SystemExit(
+                f"evaluator throughput ({label}): batched engine clock "
+                f"diverged from the scalar loop; refusing to write the report"
+            )
+
+        speedup = scalar_s / batched_s
+        gated = len(queries) >= 2000
+        if gated and speedup < 5.0:
+            raise SystemExit(
+                f"evaluator throughput ({label}): batched evaluate is only "
+                f"{speedup:.2f}x faster than the scalar loop over "
+                f"{len(queries)} queries; 5x gate missed"
+            )
+        report[label] = {
+            "queries": len(queries),
+            "scalar_s": round(scalar_s, 4),
+            "batched_s": round(batched_s, 4),
+            "speedup": round(speedup, 2),
+            "scalar_queries_per_s": round(len(queries) / scalar_s, 1),
+            "batched_queries_per_s": round(len(queries) / batched_s, 1),
+            "result_identical": True,
+            "speedup_gate": "≥5x" if gated else "informational",
+        }
+
+    baseline_path = REPO / "BENCH_6.json"
+    gate: dict = {"baseline": baseline_path.name, "checked": False}
+    if baseline_path.is_file():
+        previous_tune = json.loads(baseline_path.read_text()).get("full_tune", {})
+        old = previous_tune.get("tpch", {}).get("best_time")
+        if old is not None:
+            gate["checked"] = True
+            new = tune_report["tpch"]["best_time"]
+            ratio = float(new) / float(old)
+            if ratio > 1.02:
+                raise SystemExit(
+                    f"selection time with batched execution is "
+                    f"{(ratio - 1) * 100:.2f}% worse than {baseline_path.name} "
+                    f"({old} -> {new}); 2% gate exceeded"
+                )
+            gate["bench6_best_time"] = old
+            gate["best_time"] = new
+            gate["slowdown_pct"] = round((ratio - 1) * 100, 4)
+    else:
+        gate["note"] = "no committed BENCH_6.json; gate skipped"
+    report["selection_gate"] = gate
+    return report
+
+
 # -- pytest-benchmark consumption ---------------------------------------------
 
 
@@ -873,8 +1021,8 @@ def pytest_benchmarks() -> dict | None:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--output", type=Path, default=REPO / "BENCH_6.json",
-        help="report destination (default: BENCH_6.json at the repo root)",
+        "--output", type=Path, default=REPO / "BENCH_7.json",
+        help="report destination (default: BENCH_7.json at the repo root)",
     )
     parser.add_argument(
         "--workers", type=int, default=4,
@@ -993,10 +1141,23 @@ def main() -> None:
             f"({row['speedup']}x, gate {row['speedup_gate']})"
         )
 
+    print("== evaluator throughput (segment-batched evaluate vs scalar) ==")
+    evaluator_report = evaluator_throughput_benchmark(
+        tune_report, compile_repeats
+    )
+    for label, row in evaluator_report.items():
+        if "queries" in row:
+            print(
+                f"  {label}: {row['queries']} queries, "
+                f"{row['scalar_s']:.3f} s -> {row['batched_s']:.3f} s "
+                f"({row['speedup']}x, gate {row['speedup_gate']})"
+            )
+
     report = {
         "dp_microbench": dp_report,
         "full_tune": tune_report,
         "planning_throughput": planning_report,
+        "evaluator_throughput": evaluator_report,
         "regression_gate": gate_report,
         "parallel_selection": parallel_report,
         "compile_cache": compile_report,

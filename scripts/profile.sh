@@ -12,9 +12,11 @@
 #     scripts/profile.sh -w job              # profile the JOB workload
 #     scripts/profile.sh -c /tmp/warm-cache  # tune over a persistent cache
 #     scripts/profile.sh -j out.json         # also dump hotspots as JSON
+#     scripts/profile.sh --diff A.json B.json  # compare two -j exports
 
 set -eu
 
+caller_pwd=$(pwd)
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 cd "$repo_root"
 
@@ -24,6 +26,8 @@ sort_key=cumulative
 workload=tpch
 cache_dir=""
 json_out=""
+diff_a=""
+diff_b=""
 
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -32,6 +36,7 @@ while [ $# -gt 0 ]; do
         -w) workload=$2; shift 2 ;;
         -c) cache_dir=$2; shift 2 ;;
         -j) json_out=$2; shift 2 ;;
+        --diff) diff_a=$2; diff_b=$3; shift 3 ;;
         *) echo "profile: unknown argument $1" >&2; exit 2 ;;
     esac
 done
@@ -40,6 +45,79 @@ if ! command -v "$PYTHON" >/dev/null 2>&1; then
     echo "profile: $PYTHON is not installed in this environment; skipping" >&2
     exit 0
 fi
+
+if [ -n "$diff_a" ]; then
+    # Diff mode needs no repro import -- the exports are plain JSON.
+    # Arguments were given relative to where the user ran the script.
+    case "$diff_a" in /*) ;; *) diff_a="$caller_pwd/$diff_a" ;; esac
+    case "$diff_b" in /*) ;; *) diff_b="$caller_pwd/$diff_b" ;; esac
+    PROFILE_DIFF_A="$diff_a" PROFILE_DIFF_B="$diff_b" \
+    PROFILE_TOP_N="$top_n" exec "$PYTHON" - <<'PYEOF'
+"""Compare two profile.sh -j exports: top-N cumulative-time movers.
+
+Functions are matched by their printed ``file:line:func`` label; a
+function present in only one snapshot is treated as 0 in the other
+(new hotspot / disappeared hotspot).  Regressions (cumtime grew from
+A to B) print first, improvements after, both sorted by magnitude.
+"""
+import json
+import os
+
+top_n = int(os.environ["PROFILE_TOP_N"])
+path_a = os.environ["PROFILE_DIFF_A"]
+path_b = os.environ["PROFILE_DIFF_B"]
+
+with open(path_a) as handle:
+    before = json.load(handle)
+with open(path_b) as handle:
+    after = json.load(handle)
+
+if before.get("workload") != after.get("workload"):
+    print(f"# WARNING: comparing different workloads "
+          f"({before.get('workload')!r} vs {after.get('workload')!r})")
+
+cum_a = {h["function"]: h for h in before.get("hotspots", [])}
+cum_b = {h["function"]: h for h in after.get("hotspots", [])}
+
+rows = []
+for function in sorted(set(cum_a) | set(cum_b)):
+    a = cum_a.get(function)
+    b = cum_b.get(function)
+    cumtime_a = a["cumtime"] if a else 0.0
+    cumtime_b = b["cumtime"] if b else 0.0
+    delta = cumtime_b - cumtime_a
+    if delta == 0.0:
+        continue
+    calls_a = a["ncalls"] if a else 0
+    calls_b = b["ncalls"] if b else 0
+    rows.append((delta, cumtime_a, cumtime_b, calls_a, calls_b, function))
+
+regressions = sorted((r for r in rows if r[0] > 0), key=lambda r: -r[0])
+improvements = sorted((r for r in rows if r[0] < 0), key=lambda r: r[0])
+
+print(f"# profile diff: {path_a} -> {path_b} "
+      f"(workload={after.get('workload')}, sort by cumtime delta)")
+print(f"# best_time: {before.get('best_time')} -> {after.get('best_time')}")
+header = (f"{'delta(s)':>10}  {'A cum(s)':>10}  {'B cum(s)':>10}  "
+          f"{'A calls':>9}  {'B calls':>9}  function")
+
+
+def show(title, block):
+    print(f"\n## {title} (top {top_n})")
+    if not block:
+        print("(none)")
+        return
+    print(header)
+    for delta, cumtime_a, cumtime_b, calls_a, calls_b, function in block[:top_n]:
+        print(f"{delta:>+10.6f}  {cumtime_a:>10.6f}  {cumtime_b:>10.6f}  "
+              f"{calls_a:>9}  {calls_b:>9}  {function}")
+
+
+show("regressions (cumtime grew)", regressions)
+show("improvements (cumtime shrank)", improvements)
+PYEOF
+fi
+
 if ! PYTHONPATH=src "$PYTHON" -c "import repro" >/dev/null 2>&1; then
     echo "profile: the repro package is not importable (missing numpy/scipy?); skipping" >&2
     exit 0

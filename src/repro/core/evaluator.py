@@ -29,6 +29,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.cache import MISS, active_cache
 from repro.core.clustering import cluster_queries
 from repro.core.config import Configuration
@@ -123,8 +125,16 @@ class ConfigurationEvaluator:
 
     @staticmethod
     def _evict_if_full(cache: dict) -> None:
-        if len(cache) > _MAX_CACHE_ENTRIES:
-            cache.clear()
+        """Deterministic oldest-first partial eviction.
+
+        Dicts preserve insertion order, so dropping from the front
+        evicts the longest-resident derivations while the configurations
+        of the current selection -- inserted most recently -- keep
+        hitting.  Clearing wholesale here (the previous behaviour) made
+        one pathological config stream evict every warm entry at once.
+        """
+        while len(cache) >= _MAX_CACHE_ENTRIES:
+            del cache[next(iter(cache))]
 
     # -- index relevance ------------------------------------------------------------
 
@@ -308,10 +318,41 @@ class ConfigurationEvaluator:
         while partial progress -- queries completed *before* the fault
         and their times -- is preserved, so selection never re-runs them
         (Algorithm 2's resumability).  The error never propagates.
+
+        Two implementations share this contract bit for bit: the
+        batched path consumes whole index-stable segments through
+        ``engine.execute_many``; the scalar per-query loop is the
+        retained reference, selected by flipping
+        ``repro.db.planner.VECTORIZED_ENABLED`` off (the same switch
+        discipline as the vectorized planner, and what
+        ``scripts/bench.py`` reference mode does).
         """
         if meta.failed:
             # Quarantined configurations are never re-evaluated.
             return
+        if planner_module.VECTORIZED_ENABLED:
+            self._evaluate_batched(config, queries, timeout, meta)
+        else:
+            self._evaluate_scalar(config, queries, timeout, meta)
+
+    def _evaluate_batched(
+        self,
+        config: Configuration,
+        queries: list[Query],
+        timeout: float,
+        meta: ConfigMeta,
+    ) -> None:
+        """Segment-batched Algorithm 3 (the production fast path).
+
+        The query order decomposes into *segments*: maximal runs whose
+        queries need no new lazy index, so the engine's (settings,
+        index set) signature -- and with it every plan and noise draw --
+        is constant across the run.  Each segment executes in one
+        ``execute_many`` call; ``ConfigMeta`` is updated in bulk via the
+        same ``np.cumsum`` left-to-right addition chain the scalar
+        ``meta.time += s`` loop performs, so the result is bit-identical
+        to :meth:`_evaluate_scalar`.
+        """
         engine = self._engine
         remaining_time = timeout
         created_here: list[Index] = []
@@ -320,6 +361,83 @@ class ConfigurationEvaluator:
         # One consolidated realtime wait per evaluation (no-op in pure
         # simulation): per-operation microsleeps would pay scheduler
         # wake-up latency dozens of times per Update.
+        with engine.deferred_realtime():
+            try:
+                config.apply_settings(engine)
+                meta.is_complete = True
+
+                index_map = self.query_index_map(queries, config)
+                ordered = self.plan_order(queries, config)
+
+                if not self._lazy_indexes:
+                    # Ablation: build every recommended index up front.
+                    for index in config.indexes:
+                        if index.key not in preexisting:
+                            meta.index_time += engine.create_index(index)
+                            created_here.append(index)
+
+                position = 0
+                total = len(ordered)
+                # With no relevant indexes anywhere the lazy-creation
+                # scan and the boundary scan are both no-ops: the whole
+                # order is one segment.
+                no_index_work = not any(index_map.values())
+                while position < total:
+                    if self._lazy_indexes and not no_index_work:
+                        for index in sorted(
+                            index_map[ordered[position].name], key=str
+                        ):
+                            if index.key in preexisting or engine.has_index(index):
+                                continue
+                            meta.index_time += engine.create_index(index)
+                            created_here.append(index)
+
+                    end = total if no_index_work else self._segment_end(
+                        ordered, position, index_map, preexisting
+                    )
+                    batch = engine.execute_many(
+                        ordered[position:end], timeout=remaining_time
+                    )
+                    if batch.completed:
+                        meta.time = float(
+                            np.cumsum(
+                                np.concatenate(((meta.time,), batch.times))
+                            )[-1]
+                        )
+                        for query in ordered[position : position + batch.completed]:
+                            meta.completed_queries.add(query.name)
+                    remaining_time = batch.remaining
+                    if batch.fault is not None:
+                        # The completed prefix is banked above, exactly
+                        # like the scalar loop before the fault raised.
+                        raise batch.fault
+                    if not batch.complete:
+                        meta.is_complete = False
+                        break
+                    position = end
+            except (EngineFaultError, ConfigurationError) as failure:
+                meta.is_complete = False
+                meta.failed = True
+                meta.failure = str(failure)
+            finally:
+                # Indexes created by this evaluation are implicitly dropped so
+                # other configurations start from a clean slate (§5.1).
+                for index in created_here:
+                    engine.drop_index(index)
+
+    def _evaluate_scalar(
+        self,
+        config: Configuration,
+        queries: list[Query],
+        timeout: float,
+        meta: ConfigMeta,
+    ) -> None:
+        """The retained per-query reference loop (Algorithm 3 verbatim)."""
+        engine = self._engine
+        remaining_time = timeout
+        created_here: list[Index] = []
+        preexisting = {index.key for index in engine.indexes}
+
         with engine.deferred_realtime():
             try:
                 config.apply_settings(engine)
@@ -366,6 +484,36 @@ class ConfigurationEvaluator:
                 for index in created_here:
                     engine.drop_index(index)
 
+    def _segment_end(
+        self,
+        ordered: list[Query],
+        position: int,
+        index_map: dict[str, frozenset],
+        preexisting: set,
+    ) -> int:
+        """Exclusive end of the index-stable segment starting at ``position``.
+
+        Called *after* the indexes for ``ordered[position]`` exist, so
+        the scan extends exactly to the next query whose relevant
+        indexes include one not yet built -- the point where the engine
+        signature would change.  Without lazy indexes every index is
+        built up front and the whole order is one segment.
+        """
+        engine = self._engine
+        end = position + 1
+        if self._lazy_indexes:
+            while end < len(ordered):
+                needs_index = any(
+                    index.key not in preexisting and not engine.has_index(index)
+                    for index in index_map[ordered[end].name]
+                )
+                if needs_index:
+                    break
+                end += 1
+        else:
+            end = len(ordered)
+        return end
+
     def _plan_ahead(
         self,
         ordered: list[Query],
@@ -384,18 +532,6 @@ class ConfigurationEvaluator:
         only wall-clock work, never a behaviour change.  Returns the
         exclusive end of the warmed segment.
         """
-        engine = self._engine
-        end = position + 1
-        if self._lazy_indexes:
-            while end < len(ordered):
-                needs_index = any(
-                    index.key not in preexisting and not engine.has_index(index)
-                    for index in index_map[ordered[end].name]
-                )
-                if needs_index:
-                    break
-                end += 1
-        else:
-            end = len(ordered)
-        engine.plan_many(ordered[position:end])
+        end = self._segment_end(ordered, position, index_map, preexisting)
+        self._engine.plan_many(ordered[position:end])
         return end

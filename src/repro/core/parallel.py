@@ -167,6 +167,7 @@ def evaluate_task(task: EvalTask, ctx: WorkerContext | None = None) -> EvalOutco
     )
     executions: list[float] = []
     raw_execute = type(engine).execute
+    raw_execute_many = type(engine).execute_many
     raw_apply = type(engine).apply_config
     settings_applied: list[bool] = []
 
@@ -176,17 +177,28 @@ def evaluate_task(task: EvalTask, ctx: WorkerContext | None = None) -> EvalOutco
             executions.append(result.execution_time)
         return result
 
+    def _logging_execute_many(queries, timeout=None):
+        # The batched evaluate path routes whole segments through
+        # ``execute_many``; its ``times`` are exactly the completed
+        # per-query execution seconds the scalar hook above would have
+        # logged, in the same order.
+        batch = raw_execute_many(engine, queries, timeout=timeout)
+        executions.extend(float(value) for value in batch.times)
+        return batch
+
     def _logging_apply(settings):
         result = raw_apply(engine, settings)
         settings_applied.append(True)
         return result
 
     engine.execute = _logging_execute
+    engine.execute_many = _logging_execute_many
     engine.apply_config = _logging_apply
     try:
         evaluator.evaluate(task.config, pending, task.timeout, meta)
     finally:
         del engine.execute
+        del engine.execute_many
         del engine.apply_config
     return EvalOutcome(
         position=task.position,

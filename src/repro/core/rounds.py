@@ -19,6 +19,14 @@ through :mod:`repro.session.codec`, and the driver accepts a
 :class:`RoundCursor` to continue a selection mid-phase -- the mechanism
 crash-safe tuning sessions (:mod:`repro.session`) are built on.
 
+Both execution strategies reach query execution through
+``ConfigurationEvaluator.evaluate``, which runs each index-stable
+segment of the scheduled order in one batched ``execute_many`` call
+(scalar per-query reference retained behind
+``repro.db.planner.VECTORIZED_ENABLED``); the Update timeouts threaded
+from here are consumed by the batch's prefix-sum cut bit-identically
+to the scalar subtraction loop.
+
 Theorem 4.3: total evaluation time is O(k * alpha * C_best) for
 alpha >= 2.
 """

@@ -22,7 +22,7 @@ from repro.db.hardware import HardwareSpec
 from repro.db.catalog import Catalog, Column, Table
 from repro.db.knobs import Knob, KnobSpace, parse_size, format_size
 from repro.db.indexes import Index
-from repro.db.engine import DatabaseEngine, ExecutionResult
+from repro.db.engine import BatchExecution, DatabaseEngine, ExecutionResult
 from repro.db.postgres import PostgresEngine
 from repro.db.mysql import MySQLEngine
 
@@ -37,6 +37,7 @@ __all__ = [
     "parse_size",
     "format_size",
     "Index",
+    "BatchExecution",
     "DatabaseEngine",
     "ExecutionResult",
     "PostgresEngine",

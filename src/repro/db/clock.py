@@ -10,6 +10,8 @@ milliseconds of simulation.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import ReproError
 
 
@@ -36,6 +38,24 @@ class VirtualClock:
         if seconds < 0:
             raise ReproError(f"cannot advance clock by {seconds!r} seconds")
         self._now += seconds
+        return self._now
+
+    def advance_many(self, durations) -> float:
+        """Advance by a whole sequence of durations in one call.
+
+        Bit-identical to calling :meth:`advance` once per element:
+        ``np.cumsum`` accumulates float64 partial sums left to right --
+        the same IEEE-754 addition chain as the sequential ``+=`` --
+        so the final clock value matches the per-element path to the
+        last ulp (pinned by ``tests/core/test_evaluator_batched.py``).
+        """
+        values = np.asarray(durations, dtype=np.float64)
+        if values.size == 0:
+            return self._now
+        if np.any(values < 0):
+            raise ReproError("cannot advance clock by negative durations")
+        chain = np.cumsum(np.concatenate(((self._now,), values)))
+        self._now = float(chain[-1])
         return self._now
 
     def reset(self, to: float = 0.0) -> None:
@@ -74,6 +94,19 @@ class RecordingClock(VirtualClock):
     def advance(self, seconds: float) -> float:
         now = super().advance(seconds)
         self.advances.append(seconds)
+        return now
+
+    def advance_many(self, durations) -> float:
+        """Batched advance that still records *per-element* durations.
+
+        The parallel merge replays recordings one element at a time onto
+        the main clock, so a batched advance on a worker must leave the
+        same recording a per-query loop would -- only the worker-local
+        accumulation is collapsed into one cumsum jump.
+        """
+        values = np.asarray(durations, dtype=np.float64)
+        now = super().advance_many(values)
+        self.advances.extend(float(value) for value in values)
         return now
 
     def replay_onto(self, clock: VirtualClock) -> None:

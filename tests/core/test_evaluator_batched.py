@@ -1,0 +1,348 @@
+"""Batched execution (``execute_many`` + segment-batched evaluate).
+
+The batched path must be *byte-identical* to the retained scalar
+reference loop -- same completed-query sets, same ``ConfigMeta.time``
+floats, same quarantine labels, same ``TuningResult.fingerprint()`` --
+across seeds, executors and chaos fault plans.  The suite pins:
+
+- the keystone numeric fact: ``np.cumsum`` over float64 performs the
+  same left-to-right IEEE-754 addition chain as sequential ``+=``
+  (and ``a - b == a + (-b)``), so prefix-sum timeout cuts and one-jump
+  clock advances are exact;
+- micro equivalence of ``execute_many`` against a scalar ``execute``
+  loop, including exact-tie timeouts, exhausted budgets, ``None``
+  timeouts, and fault plans (crash / OOM / transient-storm truncation);
+- ``evaluate`` equivalence with lazy index creation (multi-segment
+  orders) and quarantine parity under chaos plans;
+- full-tune fingerprints across 8 seeds x serial/thread/process
+  executors x chaos densities; and
+- resume from a journal boundary that falls mid-segment: the resumed
+  evaluate starts inside what the uninterrupted run executed as one
+  index-stable segment, and must still fingerprint identically.
+"""
+
+import json
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+import repro.db.planner as planner_module
+from repro.core.config import Configuration
+from repro.core.evaluator import ConfigMeta, ConfigurationEvaluator
+from repro.db.clock import RecordingClock, VirtualClock
+from repro.db.indexes import Index
+from repro.db.postgres import PostgresEngine
+from repro.errors import EngineFaultError
+from repro.faults import FaultPlan
+from repro.session import codec
+from tests.faults.test_chaos import chaos_plan, chaos_tune
+from tests.faults.test_chaos import fingerprint as tune_fingerprint
+from tests.session.conftest import (
+    fingerprint as session_fingerprint,
+)
+from tests.session.conftest import (
+    journaled_tune,
+    plain_tune,
+    resume_tune,
+)
+
+SEEDS = list(range(8))
+EXECUTORS = ("serial", "thread", "process")
+DENSITIES = (0.05, 0.15, 0.4)
+
+
+@contextmanager
+def scalar_reference():
+    """Run the retained scalar reference implementation."""
+    previous = planner_module.VECTORIZED_ENABLED
+    planner_module.VECTORIZED_ENABLED = False
+    try:
+        yield
+    finally:
+        planner_module.VECTORIZED_ENABLED = previous
+
+
+def scalar_segment_run(engine, queries, timeout):
+    """The scalar loop ``execute_many`` replaces, threading the timeout
+    exactly as ``ConfigurationEvaluator._evaluate_scalar`` does."""
+    remaining = timeout
+    times = []
+    complete = True
+    fault = None
+    for query in queries:
+        try:
+            result = engine.execute(query, timeout=remaining)
+        except EngineFaultError as error:
+            fault = error
+            complete = False
+            break
+        if not result.complete:
+            complete = False
+            break
+        if remaining is not None:
+            remaining -= result.execution_time
+        times.append(result.execution_time)
+    return times, complete, remaining, fault
+
+
+def fault_label(fault):
+    if fault is None:
+        return None
+    return (type(fault).__name__, str(fault), fault.site, fault.key, fault.seed)
+
+
+# -- the keystone numeric facts ------------------------------------------------
+
+
+class TestCumsumBitIdentity:
+    def test_cumsum_matches_sequential_accumulation(self):
+        rng = np.random.default_rng(7)
+        for trial in range(50):
+            values = rng.uniform(1e-4, 30.0, size=rng.integers(1, 200))
+            start = float(rng.uniform(0.0, 1e4))
+            chain = np.cumsum(np.concatenate(((start,), values)))
+            acc = start
+            for position, value in enumerate(values, start=1):
+                acc += float(value)
+                assert repr(acc) == repr(float(chain[position])), (
+                    f"cumsum diverged from += at trial {trial}, "
+                    f"position {position}"
+                )
+
+    def test_subtraction_chain_matches_negated_cumsum(self):
+        rng = np.random.default_rng(11)
+        for trial in range(50):
+            values = rng.uniform(1e-4, 5.0, size=rng.integers(1, 100))
+            timeout = float(rng.uniform(0.0, 100.0))
+            chain = np.cumsum(np.concatenate(((timeout,), np.negative(values))))
+            remaining = timeout
+            for position, value in enumerate(values, start=1):
+                remaining -= float(value)
+                assert repr(remaining) == repr(float(chain[position])), (
+                    f"a - b != a + (-b) chain at trial {trial}"
+                )
+
+    def test_advance_many_matches_advance_loop(self):
+        rng = np.random.default_rng(13)
+        for _ in range(20):
+            values = rng.uniform(1e-4, 10.0, size=rng.integers(0, 50))
+            one = VirtualClock(5.0)
+            many = VirtualClock(5.0)
+            for value in values:
+                one.advance(float(value))
+            many.advance_many(values)
+            assert repr(one.now) == repr(many.now)
+
+    def test_recording_clock_records_per_element(self):
+        clock = RecordingClock(0.0)
+        values = np.array([0.5, 1.25, 0.125])
+        clock.advance_many(values)
+        clock.advance(2.0)
+        assert clock.advances == [0.5, 1.25, 0.125, 2.0]
+        replay = VirtualClock(0.0)
+        clock.replay_onto(replay)
+        assert repr(replay.now) == repr(clock.now)
+
+
+# -- execute_many micro equivalence --------------------------------------------
+
+
+class TestExecuteManyMicro:
+    def check(self, workload, queries, timeout, plan=None):
+        scalar_engine = PostgresEngine(workload.catalog)
+        batched_engine = PostgresEngine(workload.catalog)
+        if plan is not None:
+            scalar_engine.install_faults(plan)
+            batched_engine.install_faults(plan)
+
+        times, complete, remaining, fault = scalar_segment_run(
+            scalar_engine, queries, timeout
+        )
+        batch = batched_engine.execute_many(queries, timeout=timeout)
+
+        context = f"timeout={timeout!r}, plan={plan!r}"
+        assert [repr(t) for t in times] == [
+            repr(float(t)) for t in batch.times
+        ], context
+        assert complete == batch.complete, context
+        if remaining is None:
+            assert batch.remaining is None, context
+        else:
+            assert repr(remaining) == repr(batch.remaining), context
+        assert fault_label(fault) == fault_label(batch.fault), context
+        assert repr(scalar_engine.clock.now) == repr(
+            batched_engine.clock.now
+        ), context
+
+    def test_no_timeout_runs_everything(self, tpch):
+        self.check(tpch, list(tpch.queries), None)
+
+    def test_exhausted_budget_is_an_immediate_cut(self, tpch):
+        self.check(tpch, list(tpch.queries), 0.0)
+        self.check(tpch, list(tpch.queries), -1.0)
+
+    def test_timeout_sweep(self, tpch):
+        queries = list(tpch.queries)
+        probe = PostgresEngine(tpch.catalog)
+        full = probe.execute_many(queries, timeout=None)
+        total = float(np.cumsum(full.times)[-1])
+        for fraction in (0.001, 0.01, 0.2, 0.5, 0.9, 0.999, 1.5):
+            self.check(tpch, queries, total * fraction)
+
+    def test_exact_tie_timeout(self, tpch):
+        """A budget equal to the float prefix sum, to the bit: the next
+        query must see remaining == 0.0 and cut with no clock advance."""
+        queries = list(tpch.queries)
+        probe = PostgresEngine(tpch.catalog)
+        full = probe.execute_many(queries, timeout=None)
+        for prefix in (1, 3, len(queries) - 1):
+            remaining = 0.0
+            for value in full.times[:prefix]:
+                remaining += float(value)
+            self.check(tpch, queries, remaining)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_chaos_plans(self, tpch, seed):
+        queries = list(tpch.queries)
+        plan = FaultPlan(seed=seed, density=DENSITIES[seed % len(DENSITIES)])
+        for timeout in (None, 0.5, 5.0, 50.0):
+            self.check(tpch, queries, timeout, plan=plan)
+
+    def test_transient_storm_truncates_identically(self, tpch):
+        """A storm beyond the retry budget surfaces the same
+        TransientEngineError at the same query."""
+        queries = list(tpch.queries)
+        for seed in SEEDS:
+            plan = FaultPlan(
+                seed=seed, density=0.6, sites={"engine.io_transient"}
+            )
+            for timeout in (None, 0.05, 10.0):
+                self.check(tpch, queries, timeout, plan=plan)
+
+
+# -- evaluate equivalence (multi-segment, quarantine) --------------------------
+
+
+def eval_config():
+    return Configuration(
+        name="batched-probe",
+        settings={"work_mem": "64MB", "shared_buffers": "2GB"},
+        indexes=[Index("events", ("user_id2",)), Index("users", ("age",))],
+    )
+
+
+def meta_label(meta):
+    return (
+        repr(meta.time),
+        meta.is_complete,
+        repr(meta.index_time),
+        tuple(sorted(meta.completed_queries)),
+        meta.failed,
+        meta.failure,
+    )
+
+
+class TestEvaluateBatchedEqualsScalar:
+    def run_pair(self, workload, timeout, plan=None, **options):
+        labels = []
+        clocks = []
+        for batched in (True, False):
+            engine = PostgresEngine(workload.catalog)
+            if plan is not None:
+                engine.install_faults(plan)
+            evaluator = ConfigurationEvaluator(engine, **options)
+            meta = ConfigMeta()
+            previous = planner_module.VECTORIZED_ENABLED
+            planner_module.VECTORIZED_ENABLED = batched
+            try:
+                evaluator.evaluate(
+                    eval_config(), list(workload.queries), timeout, meta
+                )
+            finally:
+                planner_module.VECTORIZED_ENABLED = previous
+            labels.append(meta_label(meta))
+            clocks.append(repr(engine.clock.now))
+        assert labels[0] == labels[1], f"timeout={timeout!r}, plan={plan!r}"
+        assert clocks[0] == clocks[1], f"timeout={timeout!r}, plan={plan!r}"
+
+    def test_lazy_multi_segment(self, tiny_workload):
+        for timeout in (0.001, 0.05, 0.5, 10.0):
+            self.run_pair(tiny_workload, timeout)
+
+    def test_eager_indexes_single_segment(self, tiny_workload):
+        self.run_pair(tiny_workload, 10.0, lazy_indexes=False)
+
+    def test_no_scheduler(self, tiny_workload):
+        self.run_pair(tiny_workload, 10.0, use_scheduler=False)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_quarantine_labels_match(self, tiny_workload, seed):
+        plan = FaultPlan(seed=seed, density=0.5)
+        for timeout in (0.05, 10.0):
+            self.run_pair(tiny_workload, timeout, plan=plan)
+
+
+# -- full-tune fingerprints: seeds x executors x chaos densities ---------------
+
+
+class TestFullTuneEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_batched_tune_fingerprints_scalar(self, tpch, seed):
+        executor = EXECUTORS[seed % len(EXECUTORS)]
+        workers = 0 if executor == "serial" else 2
+        faulty = seed % 4 != 0
+        plan = chaos_plan(seed) if faulty else None
+        kwargs = dict(workers=workers, executor=executor, llm_faults=faulty)
+        if plan is None:
+            kwargs["llm_faults"] = False
+            plan_installed = None
+        else:
+            plan_installed = plan
+
+        batched = chaos_tune(tpch, plan_installed, **kwargs)
+        with scalar_reference():
+            scalar = chaos_tune(tpch, plan_installed, **kwargs)
+        assert tune_fingerprint(batched) == tune_fingerprint(scalar), (
+            f"batched tune diverged from scalar reference "
+            f"(seed={seed}, executor={executor}, plan={plan!r})"
+        )
+
+
+# -- resume across a mid-segment journal boundary ------------------------------
+
+
+class TestResumeMidSegment:
+    def test_mid_segment_boundaries_resume_identically(self, tpch, tmp_path):
+        reference = plain_tune(tpch)
+        with scalar_reference():
+            scalar = plain_tune(tpch)
+        assert session_fingerprint(reference) == session_fingerprint(scalar)
+
+        path = tmp_path / "run.journal"
+        journaled = journaled_tune(tpch, path)
+        assert session_fingerprint(journaled) == session_fingerprint(reference)
+
+        lines = path.read_text().splitlines(keepends=True)
+        records = [json.loads(line) for line in lines]
+        # A boundary is *mid-segment* when the interrupted candidate has
+        # partial progress: its journaled meta shows completed queries
+        # but no completion, so the resumed evaluate re-enters the
+        # workload inside what the uninterrupted run executed as one
+        # index-stable segment (the pending set starts mid-run).
+        boundaries = []
+        for position, record in enumerate(records):
+            if record["kind"] != "update_folded":
+                continue
+            meta = codec.decode(record["payload"])["meta"]
+            if meta.completed_queries and not meta.is_complete:
+                boundaries.append(position + 1)
+        assert boundaries, "no mid-segment update boundary in the journal"
+
+        for boundary in boundaries[:6]:
+            trunc = tmp_path / "crash.journal"
+            trunc.write_text("".join(lines[:boundary]))
+            resumed = resume_tune(tpch, trunc)
+            assert session_fingerprint(resumed) == session_fingerprint(
+                reference
+            ), f"mid-segment resume diverged at boundary {boundary}"

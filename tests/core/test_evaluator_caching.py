@@ -111,6 +111,58 @@ class TestOrderCacheInvalidation:
         assert count_dp["n"] == 2
 
 
+class TestEvictionKeepsRecentEntries:
+    def make_config(self, position: int) -> Configuration:
+        return Configuration(
+            name=f"stream-{position}",
+            settings={"work_mem": f"{16 + position}MB"},
+            indexes=[Index("events", ("user_id2",))],
+        )
+
+    def test_pathological_stream_keeps_hit_rate_nonzero(
+        self, pg_engine, tiny_workload, config, count_dp, monkeypatch
+    ):
+        """A stream of distinct configurations overflowing the cache must
+        evict oldest-first, not clear wholesale: the configurations of
+        the *current* selection round (inserted last) keep hitting."""
+        monkeypatch.setattr(evaluator_module, "_MAX_CACHE_ENTRIES", 4)
+        evaluator = ConfigurationEvaluator(pg_engine)
+        queries = list(tiny_workload.queries)
+
+        stream = [self.make_config(position) for position in range(10)]
+        for candidate in stream:
+            evaluator.plan_order(queries, candidate)
+        filled = count_dp["n"]
+        assert filled == len(stream)
+        assert len(evaluator._order_cache) == 4
+
+        # The four most-recent configurations survive: re-planning them
+        # is pure cache hits (the old clear-on-overflow emptied the
+        # cache here, forcing a DP recomputation for every one).
+        for candidate in stream[-4:]:
+            evaluator.plan_order(queries, candidate)
+        assert count_dp["n"] == filled
+
+        # The evicted oldest entries recompute -- and evict the current
+        # front, never the entries just inserted.
+        evaluator.plan_order(queries, stream[0])
+        assert count_dp["n"] == filled + 1
+        assert len(evaluator._order_cache) == 4
+
+    def test_eviction_is_oldest_first(self, pg_engine, tiny_workload, monkeypatch):
+        monkeypatch.setattr(evaluator_module, "_MAX_CACHE_ENTRIES", 2)
+        evaluator = ConfigurationEvaluator(pg_engine)
+        queries = list(tiny_workload.queries)
+        keys = []
+        for position in range(4):
+            evaluator.plan_order(queries, self.make_config(position))
+            keys.append(list(evaluator._order_cache))
+        assert len(keys[-1]) == 2
+        # Each overflow drops the front entry; the newest key is always last.
+        assert keys[2][0] == keys[1][1]
+        assert keys[3][0] == keys[2][1]
+
+
 class TestCacheTransparency:
     def test_cached_and_uncached_orders_identical(
         self, pg_engine, tiny_workload, config

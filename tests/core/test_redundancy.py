@@ -35,6 +35,23 @@ class RecordingEngine(PostgresEngine):
         self.events.append((self._config_key, name, result.complete))
         return result
 
+    def execute_many(self, queries, timeout=None):
+        # The batched evaluate path runs whole segments through one
+        # call; translate it back into the per-query events the scalar
+        # loop would have produced: one completed event per finished
+        # query, one interrupted event for the query the timeout cut
+        # (a fault truncates the segment without an event, exactly as
+        # a raising ``execute`` records none).
+        batch = super().execute_many(queries, timeout=timeout)
+        for query in queries[: batch.completed]:
+            name = getattr(query, "name", str(query))
+            self.events.append((self._config_key, name, True))
+        if batch.fault is None and not batch.complete:
+            cut = queries[batch.completed]
+            name = getattr(cut, "name", str(cut))
+            self.events.append((self._config_key, name, False))
+        return batch
+
 
 def run_selection(engine, workload, configs, *, timeout=0.05, alpha=2.0):
     selector = ConfigurationSelector(
