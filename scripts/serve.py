@@ -1,0 +1,14 @@
+#!/usr/bin/env python
+"""Entry point for the tuning service CLI (see repro.service.cli)."""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.service.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,15 @@ serialization.  Each job can still fan its own candidate evaluation over
 worker processes via ``LambdaTuneOptions(workers=..., executor=...)``;
 the round-based control flow inside each job is the unchanged PR-4
 ``RoundDriver`` machinery.
+
+:class:`BatchJob` doubles as the execution recipe for the service layer
+(:mod:`repro.service`): its :meth:`~BatchJob.build_engine` /
+:meth:`~BatchJob.build_llm` factories are the *only* place engines and
+LLM clients are constructed for batch and service work, so a resumed
+service job rebuilds collaborators identically to a fresh one, and
+:func:`run_job` is the single per-job runner both drivers share --
+journaled (crash-safe via :class:`repro.session.TuningSession`) when the
+job carries a ``journal_path``, plain otherwise.
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.cache import ArtifactCache, active_cache, install_cache
 from repro.core.result import TuningResult
@@ -55,24 +65,101 @@ class BatchJob:
     #: Wall-clock seconds slept per simulated second of engine work on
     #: this job's engine (see ``DatabaseEngine.realtime_factor``).
     realtime_factor: float = 0.0
+    #: Deterministic chaos plan (PR 3).  Installed on the built engine
+    #: and wrapped around the built LLM client; results stay a pure
+    #: function of ``(job, plan)``.  Ignored for an explicit ``engine``
+    #: / ``llm`` -- the caller owns those collaborators.
+    fault_plan: object | None = None
+    #: Write-ahead journal for this job (crash-safe resume, PR 4).
+    #: ``None`` tunes unjournaled.
+    journal_path: str | os.PathLike[str] | None = None
 
-    def build(self) -> LambdaTune:
+    def build_engine(self) -> DatabaseEngine:
+        """A fresh engine for this job (fault plan installed)."""
         engine = self.engine
         if engine is None:
             engine = make_engine(self.workload, self.system)
+            if self.fault_plan is not None:
+                engine.install_faults(self.fault_plan)
         if self.realtime_factor > 0:
             engine.realtime_factor = self.realtime_factor
-        llm = self.llm
-        if llm is None:
-            from repro.llm.mock import SimulatedLLM
+        return engine
 
-            llm = SimulatedLLM()
-        return LambdaTune(engine, llm, options=self.options)
+    def build_llm(self) -> LLMClient:
+        """A fresh LLM client for this job (fault wrapper applied).
+
+        The fault wrapper's transient-retry backoff sleeps are disabled:
+        they are wall-clock only (the virtual clock never sees them), so
+        in batch and service contexts they would merely stall a worker.
+        """
+        llm = self.llm
+        if llm is not None:
+            return llm
+        from repro.llm.mock import SimulatedLLM
+
+        llm = SimulatedLLM()
+        if self.fault_plan is not None:
+            from repro.faults import FaultyLLMClient
+
+            llm = FaultyLLMClient(llm, self.fault_plan)
+            llm.sleep = lambda seconds: None
+        return llm
+
+    def build(self) -> LambdaTune:
+        return LambdaTune(
+            self.build_engine(), self.build_llm(), options=self.options
+        )
+
+
+def run_job(job: BatchJob, *, journal_factory=None) -> TuningResult:
+    """Run one job to completion; the shared batch/service runner.
+
+    With a ``journal_path`` on the job the tune runs inside a
+    :class:`~repro.session.TuningSession` (``journal_factory`` is
+    forwarded, letting the service layer interpose cancellation and
+    chaos checks); otherwise it is a plain ``tune()`` call.  Either way
+    the result is bit-identical -- journaling observes, never perturbs.
+    """
+    tuner = job.build()
+    queries = list(job.workload.queries)
+    if job.journal_path is None:
+        return tuner.tune(queries, workload_name=job.workload.name)
+    from repro.session import TuningSession
+
+    session = TuningSession(
+        tuner,
+        Path(job.journal_path),
+        workload_name=job.workload.name,
+        journal_factory=journal_factory,
+    )
+    return session.run(queries)
+
+
+def resume_job(job: BatchJob, *, journal_factory=None) -> TuningResult:
+    """Continue ``job``'s journal on freshly built collaborators.
+
+    The engine is built *without* the fault plan -- resume reinstalls
+    the journaled plan itself -- while the LLM client is rebuilt exactly
+    as :meth:`BatchJob.build_llm` would, so replayed samples and fresh
+    samples alike come from the same deterministic source.
+    """
+    if job.journal_path is None:
+        raise ConfigurationError("resume_job needs a job with a journal_path")
+    from repro.session import TuningSession
+
+    engine = make_engine(job.workload, job.system)
+    if job.realtime_factor > 0:
+        engine.realtime_factor = job.realtime_factor
+    return TuningSession.resume(
+        Path(job.journal_path),
+        engine=engine,
+        llm=job.build_llm(),
+        journal_factory=journal_factory,
+    )
 
 
 def _run_job(job: BatchJob) -> TuningResult:
-    tuner = job.build()
-    return tuner.tune(job.workload.queries, workload_name=job.workload.name)
+    return run_job(job)
 
 
 def tune_many(

@@ -108,3 +108,44 @@ class SessionError(ReproError):
     is not an error: journal readers drop it and resume from the last
     intact event.
     """
+
+
+class ServiceError(ReproError):
+    """Raised by the tuning-as-a-service layer (:mod:`repro.service`)."""
+
+
+class QuotaExceededError(ServiceError):
+    """A submission would exceed the tenant's admission quota."""
+
+
+class UnknownJobError(ServiceError):
+    """A job id names no job the server (or service root) knows about."""
+
+
+class JournalLockedError(ServiceError):
+    """A journal is already leased by a live worker.
+
+    Raised by :class:`repro.session.JournalLease` when two workers race
+    to adopt the same journal -- the double-resume protection.
+    """
+
+
+class JobCancelledError(BaseException):
+    """Control-flow signal: a running job was cancelled by its tenant.
+
+    Deliberately *not* a :class:`ReproError`: cancellation must unwind
+    the whole tuning pipeline to the service worker that requested it,
+    so no recovery-minded ``except ReproError`` handler may swallow it.
+    The job's journal is left intact and resumable.
+    """
+
+
+class ServerKilledError(BaseException):
+    """Control-flow signal: the chaos harness killed the server.
+
+    Simulates ``kill -9`` at a journal boundary: every in-flight job
+    stops at its next journal append, in-memory state is abandoned, and
+    only the fsync'd journals survive.  Like
+    :class:`JobCancelledError`, it derives from ``BaseException`` so
+    nothing between the journal and the worker loop can catch it.
+    """

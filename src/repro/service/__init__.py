@@ -1,0 +1,54 @@
+"""Tuning-as-a-service: a multi-tenant job server over the library.
+
+Everything a service needs already existed as a library -- crash-safe
+resumable :class:`~repro.session.TuningSession`\\ s (PR 4), batched
+tuning and the shared :class:`~repro.cache.ArtifactCache` warm-start
+tier (PR 5), and the deterministic fault layer (PR 3).  This package
+wires them together::
+
+    from repro.service import JobClient, TenantQuota, TuningServer
+
+    with TuningServer("/var/lib/lambda-tune", workers=4,
+                      cache_dir="/var/lib/lambda-tune/cache",
+                      quotas={"acme": TenantQuota(max_concurrent=2)}) as server:
+        client = JobClient(server)
+        job = client.submit("tpch-sf1", tenant="acme", priority=5)
+        print(client.result(job).best_time)
+
+Durability model: a job's spec file is written before it is admitted,
+and its write-ahead journal is the job record -- restart a server over
+the same root and every incomplete job is discovered, leased (no
+double-resume), and resumed mid-round with zero re-executed queries,
+byte-identical to a never-interrupted run.  See DESIGN.md §13.
+"""
+
+from repro.service.client import JobClient
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JOB_STATES,
+    QUEUED,
+    RUNNING,
+    JobRecord,
+    JobSpec,
+    ServiceRoot,
+)
+from repro.service.queue import JobQueue, TenantQuota
+from repro.service.server import TuningServer
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "JOB_STATES",
+    "QUEUED",
+    "RUNNING",
+    "JobClient",
+    "JobQueue",
+    "JobRecord",
+    "JobSpec",
+    "ServiceRoot",
+    "TenantQuota",
+    "TuningServer",
+]

@@ -1,0 +1,233 @@
+"""In-process job queue: priorities, aging, and per-tenant quotas.
+
+Scheduling policy, in order:
+
+1. **Admission** (at submit): a tenant's queued+running job count may
+   not exceed ``TenantQuota.max_pending``, and a single job's LLM token
+   budget may not exceed ``TenantQuota.max_token_budget``.  Violations
+   raise :class:`~repro.errors.QuotaExceededError` *before* anything is
+   persisted or enqueued.
+2. **Eligibility** (at dispatch): a job is eligible only while its
+   tenant has fewer than ``TenantQuota.max_concurrent`` jobs running.
+   The cap is enforced at the moment of dispatch, so a tenant can never
+   exceed it regardless of submission burstiness.
+3. **Ordering**: among eligible jobs, highest *effective* priority
+   wins; ties break by submission order (FIFO).  Effective priority is
+   ``priority + aging * dispatches_waited`` -- every dispatch the queue
+   performs raises every waiting job's effective priority by ``aging``,
+   so with ``aging > 0`` a low-priority job overtakes any bounded
+   static priority after finitely many dispatches.  That is the
+   starvation-freedom guarantee: the wait of a priority-``p`` job is
+   bounded by ``(p_max - p) / aging`` dispatches, independent of how
+   many high-priority jobs keep arriving.
+
+The queue is thread-safe; :meth:`JobQueue.acquire` blocks workers on a
+condition variable.  It holds :class:`~repro.service.jobs.JobRecord`
+objects and never touches disk -- durability belongs to the spec files
+and journals (:mod:`repro.service.jobs`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import (
+    ConfigurationError,
+    QuotaExceededError,
+    UnknownJobError,
+)
+from repro.service.jobs import CANCELLED, QUEUED, RUNNING, JobRecord
+
+
+@dataclass(frozen=True, slots=True)
+class TenantQuota:
+    """Admission and concurrency limits for one tenant.
+
+    ``None`` fields are unlimited.
+    """
+
+    #: Jobs the tenant may have running at once (dispatch-time cap).
+    max_concurrent: int | None = None
+    #: Jobs the tenant may have queued + running (admission-time cap).
+    max_pending: int | None = None
+    #: Per-job ceiling on ``LambdaTuneOptions.token_budget``
+    #: (admission-time cap; ``token_budget=None`` means "unbudgeted"
+    #: and is rejected by a finite ceiling).
+    max_token_budget: int | None = None
+
+
+#: The quota applied to tenants with no explicit entry: unlimited.
+UNLIMITED = TenantQuota()
+
+
+class JobQueue:
+    """Thread-safe priority queue with per-tenant quota enforcement."""
+
+    def __init__(
+        self,
+        *,
+        quotas: dict[str, TenantQuota] | None = None,
+        default_quota: TenantQuota = UNLIMITED,
+        aging: int = 1,
+    ) -> None:
+        if aging < 0:
+            raise ConfigurationError(f"aging cannot be negative: {aging!r}")
+        self._quotas = dict(quotas or {})
+        self._default_quota = default_quota
+        self._aging = aging
+        self._pending: list[JobRecord] = []
+        self._running: dict[str, int] = {}
+        self._admitted: dict[str, int] = {}
+        self._seq = 0
+        self._dispatches = 0
+        self._closed = False
+        self._cond = threading.Condition()
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self._quotas.get(tenant, self._default_quota)
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, record: JobRecord, *, enforce_quota: bool = True) -> None:
+        """Admit ``record``; raises :class:`QuotaExceededError` if over.
+
+        ``enforce_quota=False`` skips the admission caps (not the
+        dispatch-time ``max_concurrent`` cap) -- used for jobs being
+        *re*-admitted during crash recovery, which were already
+        admitted once and must not be lost to a quota change.
+        """
+        quota = self.quota_for(record.tenant)
+        with self._cond:
+            if self._closed:
+                raise QuotaExceededError("queue is closed to new submissions")
+            admitted = self._admitted.get(record.tenant, 0)
+            if enforce_quota:
+                if (
+                    quota.max_pending is not None
+                    and admitted >= quota.max_pending
+                ):
+                    raise QuotaExceededError(
+                        f"tenant {record.tenant!r} already has {admitted} "
+                        f"jobs admitted (max_pending={quota.max_pending})"
+                    )
+                if quota.max_token_budget is not None:
+                    budget = record.spec.options.token_budget
+                    if budget is None or budget > quota.max_token_budget:
+                        raise QuotaExceededError(
+                            f"job {record.job_id!r} token budget {budget!r} "
+                            f"exceeds tenant {record.tenant!r} ceiling "
+                            f"{quota.max_token_budget}"
+                        )
+            record.state = QUEUED
+            record.seq = self._seq
+            self._seq += 1
+            record.enqueued_at = self._dispatches
+            self._admitted[record.tenant] = admitted + 1
+            self._pending.append(record)
+            self._cond.notify_all()
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _effective_priority(self, record: JobRecord) -> int:
+        waited = self._dispatches - record.enqueued_at
+        return record.spec.priority + self._aging * waited
+
+    def _pick(self) -> JobRecord | None:
+        """The eligible record to dispatch next, or ``None``."""
+        best: JobRecord | None = None
+        best_key: tuple[int, int] | None = None
+        for record in self._pending:
+            quota = self.quota_for(record.tenant)
+            running = self._running.get(record.tenant, 0)
+            if (
+                quota.max_concurrent is not None
+                and running >= quota.max_concurrent
+            ):
+                continue
+            key = (self._effective_priority(record), -record.seq)
+            if best_key is None or key > best_key:
+                best, best_key = record, key
+        return best
+
+    def acquire(self, timeout: float | None = None) -> JobRecord | None:
+        """Block until a job is dispatchable; ``None`` on timeout/close.
+
+        The returned record is in state ``running`` and counts against
+        its tenant's ``max_concurrent`` until :meth:`release`.
+        """
+        with self._cond:
+            while True:
+                record = self._pick()
+                if record is not None:
+                    self._pending.remove(record)
+                    self._dispatches += 1
+                    self._running[record.tenant] = (
+                        self._running.get(record.tenant, 0) + 1
+                    )
+                    record.state = RUNNING
+                    return record
+                if self._closed and not self._pending:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+
+    def release(self, record: JobRecord) -> None:
+        """Return the quota a dispatched job held; call exactly once."""
+        with self._cond:
+            self._running[record.tenant] = max(
+                0, self._running.get(record.tenant, 0) - 1
+            )
+            self._admitted[record.tenant] = max(
+                0, self._admitted.get(record.tenant, 0) - 1
+            )
+            self._cond.notify_all()
+
+    # -- cancellation & shutdown -----------------------------------------------
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Remove a still-queued job, releasing its admission quota."""
+        with self._cond:
+            for record in self._pending:
+                if record.job_id == job_id:
+                    self._pending.remove(record)
+                    self._admitted[record.tenant] = max(
+                        0, self._admitted.get(record.tenant, 0) - 1
+                    )
+                    record.state = CANCELLED
+                    self._cond.notify_all()
+                    return record
+        raise UnknownJobError(f"job {job_id!r} is not queued")
+
+    def close(self) -> None:
+        """Refuse new submissions; wake workers so they can drain out."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    # -- introspection ---------------------------------------------------------
+
+    def pending_count(self, tenant: str | None = None) -> int:
+        with self._cond:
+            if tenant is None:
+                return len(self._pending)
+            return sum(1 for r in self._pending if r.tenant == tenant)
+
+    def running_count(self, tenant: str | None = None) -> int:
+        with self._cond:
+            if tenant is None:
+                return sum(self._running.values())
+            return self._running.get(tenant, 0)
+
+    def snapshot(self) -> list[tuple[str, str, int, int]]:
+        """(job_id, tenant, priority, effective_priority) of queued jobs,
+        in current dispatch preference order."""
+        with self._cond:
+            rows = sorted(
+                self._pending,
+                key=lambda r: (-self._effective_priority(r), r.seq),
+            )
+            return [
+                (r.job_id, r.tenant, r.spec.priority, self._effective_priority(r))
+                for r in rows
+            ]

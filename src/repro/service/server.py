@@ -1,0 +1,479 @@
+"""The multi-tenant tuning job server.
+
+:class:`TuningServer` glues the existing primitives into a service:
+
+- jobs are :class:`~repro.service.jobs.JobSpec`\\ s persisted
+  write-ahead under the service root, admitted through a
+  :class:`~repro.service.queue.JobQueue` (priorities, aging,
+  per-tenant quotas), and run by a pool of worker threads;
+- every job executes as a PR-4 :class:`~repro.session.TuningSession`
+  whose journal *is* the durable job record: :meth:`TuningServer.start`
+  discovers incomplete journals (torn tails included) and resumes them
+  mid-round with zero re-executed completed queries, reproducing the
+  uninterrupted result byte-for-byte;
+- all tenants share one installed
+  :class:`~repro.cache.ArtifactCache` as a warm-start tier -- plans,
+  compiled workloads, ILP solutions, and LLM samples computed for one
+  tenant are served from disk to every other -- and because the cache
+  is bit-transparent (PR 5) and each job owns its engine/clock/LLM,
+  concurrent multi-tenant results are byte-identical to isolated runs;
+- a journal lease (:class:`~repro.session.JournalLease`) guards every
+  adoption, so two workers -- or two servers sharing a root -- can
+  never double-resume one journal.
+
+Cancellation and chaos share one mechanism: the server wraps each
+job's journal so that *before every append* it checks the job's cancel
+flag and the server's crash probe.  A cancelled job unwinds with
+:class:`~repro.errors.JobCancelledError` at the next journal boundary,
+releases its quota, and leaves a resumable journal; a chaos kill
+(:class:`~repro.errors.ServerKilledError`) abandons leases and
+in-memory state exactly as ``kill -9`` would, leaving recovery to the
+next server instance.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from pathlib import Path
+
+from repro.cache import ArtifactCache, active_cache, install_cache
+from repro.core.batch import resume_job, run_job
+from repro.core.result import TuningResult
+from repro.errors import (
+    JobCancelledError,
+    ServerKilledError,
+    ServiceError,
+    UnknownJobError,
+)
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobRecord,
+    JobSpec,
+    ServiceRoot,
+    durable_spec,
+)
+from repro.service.queue import JobQueue, TenantQuota
+from repro.session import JournalLease, TuningJournal, discover_journals
+from repro.session.discover import read_result, register_owner, retire_owner
+from repro.workloads.base import Workload
+
+_SERVER_TOKENS = itertools.count()
+
+
+class _JobControl:
+    """Per-job cancellation flag + chaos probe, checked at journal appends."""
+
+    def __init__(self, server: "TuningServer", job_id: str) -> None:
+        self._server = server
+        self.job_id = job_id
+        self.cancel_event = threading.Event()
+        self.appends = 0
+
+    def before_append(self) -> None:
+        if self._server._killed.is_set():
+            raise ServerKilledError(
+                f"server {self._server.token} is down (job {self.job_id})"
+            )
+        if self.cancel_event.is_set():
+            raise JobCancelledError(f"job {self.job_id} cancelled by tenant")
+        self.appends += 1
+        probe = self._server.crash_probe
+        if probe is not None:
+            probe(self.job_id, self.appends)
+
+
+class _ServiceJournal(TuningJournal):
+    """A journal that consults the job control before every append."""
+
+    def __init__(self, path, *, append: bool = False, control=None) -> None:
+        super().__init__(path, append=append)
+        self._control = control
+
+    def append(self, kind, payload, *, sync: bool = False) -> int:
+        self._control.before_append()
+        return super().append(kind, payload, sync=sync)
+
+
+class TuningServer:
+    """A restartable multi-tenant tuning service over one root directory.
+
+    Parameters
+    ----------
+    root:
+        Service directory (spec files, journals, leases).  Restarting a
+        server over the same root recovers every incomplete job.
+    workers:
+        Worker threads.  Each runs one job at a time; per-job
+        parallelism still comes from ``LambdaTuneOptions(workers=...)``.
+    quotas / default_quota / aging:
+        Scheduling policy, passed to :class:`JobQueue`.
+    cache_dir:
+        Directory for the shared cross-tenant artifact cache, installed
+        process-wide for the server's lifetime (previous cache restored
+        on stop).  ``None`` leaves the ambient cache untouched.
+    workload_resolver:
+        Name -> :class:`Workload` mapping backing ``"@name"`` workload
+        references.  Workload objects submitted in-process register
+        themselves here automatically.
+    crash_probe:
+        Chaos hook: ``(job_id, append_ordinal)`` called before every
+        journal append; raise :class:`ServerKilledError` to simulate a
+        hard kill at that boundary.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike[str],
+        *,
+        workers: int = 2,
+        quotas: dict[str, TenantQuota] | None = None,
+        default_quota: TenantQuota | None = None,
+        aging: int = 1,
+        cache_dir: str | os.PathLike[str] | None = None,
+        workload_resolver: dict[str, Workload] | None = None,
+        crash_probe=None,
+    ) -> None:
+        self.root = ServiceRoot(root)
+        self.token = f"server-{os.getpid()}-{next(_SERVER_TOKENS)}"
+        self.crash_probe = crash_probe
+        self._queue = JobQueue(
+            quotas=quotas,
+            default_quota=default_quota or TenantQuota(),
+            aging=aging,
+        )
+        self._workers_wanted = max(1, workers)
+        self._cache_dir = cache_dir
+        self._previous_cache: ArtifactCache | None = None
+        self._cache_installed = False
+        self._resolver = dict(workload_resolver or {})
+        self._records: dict[str, JobRecord] = {}
+        self._controls: dict[str, _JobControl] = {}
+        self._terminal: dict[str, threading.Event] = {}
+        self._tenant_stats: dict[str, dict[str, int]] = {}
+        self._lock = threading.Lock()
+        self._threads: list[threading.Thread] = []
+        self._stopping = threading.Event()
+        self._killed = threading.Event()
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "TuningServer":
+        """Install the shared cache, recover the root, start workers."""
+        if self._started:
+            raise ServiceError("server already started")
+        self._started = True
+        self.root.ensure()
+        register_owner(self.token)
+        if self._cache_dir is not None:
+            self._previous_cache = install_cache(ArtifactCache(self._cache_dir))
+            self._cache_installed = True
+        self._recover()
+        for number in range(self._workers_wanted):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"{self.token}-worker-{number}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def _recover(self) -> None:
+        """Rebuild queue state from the root's spec files and journals.
+
+        Classification per persisted job:
+
+        - cancel marker, no journal -> ``cancelled`` (never ran);
+        - journal with a ``done`` event -> ``done`` (result on disk);
+        - journal without ``done`` (torn tail included) -> requeued as
+          a *resume* job, unless a cancel marker holds it cancelled;
+        - no journal -> requeued to run from scratch.
+        """
+        journals = {
+            info.name: info
+            for info in discover_journals(self.root.journals_dir)
+        }
+        for job_id in self.root.job_ids():
+            spec = self.root.read_spec(job_id)
+            record = JobRecord(spec=spec)
+            info = journals.get(job_id)
+            if info is not None and info.complete:
+                record.state = DONE
+                self._register(record, terminal=True)
+            elif self.root.is_cancelled(job_id):
+                record.state = CANCELLED
+                record.resumed = info is not None
+                self._register(record, terminal=True)
+            else:
+                # A journal whose only content is a torn line carries
+                # no intact state: drop it and run from scratch (the
+                # crash predates the first fsync'd event).
+                if info is not None and info.events == 0:
+                    info.path.unlink(missing_ok=True)
+                    info = None
+                record.resumed = info is not None
+                self._register(record, terminal=False)
+                self._queue.submit(record, enforce_quota=False)
+
+    def _register(self, record: JobRecord, *, terminal: bool) -> None:
+        with self._lock:
+            self._records[record.job_id] = record
+            self._controls[record.job_id] = _JobControl(self, record.job_id)
+            event = threading.Event()
+            if terminal:
+                event.set()
+            self._terminal[record.job_id] = event
+
+    def stop(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Shut down: optionally drain the queue, then join the workers."""
+        self._stopping.set()
+        if not drain:
+            self._killed.set()
+        self._queue.close()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        retire_owner(self.token)
+        if self._cache_installed:
+            install_cache(self._previous_cache)
+            self._cache_installed = False
+
+    def kill(self) -> None:
+        """Chaos: die *now*, abandoning state as ``kill -9`` would.
+
+        In-flight jobs stop at their next journal append; leases stay
+        on disk (stale-breakable); the queue's memory is lost.  Only a
+        new server instance over the same root can continue the work.
+        """
+        self._killed.set()
+        self._stopping.set()
+        self._queue.close()
+        retire_owner(self.token)
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+        if self._cache_installed:
+            install_cache(self._previous_cache)
+            self._cache_installed = False
+
+    @property
+    def killed(self) -> bool:
+        return self._killed.is_set()
+
+    # -- submission & control --------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> str:
+        """Admit one job: quota check, durable spec write, enqueue."""
+        if not self._started or self._stopping.is_set():
+            raise ServiceError("server is not accepting submissions")
+        if spec.job_id in self._records:
+            raise ServiceError(f"job id {spec.job_id!r} already exists")
+        if isinstance(spec.workload, Workload):
+            self._resolver.setdefault(spec.workload.name, spec.workload)
+        record = JobRecord(spec=spec)
+        # Write-ahead: the spec hits disk before the queue, so an
+        # admitted job survives any later crash; a quota rejection
+        # removes the spec again below.
+        self.root.write_spec(durable_spec(spec))
+        self._register(record, terminal=False)
+        try:
+            self._queue.submit(record)
+        except Exception:
+            # Rejected after persisting: remove the spec so a restart
+            # does not resurrect a job that was never admitted.
+            self.root.spec_path(spec.job_id).unlink(missing_ok=True)
+            with self._lock:
+                self._records.pop(spec.job_id, None)
+                self._controls.pop(spec.job_id, None)
+                self._terminal.pop(spec.job_id, None)
+            raise
+        return spec.job_id
+
+    def allocate_job_id(self) -> str:
+        return self.root.allocate_job_id()
+
+    def cancel(self, job_id: str) -> str:
+        """Cancel a job; returns its resulting state.
+
+        Queued jobs leave the queue immediately (quota released).  A
+        running job is stopped at its next journal boundary -- its
+        journal stays on disk, resumable if the tenant changes its
+        mind.  Terminal jobs are left untouched.
+        """
+        record = self._record(job_id)
+        if record.state == QUEUED:
+            try:
+                cancelled = self._queue.cancel(job_id)
+            except UnknownJobError:
+                cancelled = None  # dispatched while we looked: fall through
+            if cancelled is not None:
+                record.state = CANCELLED
+                self.root.mark_cancelled(job_id)
+                self._terminal[job_id].set()
+                return CANCELLED
+        if record.state == RUNNING:
+            self.root.mark_cancelled(job_id)
+            self._controls[job_id].cancel_event.set()
+        return record.state
+
+    # -- inspection ------------------------------------------------------------
+
+    def _record(self, job_id: str) -> JobRecord:
+        with self._lock:
+            record = self._records.get(job_id)
+        if record is None:
+            raise UnknownJobError(f"no such job {job_id!r}")
+        return record
+
+    def status(self, job_id: str) -> dict:
+        record = self._record(job_id)
+        return {
+            "job_id": record.job_id,
+            "tenant": record.tenant,
+            "priority": record.spec.priority,
+            "state": record.state,
+            "resumed": record.resumed,
+            "error": record.error,
+        }
+
+    def jobs(self, tenant: str | None = None) -> list[dict]:
+        with self._lock:
+            records = sorted(self._records.values(), key=lambda r: r.job_id)
+        return [
+            self.status(record.job_id)
+            for record in records
+            if tenant is None or record.tenant == tenant
+        ]
+
+    def result(
+        self, job_id: str, *, timeout: float | None = None
+    ) -> TuningResult:
+        """Block until ``job_id`` is terminal and return its result."""
+        record = self._record(job_id)
+        if not self._terminal[job_id].wait(timeout=timeout):
+            raise ServiceError(f"job {job_id!r} did not finish in time")
+        if record.state != DONE:
+            raise ServiceError(
+                f"job {job_id!r} is {record.state}"
+                + (f": {record.error}" if record.error else "")
+            )
+        if record.result is None:
+            # Completed in a previous server life: the journal has it.
+            record.result = read_result(self.root.journal_path(job_id))
+        return record.result
+
+    def wait_all(self, *, timeout: float | None = None) -> bool:
+        """Wait until every known job is terminal; False on timeout."""
+        with self._lock:
+            events = list(self._terminal.values())
+        for event in events:
+            if not event.wait(timeout=timeout):
+                return False
+        return True
+
+    def cache_stats(self) -> dict[str, int] | None:
+        cache = active_cache()
+        return None if cache is None else cache.stats.snapshot()
+
+    def tenant_cache_stats(self, tenant: str) -> dict[str, int]:
+        """Cache-counter deltas accumulated while this tenant's jobs ran.
+
+        Exact under ``workers=1``; with concurrent workers, deltas of
+        overlapping jobs interleave and the split is approximate (the
+        totals across tenants remain exact).
+        """
+        with self._lock:
+            return dict(
+                self._tenant_stats.get(
+                    tenant,
+                    {"memory_hits": 0, "disk_hits": 0, "stores": 0},
+                )
+            )
+
+    # -- the worker loop -------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while not self._killed.is_set():
+            record = self._queue.acquire(timeout=0.05)
+            if record is None:
+                if self._stopping.is_set() and self._queue.pending_count() == 0:
+                    return
+                continue
+            try:
+                self._run_record(record)
+            except ServerKilledError:
+                return
+            finally:
+                self._queue.release(record)
+
+    def _run_record(self, record: JobRecord) -> None:
+        job_id = record.job_id
+        control = self._controls[job_id]
+        journal_path = self.root.journal_path(job_id)
+        try:
+            lease = JournalLease.acquire(journal_path, owner_token=self.token)
+        except ServiceError as error:
+            record.state = FAILED
+            record.error = str(error)
+            self._terminal[job_id].set()
+            return
+
+        def factory(path, *, append: bool = False):
+            return _ServiceJournal(path, append=append, control=control)
+
+        stats_before = self.cache_stats()
+        try:
+            batch_job = record.spec.to_batch_job(
+                resolver=self._resolver, journal_path=journal_path
+            )
+            if record.resumed or journal_path.exists():
+                result = resume_job(batch_job, journal_factory=factory)
+            else:
+                result = run_job(batch_job, journal_factory=factory)
+            record.result = result
+            record.state = DONE
+            record.error = None
+            lease.release()
+            self._terminal[job_id].set()
+        except JobCancelledError:
+            record.state = CANCELLED
+            lease.release()
+            self._terminal[job_id].set()
+        except ServerKilledError:
+            # kill -9 semantics: the lease file survives (stale), the
+            # record stays RUNNING in this dead server's memory, and
+            # the journal on disk is the only truth.
+            lease.abandon()
+            raise
+        except Exception as error:
+            record.state = FAILED
+            record.error = f"{type(error).__name__}: {error}"
+            lease.release()
+            self._terminal[job_id].set()
+        finally:
+            self._account(record.tenant, stats_before)
+
+    def _account(self, tenant: str, before: dict[str, int] | None) -> None:
+        after = self.cache_stats()
+        if before is None or after is None:
+            return
+        with self._lock:
+            bucket = self._tenant_stats.setdefault(
+                tenant, {"memory_hits": 0, "disk_hits": 0, "stores": 0}
+            )
+            for key in bucket:
+                bucket[key] += max(0, after[key] - before[key])
+
+    # -- context manager -------------------------------------------------------
+
+    def __enter__(self) -> "TuningServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        if not self._killed.is_set():
+            self.stop()

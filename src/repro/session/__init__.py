@@ -12,6 +12,13 @@ public surface from here::
 """
 
 from repro.session import codec
+from repro.session.discover import (
+    JournalInfo,
+    JournalLease,
+    discover_journals,
+    inspect_journal,
+    read_result,
+)
 from repro.session.journal import JournalEvent, TuningJournal
 from repro.session.session import (
     JournalingObserver,
@@ -23,11 +30,16 @@ from repro.session.session import (
 
 __all__ = [
     "JournalEvent",
+    "JournalInfo",
+    "JournalLease",
     "JournalingObserver",
     "ResumePoint",
     "SelectionReplay",
     "TuningJournal",
     "TuningSession",
     "codec",
+    "discover_journals",
+    "inspect_journal",
+    "read_result",
     "rehydrate",
 ]

@@ -331,16 +331,21 @@ class TuningSession:
         path: str | Path,
         *,
         workload_name: str = "",
+        journal_factory=None,
     ) -> None:
         self._tuner = tuner
         self.path = Path(path)
         self._workload_name = workload_name
+        #: ``(path, *, append=False) -> TuningJournal``-compatible hook;
+        #: the service layer injects a wrapper that checks cancellation
+        #: and chaos crash points before every append.
+        self._journal_factory = journal_factory or TuningJournal
 
     def run(self, queries: list[Query]) -> TuningResult:
         """Run the tune with every stage journaled to :attr:`path`."""
         engine = self._tuner.engine
         queries = list(queries)
-        with TuningJournal(self.path) as journal:
+        with self._journal_factory(self.path) as journal:
             journal.append(
                 "session_start",
                 {
@@ -368,6 +373,7 @@ class TuningSession:
         *,
         engine: DatabaseEngine,
         llm: LLMClient,
+        journal_factory=None,
     ) -> TuningResult:
         """Continue an interrupted session from its journal.
 
@@ -388,7 +394,8 @@ class TuningSession:
         if point.fault_plan is not None:
             engine.install_faults(point.fault_plan)
         tuner = LambdaTune(engine, llm, point.options)
-        with TuningJournal(path, append=True) as journal:
+        factory = journal_factory or TuningJournal
+        with factory(path, append=True) as journal:
             observer = JournalingObserver(journal, label=point.active_label)
             return tuner.tune(
                 point.queries,

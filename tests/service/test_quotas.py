@@ -1,0 +1,341 @@
+"""Scheduling policy: priorities, aging, per-tenant quotas, cancellation.
+
+The deterministic guarantees live at the :class:`JobQueue` level (no
+threads, no timing): dispatch order, the aging starvation bound, and
+admission caps.  The server-level tests then show the same properties
+holding under real bursty concurrent execution -- including the
+invariant that a tenant's ``max_concurrent`` is never exceeded at any
+journal append anywhere in the system.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    QuotaExceededError,
+    UnknownJobError,
+)
+from repro.service import (
+    JobClient,
+    JobQueue,
+    JobRecord,
+    JobSpec,
+    TenantQuota,
+)
+from repro.session.discover import inspect_journal
+from tests.service.conftest import (
+    fingerprint,
+    job_options,
+    make_server,
+    reference_result,
+)
+
+
+def record(job_id, *, tenant="default", priority=0, token_budget=400):
+    return JobRecord(
+        spec=JobSpec(
+            job_id=job_id,
+            workload="tpch-sf1",
+            tenant=tenant,
+            priority=priority,
+            options=job_options(0).ablated(token_budget=token_budget),
+        )
+    )
+
+
+class TestQueueOrdering:
+    def test_highest_priority_first_fifo_ties(self):
+        queue = JobQueue(aging=0)
+        for job_id, priority in [("a", 1), ("b", 5), ("c", 5), ("d", 3)]:
+            queue.submit(record(job_id, priority=priority))
+        order = [queue.acquire(timeout=0).job_id for _ in range(4)]
+        assert order == ["b", "c", "d", "a"]
+
+    def test_aging_bounds_the_wait_of_a_low_priority_job(self):
+        # With aging=1 a priority-0 job overtakes a stream of fresh
+        # priority-10 jobs after at most 10 dispatches -- the
+        # starvation-freedom bound (p_max - p) / aging.
+        queue = JobQueue(aging=1)
+        queue.submit(record("low", priority=0))
+        dispatched = []
+        for burst in range(25):
+            queue.submit(record(f"high-{burst}", priority=10))
+            dispatched.append(queue.acquire(timeout=0).job_id)
+            if dispatched[-1] == "low":
+                break
+        assert "low" in dispatched, "low-priority job starved"
+        assert len(dispatched) <= 11, (
+            f"aging bound violated: waited {len(dispatched)} dispatches"
+        )
+
+    def test_without_aging_high_priority_always_wins(self):
+        # aging=0 is strict priority: the documented starvation mode.
+        queue = JobQueue(aging=0)
+        queue.submit(record("low", priority=0))
+        for burst in range(12):
+            queue.submit(record(f"high-{burst}", priority=10))
+            assert queue.acquire(timeout=0).job_id != "low"
+
+    def test_negative_aging_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JobQueue(aging=-1)
+
+    def test_snapshot_orders_by_effective_priority(self):
+        queue = JobQueue(aging=1)
+        queue.submit(record("a", priority=0))
+        queue.submit(record("b", priority=2))
+        rows = queue.snapshot()
+        assert [row[0] for row in rows] == ["b", "a"]
+
+
+class TestQueueQuotas:
+    def test_max_concurrent_gates_dispatch(self):
+        queue = JobQueue(quotas={"t": TenantQuota(max_concurrent=1)})
+        queue.submit(record("a", tenant="t"))
+        queue.submit(record("b", tenant="t"))
+        queue.submit(record("other", tenant="u", priority=-5))
+        first = queue.acquire(timeout=0)
+        assert first.job_id == "a"
+        # Tenant t is at its cap: the queue skips b and hands out the
+        # lower-priority other-tenant job instead of blocking.
+        assert queue.acquire(timeout=0).job_id == "other"
+        assert queue.acquire(timeout=0) is None
+        queue.release(first)
+        assert queue.acquire(timeout=0).job_id == "b"
+
+    def test_max_pending_caps_admission(self):
+        queue = JobQueue(quotas={"t": TenantQuota(max_pending=2)})
+        queue.submit(record("a", tenant="t"))
+        queue.submit(record("b", tenant="t"))
+        with pytest.raises(QuotaExceededError):
+            queue.submit(record("c", tenant="t"))
+        # Running jobs still count; only release frees the slot.
+        running = queue.acquire(timeout=0)
+        with pytest.raises(QuotaExceededError):
+            queue.submit(record("c", tenant="t"))
+        queue.release(running)
+        queue.submit(record("c", tenant="t"))
+
+    def test_token_budget_ceiling(self):
+        queue = JobQueue(quotas={"t": TenantQuota(max_token_budget=500)})
+        queue.submit(record("ok", tenant="t", token_budget=400))
+        with pytest.raises(QuotaExceededError):
+            queue.submit(record("big", tenant="t", token_budget=501))
+        with pytest.raises(QuotaExceededError):
+            # An unbudgeted job cannot pass a finite ceiling.
+            queue.submit(record("inf", tenant="t", token_budget=None))
+
+    def test_recovery_readmission_bypasses_admission_caps(self):
+        queue = JobQueue(quotas={"t": TenantQuota(max_pending=1)})
+        queue.submit(record("a", tenant="t"))
+        recovered = record("b", tenant="t")
+        queue.submit(recovered, enforce_quota=False)
+        assert queue.pending_count("t") == 2
+
+    def test_cancel_releases_admission_quota(self):
+        queue = JobQueue(quotas={"t": TenantQuota(max_pending=1)})
+        queue.submit(record("a", tenant="t"))
+        queue.cancel("a")
+        queue.submit(record("b", tenant="t"))
+        with pytest.raises(UnknownJobError):
+            queue.cancel("a")
+
+    def test_closed_queue_refuses_submissions_and_drains(self):
+        queue = JobQueue()
+        queue.submit(record("a"))
+        queue.close()
+        with pytest.raises(QuotaExceededError):
+            queue.submit(record("b"))
+        assert queue.acquire(timeout=0).job_id == "a"
+        assert queue.acquire(timeout=0) is None
+
+
+class TestServerQuotas:
+    def test_max_concurrent_never_exceeded_under_burst(
+        self, service_root, tiny_workload
+    ):
+        # 4 workers, tenant cap 2, 6 bursty submissions: sample the
+        # tenant's running count at every journal append of every job
+        # and assert the cap held at each of those moments.
+        cap = 2
+        samples = []
+        server = make_server(
+            service_root,
+            workers=4,
+            quotas={"acme": TenantQuota(max_concurrent=cap)},
+            crash_probe=lambda job_id, appends: samples.append(
+                server._queue.running_count("acme")
+            ),
+        )
+        with server:
+            client = JobClient(server)
+            jobs = [
+                client.submit(
+                    tiny_workload, tenant="acme", options=job_options(seed)
+                )
+                for seed in range(6)
+            ]
+            for job_id in jobs:
+                client.result(job_id, timeout=120.0)
+        assert samples, "no appends sampled -- burst test is vacuous"
+        assert max(samples) <= cap, (
+            f"tenant exceeded max_concurrent: saw {max(samples)} running"
+        )
+
+    def test_concurrent_results_identical_to_isolated(
+        self, service_root, tiny_workload
+    ):
+        # The quota scheduler must not perturb results: bursty
+        # multi-worker execution stays bit-identical per job.
+        options = [job_options(seed) for seed in range(4)]
+        references = [
+            reference_result(tiny_workload, options=opts) for opts in options
+        ]
+        with make_server(service_root, workers=3) as server:
+            client = JobClient(server)
+            jobs = [
+                client.submit(
+                    tiny_workload, tenant=f"t{i % 2}", options=options[i]
+                )
+                for i in range(4)
+            ]
+            results = [client.result(job_id, timeout=120.0) for job_id in jobs]
+        for result, reference in zip(results, references):
+            assert fingerprint(result) == fingerprint(reference)
+
+    def test_low_priority_tenant_completes_under_pressure(
+        self, service_root, tiny_workload
+    ):
+        with make_server(service_root, aging=1) as server:
+            client = JobClient(server)
+            low = client.submit(
+                tiny_workload, tenant="small", priority=0,
+                options=job_options(0),
+            )
+            highs = [
+                client.submit(
+                    tiny_workload, tenant="big", priority=100,
+                    options=job_options(seed),
+                )
+                for seed in range(1, 5)
+            ]
+            assert client.result(low, timeout=120.0) is not None
+            for job_id in highs:
+                client.result(job_id, timeout=120.0)
+
+    def test_quota_rejection_rolls_back_the_spec(
+        self, service_root, tiny_workload
+    ):
+        quotas = {"t": TenantQuota(max_token_budget=100)}
+        with make_server(service_root, quotas=quotas) as server:
+            client = JobClient(server)
+            with pytest.raises(QuotaExceededError):
+                client.submit(
+                    tiny_workload, tenant="t", options=job_options(0)
+                )
+            # Nothing persisted: a restart must not resurrect the job.
+            assert server.root.job_ids() == []
+            # And the id is free for reuse.
+            ok = client.submit(
+                tiny_workload,
+                tenant="t",
+                options=job_options(0).ablated(token_budget=100),
+            )
+            client.result(ok, timeout=120.0)
+
+
+class GatedProbe:
+    """Blocks one job at a chosen append until the test releases it."""
+
+    def __init__(self, job_id_holder, at_append):
+        self.holder = job_id_holder
+        self.at_append = at_append
+        self.reached = threading.Event()
+        self.gate = threading.Event()
+
+    def __call__(self, job_id, appends):
+        if job_id == self.holder.get("id") and appends == self.at_append:
+            self.reached.set()
+            assert self.gate.wait(timeout=30.0)
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self, service_root, tiny_workload):
+        holder = {}
+        probe = GatedProbe(holder, at_append=2)
+        quotas = {"t": TenantQuota(max_pending=2)}
+        with make_server(
+            service_root, quotas=quotas, crash_probe=probe
+        ) as server:
+            client = JobClient(server)
+            holder["id"] = client.submit(
+                tiny_workload, tenant="t", options=job_options(0)
+            )
+            probe.reached.wait(timeout=30.0)  # worker is pinned on job 1
+            queued = client.submit(
+                tiny_workload, tenant="t", options=job_options(1)
+            )
+            assert client.cancel(queued) == "cancelled"
+            assert client.status(queued)["state"] == "cancelled"
+            # Admission quota released: a replacement fits under the cap.
+            replacement = client.submit(
+                tiny_workload, tenant="t", options=job_options(2)
+            )
+            probe.gate.set()
+            client.result(holder["id"], timeout=120.0)
+            client.result(replacement, timeout=120.0)
+        # The cancelled job never ran: no journal, marker persisted.
+        assert not server.root.journal_path(queued).exists()
+        assert server.root.is_cancelled(queued)
+
+    def test_cancel_running_job_leaves_resumable_journal(
+        self, service_root, tiny_workload
+    ):
+        options = job_options(3)
+        reference = reference_result(tiny_workload, options=options)
+        holder = {}
+        probe = GatedProbe(holder, at_append=4)
+        with make_server(service_root, crash_probe=probe) as server:
+            client = JobClient(server)
+            holder["id"] = client.submit(tiny_workload, options=options)
+            job_id = holder["id"]
+            assert probe.reached.wait(timeout=30.0)
+            client.cancel(job_id)  # lands at the next journal append
+            probe.gate.set()
+            server.wait_all(timeout=120.0)
+            assert client.status(job_id)["state"] == "cancelled"
+            with pytest.raises(Exception, match="cancelled"):
+                client.result(job_id)
+        journal = server.root.journal_path(job_id)
+        info = inspect_journal(journal)
+        assert info.resumable, "cancellation must leave a resumable journal"
+        assert not journal.with_name(journal.name + ".lock").exists()
+        assert server.root.is_cancelled(job_id)
+
+        # The marker holds the job cancelled across restarts ...
+        with make_server(
+            service_root, workload_resolver={"tiny": tiny_workload}
+        ) as again:
+            again.wait_all(timeout=120.0)
+            assert again.status(job_id)["state"] == "cancelled"
+        # ... until the tenant changes their mind: drop the marker and
+        # the journal resumes to the exact uninterrupted result.
+        server.root.cancel_path(job_id).unlink()
+        with make_server(
+            service_root, workload_resolver={"tiny": tiny_workload}
+        ) as revived:
+            result = revived.result(job_id, timeout=120.0)
+            assert revived.status(job_id)["resumed"]
+        assert fingerprint(result) == fingerprint(reference)
+
+    def test_cancel_terminal_job_is_a_no_op(self, service_root, tiny_workload):
+        with make_server(service_root) as server:
+            client = JobClient(server)
+            job_id = client.submit(tiny_workload, options=job_options(0))
+            client.result(job_id, timeout=120.0)
+            assert client.cancel(job_id) == "done"
+            assert client.status(job_id)["state"] == "done"
