@@ -38,7 +38,13 @@ from repro.core.scheduler import MAX_DP_INPUT, compute_order_dp, greedy_order
 from repro.db import planner as planner_module
 from repro.db.engine import DatabaseEngine
 from repro.db.indexes import Index
-from repro.errors import ConfigurationError, ConfigurationRejectedError, EngineFaultError
+from repro.db.resources import ResourceBudget
+from repro.errors import (
+    BudgetInfeasibleError,
+    ConfigurationError,
+    ConfigurationRejectedError,
+    EngineFaultError,
+)
 from repro.workloads.base import Query, workload_identity
 
 #: Safety valve: drop memoized derivations if a pathological workload
@@ -87,6 +93,7 @@ class ConfigurationEvaluator:
         max_dp_input: int = MAX_DP_INPUT,
         cluster_seed: int = 0,
         enable_caches: bool = True,
+        budget: ResourceBudget | None = None,
     ) -> None:
         self._engine = engine
         self._use_scheduler = use_scheduler
@@ -94,6 +101,7 @@ class ConfigurationEvaluator:
         self._max_dp_input = max_dp_input
         self._cluster_seed = cluster_seed
         self._enable_caches = enable_caches
+        self._budget = budget
         # query-name tuple + config signature -> {name: relevant indexes}
         self._index_map_cache: dict[tuple, dict[str, frozenset]] = {}
         # config signature + engine signature -> {index: creation seconds}
@@ -114,7 +122,33 @@ class ConfigurationEvaluator:
             "max_dp_input": self._max_dp_input,
             "cluster_seed": self._cluster_seed,
             "enable_caches": self._enable_caches,
+            "budget": self._budget,
         }
+
+    # -- resource feasibility ---------------------------------------------------------
+
+    def _check_budget(self, config: Configuration) -> None:
+        """Reject a candidate whose footprint exceeds the resource budget.
+
+        Raises :class:`BudgetInfeasibleError` -- a
+        :class:`ConfigurationError` -- so infeasible candidates take the
+        same quarantine path as inapplicable scripts.  The footprint is a
+        pure function of (engine class, hardware, catalog, settings,
+        indexes), and the check runs *before* any settings are applied,
+        so serial and worker evaluations fail identically with zero
+        clock advance.
+        """
+        if self._budget is None:
+            return
+        footprint = self._engine.resource_footprint(
+            config.settings, config.indexes
+        )
+        violation = self._budget.violation(footprint)
+        if violation:
+            raise BudgetInfeasibleError(
+                f"configuration {config.name!r} infeasible under budget: "
+                f"{violation}"
+            )
 
     # -- cache keys -----------------------------------------------------------------
 
@@ -363,6 +397,7 @@ class ConfigurationEvaluator:
         # wake-up latency dozens of times per Update.
         with engine.deferred_realtime():
             try:
+                self._check_budget(config)
                 config.apply_settings(engine)
                 meta.is_complete = True
 
@@ -440,6 +475,7 @@ class ConfigurationEvaluator:
 
         with engine.deferred_realtime():
             try:
+                self._check_budget(config)
                 config.apply_settings(engine)
                 meta.is_complete = True
 

@@ -24,17 +24,21 @@ memory: {memory:g}GB
 cores: {cores}
 """
 
-_DBMS_DISPLAY = {"postgres": "PostgreSQL", "mysql": "MySQL"}
-
-
 def render_prompt(
     dbms: str,
     compressed_workload: str,
     hardware: HardwareSpec,
 ) -> str:
-    """Fill the Listing-1 template."""
+    """Fill the Listing-1 template.
+
+    The DBMS display name comes from the engine registry, so a newly
+    registered backend renders correctly with no prompt-layer change;
+    unregistered names pass through verbatim.
+    """
+    from repro.db.registry import display_name
+
     return _TEMPLATE.format(
-        dbms=_DBMS_DISPLAY.get(dbms, dbms),
+        dbms=display_name(dbms),
         compressed_workload=compressed_workload,
         memory=hardware.memory_gb,
         cores=hardware.cores,

@@ -32,6 +32,7 @@ from repro.core.selector import (
     SelectionResult,
 )
 from repro.db.engine import DatabaseEngine
+from repro.db.resources import ResourceBudget, cheapest_feasible_tier
 from repro.errors import ConfigurationError, LLMError
 from repro.llm.client import LLMClient
 from repro.workloads.base import Query
@@ -84,6 +85,12 @@ class LambdaTuneOptions:
     workers: int = 0
     #: Pool flavor for ``workers > 1``: process, thread, or serial.
     executor: str = "process"
+    #: Resource budget the recommended configuration must fit under
+    #: (peak memory / disk footprint).  ``None`` -- the default -- keeps
+    #: the paper's latency-only objective and is bit-identical to a
+    #: build without this field; with a budget, infeasible candidates
+    #: are quarantined exactly like inapplicable scripts.
+    budget: ResourceBudget | None = None
 
     def __post_init__(self) -> None:
         # Fail at construction, not rounds deep inside a worker pool.
@@ -99,6 +106,10 @@ class LambdaTuneOptions:
             raise ConfigurationError(
                 f"unknown executor {self.executor!r}; "
                 f"expected one of {EXECUTOR_KINDS}"
+            )
+        if self.budget is not None and not isinstance(self.budget, ResourceBudget):
+            raise ConfigurationError(
+                f"budget must be a ResourceBudget, got {self.budget!r}"
             )
 
     def ablated(self, **changes: object) -> "LambdaTuneOptions":
@@ -238,6 +249,7 @@ class LambdaTune:
             use_scheduler=self.options.use_scheduler,
             lazy_indexes=self.options.lazy_indexes,
             cluster_seed=self.options.seed,
+            budget=self.options.budget,
         )
         if self.options.workers > 1:
             selector: ConfigurationSelector = ParallelConfigurationSelector(
@@ -355,6 +367,27 @@ class LambdaTune:
                 "compression_coverage": coverage,
             },
         )
+        if self.options.budget is not None:
+            # Budget-objective reporting.  Keyed additions only: the
+            # fingerprint's key set is fixed, and with budget=None (the
+            # default) this branch never runs, so latency-only results
+            # stay byte-identical.
+            budget = self.options.budget
+            result.extras["budget"] = budget.describe()
+            if selection.best.config is not None:
+                footprint = self._engine.resource_footprint(
+                    selection.best.config.settings,
+                    selection.best.config.indexes,
+                )
+                tier = cheapest_feasible_tier(
+                    footprint, method=self.options.solver_method
+                )
+                result.extras["resource_footprint"] = {
+                    "peak_memory_bytes": footprint.peak_memory_bytes,
+                    "disk_bytes": footprint.disk_bytes,
+                }
+                result.extras["feasible"] = budget.admits(footprint)
+                result.extras["cheapest_tier"] = tier.name if tier else None
         for time, best_time in selection.trace:
             result.record(time, best_time)
         observer.done(result)

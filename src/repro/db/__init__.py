@@ -9,6 +9,11 @@ interface the tuning pipeline needs:
 - a plan-based cost model that reacts to memory knobs, optimizer cost
   constants, parallelism and indexes (:mod:`repro.db.planner`,
   :mod:`repro.db.cost_model`),
+- a pluggable backend registry (:mod:`repro.db.registry`) through which
+  the pipeline resolves engines by system name; a third, columnar
+  backend (:mod:`repro.db.columnar`) exercises it end to end,
+- resource accounting -- peak-memory/disk footprints, budgets, hardware
+  tiers (:mod:`repro.db.resources`),
 - B-tree indexes with creation costs (:mod:`repro.db.indexes`),
 - ``EXPLAIN``-style per-join cost estimates used by the workload
   compressor (:mod:`repro.db.explain`), and
@@ -25,6 +30,23 @@ from repro.db.indexes import Index
 from repro.db.engine import BatchExecution, DatabaseEngine, ExecutionResult
 from repro.db.postgres import PostgresEngine
 from repro.db.mysql import MySQLEngine
+from repro.db.columnar import ColumnarEngine
+from repro.db.registry import (
+    available_engines,
+    create_engine,
+    display_name,
+    engine_info,
+    register_engine,
+    unregister_engine,
+)
+from repro.db.resources import (
+    DEFAULT_TIERS,
+    HardwareTier,
+    ResourceBudget,
+    ResourceFootprint,
+    cheapest_feasible_tier,
+    parse_budget,
+)
 
 __all__ = [
     "VirtualClock",
@@ -42,4 +64,17 @@ __all__ = [
     "ExecutionResult",
     "PostgresEngine",
     "MySQLEngine",
+    "ColumnarEngine",
+    "available_engines",
+    "create_engine",
+    "display_name",
+    "engine_info",
+    "register_engine",
+    "unregister_engine",
+    "DEFAULT_TIERS",
+    "HardwareTier",
+    "ResourceBudget",
+    "ResourceFootprint",
+    "cheapest_feasible_tier",
+    "parse_budget",
 ]

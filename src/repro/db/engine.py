@@ -34,7 +34,8 @@ from repro.db.cost_model import (
 )
 from repro.db.hardware import HardwareSpec
 from repro.db.indexes import Index
-from repro.db.knobs import KnobSpace
+from repro.db.knobs import KnobCategory, KnobKind, KnobSpace
+from repro.db.resources import ResourceFootprint
 from repro.db.planner import Planner, QueryPlan
 from repro.errors import ConfigurationError, EngineFaultError, TransientEngineError
 from repro.sql.analyzer import QueryInfo, analyze
@@ -186,7 +187,12 @@ class DatabaseEngine(abc.ABC):
         self.hardware = hardware or HardwareSpec.paper_default()
         self.clock = clock or VirtualClock()
         self._deferred_wait: float | None = None
-        self.knob_space: KnobSpace = self._build_knob_space()
+        # Static knob bounds describe what the DBMS accepts; overlay the
+        # host-derived memory ceilings so impossible allocations are
+        # rejected with a typed HardwareLimitError at coerce time.
+        self.knob_space: KnobSpace = self._build_knob_space().with_hardware_limits(
+            self.hardware
+        )
         self._config: dict[str, object] = dict(self.knob_space.defaults())
         self._indexes: dict[tuple[str, tuple[str, ...]], Index] = {}
         self._column_owner = catalog.column_owner_map()
@@ -1087,6 +1093,74 @@ class DatabaseEngine(abc.ABC):
             knob = self.knob_space.knob(name)
             coerced[knob.name] = knob.coerce(raw)
         return coerced
+
+    # -- resource accounting -----------------------------------------------------------
+
+    def resource_footprint(
+        self,
+        settings: dict[str, object] | None = None,
+        indexes: tuple[Index, ...] | list[Index] = (),
+    ) -> ResourceFootprint:
+        """Peak-memory and disk footprint of a hypothetical configuration.
+
+        Computed over the knob *defaults* overlaid with ``settings`` --
+        never the engine's current configuration -- so a candidate's
+        footprint is a pure function of (engine class, hardware, catalog,
+        pre-existing indexes, settings, extra indexes).  That makes the
+        budget feasibility gate deterministic across serial, thread, and
+        process executors regardless of which candidates were applied
+        before the check runs.
+
+        ``indexes`` are prospective additions (a candidate's CREATE INDEX
+        statements); indexes already installed on the engine count too,
+        deduplicated by key.
+        """
+        config: dict[str, object] = dict(self.knob_space.defaults())
+        if settings:
+            for name, raw in settings.items():
+                knob = self.knob_space.knob(name)
+                config[knob.name] = knob.coerce(raw)
+        seen: set[tuple] = set()
+        index_bytes = 0
+        for index in (*self._indexes.values(), *indexes):
+            if index.key in seen:
+                continue
+            seen.add(index.key)
+            index_bytes += index.size_bytes(self.catalog)
+        disk = (
+            self._data_disk_bytes(config)
+            + int(index_bytes * self._index_disk_factor(config))
+            + self._disk_overhead_bytes(config)
+        )
+        return ResourceFootprint(
+            peak_memory_bytes=int(self._peak_memory_bytes(config)),
+            disk_bytes=int(disk),
+        )
+
+    def _peak_memory_bytes(self, config: dict[str, object]) -> int:
+        """Worst-case resident memory under ``config``.
+
+        Engines override this with their allocation model; the generic
+        fallback sums every MEMORY-category SIZE knob, which is a sane
+        upper bound for any backend that declares its pools as knobs.
+        """
+        total = 0
+        for knob in self.knob_space:
+            if knob.kind is KnobKind.SIZE and knob.category is KnobCategory.MEMORY:
+                total += int(config[knob.name])
+        return total
+
+    def _data_disk_bytes(self, config: dict[str, object]) -> int:
+        """On-disk size of the base data (row stores: raw heap bytes)."""
+        return self.catalog.total_size_bytes
+
+    def _index_disk_factor(self, config: dict[str, object]) -> float:
+        """Scaling of :meth:`Index.size_bytes` for this storage layout."""
+        return 1.0
+
+    def _disk_overhead_bytes(self, config: dict[str, object]) -> int:
+        """Config-dependent disk overhead (WAL/redo logs, checkpoints)."""
+        return 0
 
     # -- convenience -------------------------------------------------------------------
 

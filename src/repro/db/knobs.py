@@ -14,9 +14,9 @@ from __future__ import annotations
 
 import enum
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-from repro.errors import KnobError
+from repro.errors import HardwareLimitError, KnobError
 
 _SIZE_UNITS = {
     "b": 1,
@@ -97,6 +97,11 @@ class Knob:
     maximum: int | float | None = None
     choices: tuple[str, ...] = ()
     description: str = ""
+    #: Host-derived ceiling, tighter than ``maximum``.  ``maximum`` is
+    #: what the DBMS accepts; this is what the machine can provide
+    #: (e.g. ``shared_buffers`` bounded by a multiple of physical RAM).
+    #: Installed by :meth:`KnobSpace.with_hardware_limits`.
+    hardware_maximum: int | None = None
 
     def coerce(self, raw: object) -> int | float | bool | str:
         """Validate and normalize a raw setting (possibly a string)."""
@@ -154,6 +159,11 @@ class Knob:
             raise KnobError(
                 f"knob {self.name!r}: value {value!r} above maximum {self.maximum!r}"
             )
+        if self.hardware_maximum is not None and value > self.hardware_maximum:
+            raise HardwareLimitError(
+                f"knob {self.name!r}: value {value!r} exceeds hardware limit "
+                f"{self.hardware_maximum!r}"
+            )
         return value
 
     def clamp(self, value: int | float) -> int | float:
@@ -204,6 +214,31 @@ class KnobSpace:
     def names(self) -> list[str]:
         return list(self._knobs)
 
+    def with_hardware_limits(self, hardware) -> KnobSpace:
+        """A copy whose memory knobs are capped by the host's RAM.
+
+        Static knob maxima describe what the DBMS parser accepts (e.g.
+        ``shared_buffers`` up to 512GB); on a real host, asking for many
+        multiples of physical RAM means the server cannot even start.
+        Caps only SIZE knobs in the MEMORY category at
+        ``HARDWARE_HEADROOM`` times RAM (never below the knob default,
+        so defaults always validate): planner *hints* like
+        ``effective_cache_size`` describe OS cache assumptions, not
+        allocations, and deliberately stay uncapped.  ``coerce`` rejects
+        values over the cap with :class:`HardwareLimitError`;
+        ``clamp`` -- the baselines' search-space helper -- is
+        intentionally unaffected so search trajectories are unchanged.
+        """
+        cap_floor = HARDWARE_HEADROOM * hardware.memory_bytes
+        knobs = []
+        for knob in self._knobs.values():
+            if knob.kind is KnobKind.SIZE and knob.category is KnobCategory.MEMORY:
+                cap = int(max(cap_floor, knob.default))
+                knobs.append(replace(knob, hardware_maximum=cap))
+            else:
+                knobs.append(knob)
+        return KnobSpace(self.system, knobs)
+
 
 # --------------------------------------------------------------------------
 # PostgreSQL 12 knob space
@@ -211,6 +246,13 @@ class KnobSpace:
 
 MB = 1024**2
 GB = 1024**3
+
+#: Multiple of physical RAM past which a memory-pool request is treated
+#: as un-satisfiable by the host (see ``KnobSpace.with_hardware_limits``).
+#: Generous on purpose: heavy overcommit merely swaps (modelled by the
+#: cost kernels' oversubscription penalty); this bound is for settings no
+#: amount of swap could back.
+HARDWARE_HEADROOM = 4
 
 
 def postgres_knob_space() -> KnobSpace:
@@ -362,3 +404,58 @@ def mysql_knob_space() -> KnobSpace:
           description="Cached open table handles."),
     ]
     return KnobSpace("mysql", knobs)
+
+
+# --------------------------------------------------------------------------
+# Columnar (DuckDB-style) knob space
+# --------------------------------------------------------------------------
+
+
+def columnar_knob_space() -> KnobSpace:
+    """Knobs of the simulated embedded columnar engine.
+
+    Deliberately *not* a renamed row-store space: the semantics are
+    vectorized-execution native (one global spillable memory limit
+    instead of per-operation buffers, morsel-driven thread parallelism,
+    batch vector sizing, column-block compression).
+    """
+    K = Knob
+    size, integer, boolean, enum_ = (
+        KnobKind.SIZE,
+        KnobKind.INTEGER,
+        KnobKind.BOOL,
+        KnobKind.ENUM,
+    )
+    mem, opt, io, log, par = (
+        KnobCategory.MEMORY,
+        KnobCategory.OPTIMIZER,
+        KnobCategory.IO,
+        KnobCategory.LOGGING,
+        KnobCategory.PARALLELISM,
+    )
+    knobs = [
+        K("memory_limit", size, 4 * GB, mem, minimum=32 * MB,
+          maximum=1024 * GB,
+          description="Hard cap on engine memory; operators spill past it."),
+        K("threads", integer, 4, par, minimum=1, maximum=512,
+          description="Morsel-driven worker threads."),
+        K("vector_size", integer, 2048, opt, minimum=64, maximum=65536,
+          description="Tuples per vector batch in the execution engine."),
+        K("compression", enum_, "lz4", io,
+          choices=("none", "lz4", "zstd"),
+          description="Column block compression codec."),
+        K("checkpoint_threshold", size, 16 * MB, log, minimum=1 * MB,
+          maximum=16 * GB,
+          description="WAL bytes accumulated before an automatic checkpoint."),
+        K("temp_directory_limit", size, 64 * GB, io, minimum=256 * MB,
+          maximum=4096 * GB,
+          description="Spill-file budget for out-of-core operators."),
+        K("preserve_insertion_order", boolean, True, mem,
+          description="Maintain insertion order in scans and results."),
+        K("object_cache", boolean, False, opt,
+          description="Cache parsed artifacts across queries."),
+        K("nested_loop_join_threshold", integer, 5, opt, minimum=0,
+          maximum=1024,
+          description="Row count below which nested-loop joins are allowed."),
+    ]
+    return KnobSpace("columnar", knobs)

@@ -76,9 +76,7 @@ class MySQLEngine(DatabaseEngine):
         # only, expressed through io_concurrency above.
         parallel_workers = 1
 
-        connections = max(1, int(config["max_connections"]))
-        session_budget = (sort_buffer + join_buffer) * min(connections, 32)
-        allocated = buffer_pool + session_budget + int(config["innodb_log_buffer_size"])
+        allocated = self._allocated_bytes(config)
         swap = oversubscription_penalty(allocated, self.hardware.memory_bytes)
 
         logging = 1.0
@@ -106,6 +104,37 @@ class MySQLEngine(DatabaseEngine):
             swap_factor=swap,
             hardware=self.hardware,
         )
+
+    # -- resource accounting ------------------------------------------------
+
+    @staticmethod
+    def _allocated_bytes(config: dict[str, object]) -> int:
+        sort_buffer = int(config["sort_buffer_size"])
+        join_buffer = int(config["join_buffer_size"])
+        connections = max(1, int(config["max_connections"]))
+        session_budget = (sort_buffer + join_buffer) * min(connections, 32)
+        return (
+            int(config["innodb_buffer_pool_size"])
+            + session_budget
+            + int(config["innodb_log_buffer_size"])
+        )
+
+    def _peak_memory_bytes(self, config: dict[str, object]) -> int:
+        # The swap model's allocations plus per-session scan buffers and
+        # one in-memory temp table at its cap.
+        return (
+            self._allocated_bytes(config)
+            + int(config["read_buffer_size"])
+            + int(config["read_rnd_buffer_size"])
+            + min(
+                int(config["tmp_table_size"]),
+                int(config["max_heap_table_size"]),
+            )
+        )
+
+    def _disk_overhead_bytes(self, config: dict[str, object]) -> int:
+        # InnoDB keeps two redo log files of the configured size.
+        return 2 * int(config["innodb_log_file_size"])
 
 
 def recommended_buffer_pool(memory_bytes: int) -> int:

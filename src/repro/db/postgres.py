@@ -60,28 +60,35 @@ class PostgresEngine(DatabaseEngine):
             join_search_depth=62,
         )
 
+    @staticmethod
+    def _parallel_workers(config: dict[str, object]) -> int:
+        workers = min(
+            int(config["max_parallel_workers_per_gather"]),
+            int(config["max_parallel_workers"]),
+            int(config["max_worker_processes"]),
+        )
+        return max(1, workers + 1)  # leader participates
+
+    @staticmethod
+    def _allocated_bytes(config: dict[str, object]) -> int:
+        # Each parallel worker can hold its own work_mem allocation for
+        # hash/sort nodes; a handful of concurrent operators per backend
+        # is typical for the benchmark queries.
+        concurrent = max(2, PostgresEngine._parallel_workers(config))
+        return int(config["shared_buffers"]) + int(config["work_mem"]) * concurrent
+
     def _runtime_env(self) -> RuntimeEnv:
         config = self._config
         shared_buffers = int(config["shared_buffers"])
         work_mem = int(config["work_mem"])
 
-        workers_per_gather = int(config["max_parallel_workers_per_gather"])
-        workers = min(
-            workers_per_gather,
-            int(config["max_parallel_workers"]),
-            int(config["max_worker_processes"]),
-        )
-        parallel_workers = max(1, workers + 1)  # leader participates
+        parallel_workers = self._parallel_workers(config)
 
         io_concurrency = 1.0 + math.log2(
             1.0 + float(int(config["effective_io_concurrency"]))
         )
 
-        # Each parallel worker can hold its own work_mem allocation for
-        # hash/sort nodes; a handful of concurrent operators per backend
-        # is typical for the benchmark queries.
-        concurrent_allocations = max(2, parallel_workers)
-        allocated = shared_buffers + work_mem * concurrent_allocations
+        allocated = self._allocated_bytes(config)
         swap = oversubscription_penalty(allocated, self.hardware.memory_bytes)
 
         logging = 1.0
@@ -112,6 +119,23 @@ class PostgresEngine(DatabaseEngine):
             swap_factor=swap,
             hardware=self.hardware,
         )
+
+    # -- resource accounting ------------------------------------------------
+
+    def _peak_memory_bytes(self, config: dict[str, object]) -> int:
+        # The swap model's concurrent allocations, plus the pools it
+        # leaves out because they rarely drive the engine into swap but
+        # do count against an instance's RAM cap.
+        return (
+            self._allocated_bytes(config)
+            + int(config["maintenance_work_mem"])
+            + int(config["temp_buffers"])
+            + int(config["wal_buffers"])
+        )
+
+    def _disk_overhead_bytes(self, config: dict[str, object]) -> int:
+        # WAL retained between checkpoints.
+        return int(config["max_wal_size"])
 
 
 def recommended_shared_buffers(memory_bytes: int) -> int:

@@ -1,0 +1,164 @@
+"""Pluggable backend registry for database engines.
+
+The paper evaluates PostgreSQL and MySQL; everything downstream of the
+engine seam (prompt rendering, script dialects, compilation caches, the
+service layer) used to reach those two systems through hardcoded
+``if system == ...`` ladders.  This registry is the single seam instead:
+a backend registers a *factory* plus presentation metadata, and every
+layer resolves engines, display names, and script dialects by system
+name.  Factories are lazy callables so registration never imports an
+engine module until the engine is actually constructed, preserving the
+package's local-import cycle discipline.
+
+Third backends (the columnar engine, tests' toy engines) plug in with
+one :func:`register_engine` call and immediately work end-to-end:
+prompts, LLM script parsing, tuning, sessions, and the service layer
+all consult the registry rather than enumerating systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ConfigurationError, ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.engine import DatabaseEngine
+
+__all__ = [
+    "EngineInfo",
+    "register_engine",
+    "unregister_engine",
+    "available_engines",
+    "engine_info",
+    "create_engine",
+    "display_name",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class EngineInfo:
+    """Registration record for one backend."""
+
+    #: Canonical lower-case system name ("postgres", "mysql", ...).
+    system: str
+    #: Human-readable name used in LLM prompts ("PostgreSQL").
+    display_name: str
+    #: ``factory(catalog, hardware=None, clock=None) -> DatabaseEngine``.
+    factory: Callable[..., "DatabaseEngine"] = field(repr=False)
+    #: One-line description for docs/CLI listings.
+    description: str = ""
+
+
+_REGISTRY: dict[str, EngineInfo] = {}
+
+
+def register_engine(
+    system: str,
+    factory: Callable[..., "DatabaseEngine"],
+    *,
+    display_name: str | None = None,
+    description: str = "",
+    replace: bool = False,
+) -> EngineInfo:
+    """Register a backend under its canonical (lower-case) system name.
+
+    Duplicate registration is a :class:`ConfigurationError` unless
+    ``replace=True`` (tests swapping in instrumented engines).
+    """
+    key = system.strip().lower()
+    if not key:
+        raise ConfigurationError("engine system name must be non-empty")
+    if key in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"engine {key!r} is already registered; pass replace=True "
+            "to override"
+        )
+    info = EngineInfo(
+        system=key,
+        display_name=display_name or system,
+        factory=factory,
+        description=description,
+    )
+    _REGISTRY[key] = info
+    return info
+
+
+def unregister_engine(system: str) -> None:
+    """Remove a registration (test hygiene for temporary backends)."""
+    _REGISTRY.pop(system.strip().lower(), None)
+
+
+def available_engines() -> list[str]:
+    """Sorted canonical names of every registered backend."""
+    return sorted(_REGISTRY)
+
+
+def engine_info(system: str) -> EngineInfo:
+    info = _REGISTRY.get(system.strip().lower())
+    if info is None:
+        raise ReproError(
+            f"unknown system {system!r}; registered engines: "
+            f"{', '.join(available_engines())}"
+        )
+    return info
+
+
+def create_engine(system: str, catalog, hardware=None, clock=None):
+    """Construct a registered backend's engine."""
+    return engine_info(system).factory(catalog, hardware, clock)
+
+
+def display_name(system: str) -> str:
+    """Prompt-facing name for a system; unregistered names pass through.
+
+    The pass-through keeps prompt rendering total: a caller can render a
+    prompt for a system it never intends to instantiate.
+    """
+    info = _REGISTRY.get(system.strip().lower())
+    return info.display_name if info is not None else system
+
+
+# ---------------------------------------------------------------------------
+# Built-in backends.  Factories import lazily so ``import repro.db.registry``
+# stays cheap and cycle-free.
+# ---------------------------------------------------------------------------
+
+
+def _postgres_factory(catalog, hardware=None, clock=None):
+    from repro.db.postgres import PostgresEngine
+
+    return PostgresEngine(catalog, hardware, clock)
+
+
+def _mysql_factory(catalog, hardware=None, clock=None):
+    from repro.db.mysql import MySQLEngine
+
+    return MySQLEngine(catalog, hardware, clock)
+
+
+def _columnar_factory(catalog, hardware=None, clock=None):
+    from repro.db.columnar import ColumnarEngine
+
+    return ColumnarEngine(catalog, hardware, clock)
+
+
+register_engine(
+    "postgres",
+    _postgres_factory,
+    display_name="PostgreSQL",
+    description="Simulated PostgreSQL 12 row store.",
+)
+register_engine(
+    "mysql",
+    _mysql_factory,
+    display_name="MySQL",
+    description="Simulated MySQL 8 / InnoDB row store.",
+)
+register_engine(
+    "columnar",
+    _columnar_factory,
+    display_name="ColumnarDB",
+    description="Simulated embedded vectorized columnar engine.",
+)

@@ -32,6 +32,28 @@ class KnobError(ConfigurationError):
     """Raised when a knob name or value is invalid for the target system."""
 
 
+class HardwareLimitError(KnobError):
+    """A knob value exceeds what the host hardware can satisfy.
+
+    Static knob maxima describe what the DBMS *accepts*; the hardware
+    bound describes what the host can *provide* (e.g. ``shared_buffers``
+    beyond any plausible multiple of physical RAM means the server
+    cannot even start).  Deriving from :class:`KnobError` keeps the
+    rejection semantics of any other invalid value -- script parsing
+    drops the offending line, ``apply_config`` leaves the engine
+    untouched -- while letting tests assert on the precise cause.
+    """
+
+
+class BudgetInfeasibleError(ConfigurationError):
+    """A candidate configuration does not fit the resource budget.
+
+    Raised by the evaluator's feasibility gate before any settings are
+    applied, so budget-infeasible candidates flow through the exact
+    quarantine path engine faults and inapplicable scripts use.
+    """
+
+
 class ConfigurationRejectedError(ConfigurationError):
     """Raised when an entire candidate configuration is unusable.
 

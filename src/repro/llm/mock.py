@@ -87,7 +87,9 @@ class SimulatedLLM(LLMClient):
     def _read_prompt(self, prompt: str) -> _PromptFacts:
         facts = _PromptFacts()
         lowered = prompt.lower()
-        if "mysql" in lowered:
+        if "columnar" in lowered:
+            facts.dbms = "columnar"
+        elif "mysql" in lowered:
             facts.dbms = "mysql"
 
         if (match := _MEMORY_RE.search(prompt)) is not None:
@@ -147,6 +149,8 @@ class SimulatedLLM(LLMClient):
         indexes = self._recommend_indexes(facts, style)
         if facts.dbms == "mysql":
             settings = self._mysql_settings(facts, style)
+        elif facts.dbms == "columnar":
+            settings = self._columnar_settings(facts, style)
         else:
             settings = self._postgres_settings(facts, style, bool(indexes))
         commentary = (
@@ -252,4 +256,30 @@ class SimulatedLLM(LLMClient):
         }
         if style == "parallel":
             settings["innodb_parallel_read_threads"] = max(4, facts.cores)
+        return settings
+
+    def _columnar_settings(self, facts: _PromptFacts, style: str) -> dict[str, object]:
+        memory = int(facts.memory_gb * GB)
+        cores = facts.cores
+        if style == "outlier":
+            # The embedded-engine failure mode: a memory_limit far above
+            # physical RAM (the engine happily accepts it and swaps).
+            return {
+                "memory_limit": int(memory * 1.5),
+                "threads": cores * 8,
+                "vector_size": 64,
+            }
+        limit_fraction = {"balanced": 0.8, "aggressive": 0.9,
+                          "conservative": 0.5, "parallel": 0.8}[style]
+        settings: dict[str, object] = {
+            "memory_limit": int(memory * limit_fraction),
+            "threads": max(1, cores if style != "conservative" else cores // 2),
+            "vector_size": 2048,
+            "compression": "lz4" if style != "aggressive" else "zstd",
+            "checkpoint_threshold": 64 * MB,
+            "preserve_insertion_order": style == "conservative",
+            "object_cache": True,
+        }
+        if style == "parallel":
+            settings["threads"] = cores * 2
         return settings

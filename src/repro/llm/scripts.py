@@ -1,7 +1,8 @@
 """Rendering configuration scripts in each system's dialect.
 
 The LLM answers with executable SQL: ``ALTER SYSTEM SET`` for
-PostgreSQL, ``SET GLOBAL`` for MySQL, plus ``CREATE INDEX`` statements.
+PostgreSQL, ``SET GLOBAL`` for MySQL, bare ``SET`` for the embedded
+columnar engine, plus ``CREATE INDEX`` statements.
 """
 
 from __future__ import annotations
@@ -15,6 +16,8 @@ def render_setting(system: str, name: str, value: object) -> str:
     if isinstance(value, bool):
         if system == "postgres":
             rendered = "on" if value else "off"
+        elif system == "columnar":
+            rendered = "true" if value else "false"
         else:
             rendered = "ON" if value else "OFF"
     elif isinstance(value, int) and value >= 1024 * 1024 and _is_size_knob(name):
@@ -25,6 +28,8 @@ def render_setting(system: str, name: str, value: object) -> str:
         rendered = str(value)
     if system == "postgres":
         return f"ALTER SYSTEM SET {name} = {rendered};"
+    if system == "columnar":
+        return f"SET {name} = {rendered};"
     return f"SET GLOBAL {name} = {rendered};"
 
 
@@ -52,7 +57,7 @@ def render_script(
     return "\n".join(lines)
 
 
-_SIZE_KNOB_MARKERS = ("mem", "buffer", "cache", "size", "wal")
+_SIZE_KNOB_MARKERS = ("mem", "buffer", "cache", "size", "wal", "threshold")
 
 
 def _is_size_knob(name: str) -> bool:

@@ -24,6 +24,8 @@ import json
 import sys
 
 from repro.core.tuner import LambdaTuneOptions
+from repro.db.registry import available_engines
+from repro.db.resources import parse_budget
 from repro.errors import ReproError
 from repro.service.jobs import JobSpec, ServiceRoot
 from repro.service.queue import TenantQuota
@@ -48,6 +50,11 @@ def _journals(root: ServiceRoot) -> dict:
 
 
 def cmd_submit(root: ServiceRoot, args: argparse.Namespace) -> int:
+    if args.system not in available_engines():
+        raise ReproError(
+            f"unknown system {args.system!r}; registered engines: "
+            f"{', '.join(available_engines())}"
+        )
     options = LambdaTuneOptions(
         num_configs=args.num_configs,
         token_budget=args.token_budget,
@@ -55,6 +62,7 @@ def cmd_submit(root: ServiceRoot, args: argparse.Namespace) -> int:
         alpha=args.alpha,
         seed=args.seed,
         workers=args.job_workers,
+        budget=parse_budget(args.budget) if args.budget else None,
     )
     spec = JobSpec(
         job_id=args.job_id or root.allocate_job_id(),
@@ -121,22 +129,22 @@ def cmd_result(root: ServiceRoot, args: argparse.Namespace) -> int:
     if result is None:
         print(f"job {args.job_id} has no result yet", file=sys.stderr)
         return 1
-    print(
-        json.dumps(
-            {
-                "job_id": args.job_id,
-                "workload": result.workload,
-                "system": result.system,
-                "best_time": repr(result.best_time),
-                "best_config": (
-                    result.best_config.name if result.best_config else None
-                ),
-                "configs_evaluated": result.configs_evaluated,
-                "tuning_seconds": repr(result.tuning_seconds),
-            },
-            indent=2,
-        )
-    )
+    payload = {
+        "job_id": args.job_id,
+        "workload": result.workload,
+        "system": result.system,
+        "best_time": repr(result.best_time),
+        "best_config": (
+            result.best_config.name if result.best_config else None
+        ),
+        "configs_evaluated": result.configs_evaluated,
+        "tuning_seconds": repr(result.tuning_seconds),
+    }
+    if "budget" in result.extras:
+        payload["budget"] = result.extras["budget"]
+        payload["feasible"] = result.extras["feasible"]
+        payload["cheapest_tier"] = result.extras["cheapest_tier"]
+    print(json.dumps(payload, indent=2))
     return 0
 
 
@@ -205,7 +213,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "synthetic:queries=200,scale=100")
     submit.add_argument("--tenant", default="default")
     submit.add_argument("--priority", type=int, default=0)
-    submit.add_argument("--system", default="postgres")
+    submit.add_argument("--system", "--engine", dest="system",
+                        default="postgres",
+                        help="target backend, one of the registered "
+                             "engines (e.g. postgres, mysql, columnar)")
+    submit.add_argument("--budget", default=None,
+                        metavar="ram=8GB,disk=100GB",
+                        help="resource budget the recommended config "
+                             "must fit under (default: latency-only)")
     submit.add_argument("--seed", type=int, default=0)
     submit.add_argument("--num-configs", type=int, default=5)
     submit.add_argument("--token-budget", type=int, default=512)

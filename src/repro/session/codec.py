@@ -38,6 +38,7 @@ from repro.core.result import TracePoint, TuningResult
 from repro.core.tuner import LambdaTuneOptions
 from repro.db.engine import EngineState
 from repro.db.indexes import Index
+from repro.db.resources import ResourceBudget
 from repro.errors import SessionError
 from repro.faults import FaultPlan
 
@@ -294,6 +295,20 @@ def _dec_tuning_result(fields) -> TuningResult:
     )
 
 
+def _enc_budget(budget: ResourceBudget):
+    return "ResourceBudget", {
+        "max_memory_bytes": budget.max_memory_bytes,
+        "max_disk_bytes": budget.max_disk_bytes,
+    }
+
+
+def _dec_budget(fields) -> ResourceBudget:
+    return ResourceBudget(
+        max_memory_bytes=fields["max_memory_bytes"],
+        max_disk_bytes=fields["max_disk_bytes"],
+    )
+
+
 def _enc_options(options: LambdaTuneOptions) -> tuple[str, dict]:
     fields = {
         f.name: getattr(options, f.name)
@@ -308,6 +323,7 @@ def _dec_options(fields) -> LambdaTuneOptions:
 
 _ENCODERS = {
     Index: _enc_index,
+    ResourceBudget: _enc_budget,
     LambdaTuneOptions: _enc_options,
     Configuration: _enc_configuration,
     ConfigMeta: _enc_config_meta,
@@ -322,6 +338,7 @@ _ENCODERS = {
 
 _DECODERS = {
     "Index": _dec_index,
+    "ResourceBudget": _dec_budget,
     "LambdaTuneOptions": _dec_options,
     "Configuration": _dec_configuration,
     "ConfigMeta": _dec_config_meta,

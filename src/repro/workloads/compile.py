@@ -61,18 +61,17 @@ class CompiledWorkload:
 
 
 def make_engine(workload: Workload, system: str) -> DatabaseEngine:
-    """A default-configured engine for ``system`` over the workload's catalog."""
-    # Local imports: the concrete engines import repro.db.engine, which
-    # this module's callers may be mid-importing.
-    if system == "postgres":
-        from repro.db.postgres import PostgresEngine
+    """A default-configured engine for ``system`` over the workload's catalog.
 
-        return PostgresEngine(workload.catalog)
-    if system == "mysql":
-        from repro.db.mysql import MySQLEngine
+    Resolution goes through the backend registry, so any registered
+    engine -- including ones registered by tests or plugins -- is
+    constructible here.  Unknown systems raise ``ReproError``.
+    """
+    # Local import: the registry's factories import repro.db.engine,
+    # which this module's callers may be mid-importing.
+    from repro.db.registry import create_engine
 
-        return MySQLEngine(workload.catalog)
-    raise ReproError(f"unknown system {system!r}")
+    return create_engine(system, workload.catalog)
 
 
 _make_engine = make_engine

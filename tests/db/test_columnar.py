@@ -1,0 +1,153 @@
+"""Columnar-engine-specific knob semantics.
+
+The third backend's knobs must *mean* something different from the row
+stores': one global ``memory_limit`` doubling as cache and spill
+budget, morsel parallelism through ``threads``, a ``vector_size`` sweet
+spot, and compression that trades decode work against the on-disk
+footprint.
+"""
+
+import pytest
+
+from repro.db.columnar import (
+    COMPRESSION_RATIO,
+    THREAD_OVERHEAD_BYTES,
+    ColumnarEngine,
+    recommended_memory_limit,
+)
+from repro.db.hardware import HardwareSpec
+
+GB = 1024**3
+
+JOIN_SQL = (
+    "SELECT u.country, count(*) FROM users u, events e "
+    "WHERE u.user_id = e.user_id2 GROUP BY u.country"
+)
+SCAN_SQL = "SELECT count(*) FROM events WHERE events.kind = 'x'"
+
+
+@pytest.fixture()
+def columnar_engine(tiny_catalog) -> ColumnarEngine:
+    return ColumnarEngine(tiny_catalog, HardwareSpec(memory_gb=61.0, cores=8))
+
+
+class TestMemoryLimit:
+    def test_bigger_limit_is_faster(self, tpch):
+        # A TPC-H-sized working set against 2GB of RAM: growing the
+        # limit moves both the cache hit ratio and the spill budget.
+        engine = ColumnarEngine(tpch.catalog, HardwareSpec(2.0, 4))
+        query = tpch.query("q5")
+        engine.set_many({"threads": 1, "memory_limit": "64MB"})
+        small = engine.estimate_seconds(query)
+        engine.set_many({"memory_limit": "1GB"})
+        big = engine.estimate_seconds(query)
+        assert big < small
+
+    def test_limit_is_cache_and_spill_budget_at_once(self, columnar_engine):
+        env = columnar_engine._runtime_env()  # noqa: SLF001
+        limit = columnar_engine.get("memory_limit")
+        assert env.buffer_pool_bytes == int(limit * 0.8)
+        threads = columnar_engine.get("threads")
+        assert env.sort_hash_mem_bytes == (limit - env.buffer_pool_bytes) // threads
+        assert env.agg_mem_bytes == env.sort_hash_mem_bytes
+
+    def test_limit_above_ram_swaps(self, columnar_engine):
+        sane = columnar_engine.estimate_seconds(JOIN_SQL)
+        columnar_engine.set_many({"memory_limit": "120GB"})
+        swapped = columnar_engine.estimate_seconds(JOIN_SQL)
+        assert swapped > sane * 5
+
+    def test_manual_recommendation_helper(self):
+        assert recommended_memory_limit(10 * GB) == 8 * GB
+
+
+class TestMorselParallelism:
+    def test_threads_speed_up_scans(self, columnar_engine):
+        columnar_engine.set_many({"threads": 1})
+        serial = columnar_engine.estimate_seconds(SCAN_SQL)
+        columnar_engine.set_many({"threads": 8})
+        parallel = columnar_engine.estimate_seconds(SCAN_SQL)
+        assert parallel < serial
+
+    def test_every_thread_is_a_worker(self, columnar_engine):
+        columnar_engine.set_many({"threads": 6})
+        env = columnar_engine._runtime_env()  # noqa: SLF001
+        assert env.parallel_workers == 6
+
+    def test_threads_carry_fixed_overhead(self, columnar_engine):
+        base = columnar_engine.resource_footprint({"threads": 1})
+        wide = columnar_engine.resource_footprint({"threads": 9})
+        assert wide.peak_memory_bytes - base.peak_memory_bytes == (
+            8 * THREAD_OVERHEAD_BYTES
+        )
+
+
+class TestVectorSize:
+    def test_sweet_spot_beats_extremes(self, columnar_engine):
+        def at(vector_size):
+            columnar_engine.set_many({"vector_size": vector_size})
+            return columnar_engine.estimate_seconds(JOIN_SQL)
+
+        tuned = at(2048)
+        assert tuned < at(64)
+        assert tuned < at(65536)
+
+    def test_penalty_is_symmetric_in_octaves(self, columnar_engine):
+        def logging(vector_size):
+            columnar_engine.set_many({"vector_size": vector_size})
+            return columnar_engine._runtime_env().logging_factor  # noqa: SLF001
+
+        assert logging(512) == pytest.approx(logging(8192))
+
+
+class TestCompression:
+    def test_none_pays_io_zstd_pays_decode(self, columnar_engine):
+        def logging(codec):
+            columnar_engine.set_many({"compression": codec})
+            return columnar_engine._runtime_env().logging_factor  # noqa: SLF001
+
+        lz4 = logging("lz4")
+        assert logging("none") == pytest.approx(lz4 + 0.08)
+        assert logging("zstd") == pytest.approx(lz4 + 0.015)
+
+    def test_codec_shrinks_disk_footprint(self, columnar_engine):
+        footprints = {
+            codec: columnar_engine.resource_footprint({"compression": codec})
+            for codec in COMPRESSION_RATIO
+        }
+        assert (
+            footprints["zstd"].disk_bytes
+            < footprints["lz4"].disk_bytes
+            < footprints["none"].disk_bytes
+        )
+
+    def test_columnar_disk_beats_row_store_heap(self, tiny_catalog):
+        from repro.db.postgres import PostgresEngine
+
+        columnar = ColumnarEngine(tiny_catalog).resource_footprint()
+        row = PostgresEngine(tiny_catalog).resource_footprint()
+        assert columnar.disk_bytes < row.disk_bytes
+
+
+class TestPlannerProfile:
+    def test_sequential_scans_cheap_random_dear(self, columnar_engine):
+        costs = columnar_engine._planner_costs()  # noqa: SLF001
+        assert costs.seq_page_cost < 1.0
+        assert costs.random_page_cost / costs.seq_page_cost >= 4.0
+
+    def test_nested_loops_gated_by_threshold(self, columnar_engine):
+        assert columnar_engine._planner_costs().enable_nestloop  # noqa: SLF001
+        columnar_engine.set_many({"nested_loop_join_threshold": 0})
+        assert not columnar_engine._planner_costs().enable_nestloop  # noqa: SLF001
+
+    def test_memory_limit_doubles_as_effective_cache(self, columnar_engine):
+        columnar_engine.set_many({"memory_limit": "2GB"})
+        costs = columnar_engine._planner_costs()  # noqa: SLF001
+        assert costs.effective_cache_bytes == 2 * GB
+
+
+class TestEmbeddedRestart:
+    def test_reopen_is_half_a_second(self, columnar_engine):
+        before = columnar_engine.clock.now
+        assert columnar_engine.apply_config({"memory_limit": "8GB"}) == 0.5
+        assert columnar_engine.clock.now == before + 0.5

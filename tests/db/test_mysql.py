@@ -81,10 +81,9 @@ class TestOptimizerSearchDepth:
         )
 
 
-class TestSystemIdentity:
-    def test_system_name(self, mysql_engine):
-        assert mysql_engine.system == "mysql"
-
+class TestNoParallelQuery:
+    # Generic identity/round-trip checks live in test_conformance.py;
+    # single-threaded execution is the MySQL-specific property.
     def test_no_parallel_query(self, mysql_engine):
         env = mysql_engine._runtime_env()  # noqa: SLF001
         assert env.parallel_workers == 1

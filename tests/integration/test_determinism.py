@@ -124,6 +124,21 @@ class TestCrossProcessDeterminism:
         outputs = _run_under_hash_seeds(self.SCRIPT, ("1", "2"))
         assert len(outputs) == 1
 
+    BUDGET_SCRIPT = (
+        "from repro.core import LambdaTune, LambdaTuneOptions;"
+        "from repro.db.registry import create_engine;"
+        "from repro.db.resources import parse_budget;"
+        "from repro.llm import SimulatedLLM;"
+        "from repro.workloads import tpch_workload;"
+        "w = tpch_workload();"
+        "o = LambdaTuneOptions(initial_timeout=0.5, alpha=2.0, seed=9,"
+        " budget=parse_budget('ram=32GB'));"
+        "t = LambdaTune(create_engine('columnar', w.catalog), SimulatedLLM(), o);"
+        "r = t.tune(list(w.queries));"
+        "print(repr(r.best_time), sorted(r.extras['failed_configs']),"
+        " r.extras['cheapest_tier'])"
+    )
+
     def test_full_pipeline_identical_under_different_hash_seeds(self):
         """The whole tune() pipeline is hash-seed independent.
 
@@ -132,4 +147,10 @@ class TestCrossProcessDeterminism:
         scheduler (canonical-order cost summation).
         """
         outputs = _run_under_hash_seeds(self.PIPELINE_SCRIPT, ("1", "3"))
+        assert len(outputs) == 1
+
+    def test_budget_pipeline_identical_under_different_hash_seeds(self):
+        """The feasibility gate (footprints, quarantine order, the tier
+        ILP) must be as hash-seed independent as the latency path."""
+        outputs = _run_under_hash_seeds(self.BUDGET_SCRIPT, ("1", "2"))
         assert len(outputs) == 1

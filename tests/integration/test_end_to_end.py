@@ -7,8 +7,10 @@ import pytest
 from repro.bench.runner import run_lambda_tune, run_scenario
 from repro.bench.scenarios import Scenario
 from repro.core.tuner import LambdaTune, LambdaTuneOptions
+from repro.db.columnar import ColumnarEngine
 from repro.db.mysql import MySQLEngine
 from repro.db.postgres import PostgresEngine
+from repro.db.resources import parse_budget
 from repro.llm import SimulatedLLM
 from repro.workloads import load_workload
 
@@ -41,6 +43,35 @@ class TestLambdaTuneOnRealWorkloads:
         default_engine = MySQLEngine(tpch.catalog)
         default_time = sum(
             default_engine.estimate_seconds(query) for query in tpch.queries
+        )
+        assert result.best_time < default_time
+
+    def test_columnar_tpch(self, tpch):
+        tuner = LambdaTune(ColumnarEngine(tpch.catalog), SimulatedLLM(), FAST)
+        result = tuner.tune(list(tpch.queries))
+        default_engine = ColumnarEngine(tpch.catalog)
+        default_time = sum(
+            default_engine.estimate_seconds(query) for query in tpch.queries
+        )
+        assert result.best_time < default_time
+
+    def test_columnar_tune_under_budget_stays_feasible(self, tpch):
+        budget = parse_budget("ram=32GB,disk=200GB")
+        tuner = LambdaTune(
+            ColumnarEngine(tpch.catalog),
+            SimulatedLLM(),
+            FAST.ablated(budget=budget),
+        )
+        result = tuner.tune(list(tpch.queries))
+        fresh = ColumnarEngine(tpch.catalog)
+        footprint = fresh.resource_footprint(
+            result.best_config.settings, result.best_config.indexes
+        )
+        assert budget.admits(footprint)
+        assert result.extras["feasible"] is True
+        # And tuning still beats the default despite the constraint.
+        default_time = sum(
+            fresh.estimate_seconds(query) for query in tpch.queries
         )
         assert result.best_time < default_time
 

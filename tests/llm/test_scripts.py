@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.config import parse_config_script
 from repro.db.hardware import HardwareSpec
+from repro.db.columnar import ColumnarEngine
 from repro.db.indexes import Index
 from repro.db.mysql import MySQLEngine
 from repro.db.postgres import PostgresEngine
@@ -26,10 +27,18 @@ class TestRenderSetting:
             == "SET GLOBAL sort_buffer_size = '64MB';"
         )
 
+    def test_columnar_dialect_is_bare_set(self):
+        # An embedded engine has no ALTER SYSTEM / GLOBAL scope.
+        assert (
+            render_setting("columnar", "memory_limit", 8 * GB)
+            == "SET memory_limit = '8GB';"
+        )
+
     @pytest.mark.parametrize(
         "system,value,expected",
         [("postgres", True, "on"), ("postgres", False, "off"),
-         ("mysql", True, "ON"), ("mysql", False, "OFF")],
+         ("mysql", True, "ON"), ("mysql", False, "OFF"),
+         ("columnar", True, "true"), ("columnar", False, "false")],
     )
     def test_booleans(self, system, value, expected):
         assert f"= {expected};" in render_setting(system, "autovacuum", value)
@@ -87,7 +96,9 @@ class TestRenderIndexAndScript:
 class TestRoundTrip:
     """What render_script emits, parse_config_script must accept."""
 
-    @pytest.mark.parametrize("engine_cls", [PostgresEngine, MySQLEngine])
+    @pytest.mark.parametrize(
+        "engine_cls", [PostgresEngine, MySQLEngine, ColumnarEngine]
+    )
     def test_settings_round_trip(self, tiny_catalog, engine_cls):
         engine = engine_cls(tiny_catalog, HardwareSpec(memory_gb=61.0, cores=8))
         knobs = engine.knob_space

@@ -11,6 +11,7 @@ import json
 
 import pytest
 
+from repro.db.resources import parse_budget
 from repro.errors import ServiceError, UnknownJobError
 from repro.faults import FaultPlan
 from repro.service import JobClient, JobSpec, ServiceRoot
@@ -198,6 +199,46 @@ class TestServerBasics:
             assert only["tenant"] == "b"
 
 
+class TestBudgetJobs:
+    """Budget-constrained tuning through the whole service stack."""
+
+    def test_budget_job_matches_unserviced_reference(
+        self, service_root, tiny_workload
+    ):
+        options = job_options(budget=parse_budget("ram=32GB"))
+        reference = reference_result(tiny_workload, options=options)
+        assert reference.extras["failed_configs"], (
+            "budget quarantined nothing; scenario is vacuous"
+        )
+        with make_server(service_root) as server:
+            client = JobClient(server)
+            job_id = client.submit(tiny_workload, options=options)
+            result = client.result(job_id, timeout=60.0)
+        assert fingerprint(result) == fingerprint(reference)
+        assert result.extras["feasible"] is True
+        assert all(
+            "infeasible under budget" in m.failure
+            for m in result.extras["meta"].values()
+            if m.failed
+        )
+
+    def test_columnar_budget_job(self, service_root, tiny_workload):
+        options = job_options(
+            3, budget=parse_budget("ram=60GB,disk=200GB")
+        )
+        reference = reference_result(
+            tiny_workload, options=options, system="columnar"
+        )
+        with make_server(service_root) as server:
+            client = JobClient(server)
+            job_id = client.submit(
+                tiny_workload, options=options, system="columnar"
+            )
+            result = client.result(job_id, timeout=60.0)
+        assert fingerprint(result) == fingerprint(reference)
+        assert result.system == "columnar"
+
+
 class TestCLI:
     WORKLOAD = "synthetic:queries=8,scale=2"
 
@@ -249,6 +290,36 @@ class TestCLI:
         assert cli_main(
             ["--root", str(service_root), "status", "job-9999"]
         ) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_budget_and_engine_flags(self, service_root, capsys):
+        assert self.submit(
+            service_root,
+            "--engine", "columnar",
+            "--budget", "ram=60GB,disk=200GB",
+        ) == 0
+        job_id = capsys.readouterr().out.strip()
+
+        assert cli_main(["--root", str(service_root), "status", job_id]) == 0
+        assert json.loads(capsys.readouterr().out)["system"] == "columnar"
+
+        assert cli_main(
+            ["--root", str(service_root), "run", "--workers", "1"]
+        ) == 0
+        capsys.readouterr()
+        assert cli_main(["--root", str(service_root), "result", job_id]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["system"] == "columnar"
+        assert result["budget"] == "ram=60GB,disk=200GB"
+        assert result["feasible"] is True
+        assert result["cheapest_tier"]
+
+    def test_unknown_engine_rejected_at_submit(self, service_root, capsys):
+        assert self.submit(service_root, "--engine", "oracle") == 2
+        assert "unknown system 'oracle'" in capsys.readouterr().err
+
+    def test_malformed_budget_rejected_at_submit(self, service_root, capsys):
+        assert self.submit(service_root, "--budget", "cpu=4") == 2
         assert "error:" in capsys.readouterr().err
 
     def test_run_reports_resumed_jobs(self, service_root, capsys):

@@ -63,10 +63,19 @@ def make_llm(plan=None):
 
 
 def make_tuner(
-    workload: Workload, *, seed=9, workers=0, executor="process", plan=None
+    workload: Workload,
+    *,
+    seed=9,
+    workers=0,
+    executor="process",
+    plan=None,
+    engine_cls=PostgresEngine,
+    budget=None,
 ) -> LambdaTune:
-    options = FAST_OPTIONS.ablated(seed=seed, workers=workers, executor=executor)
-    engine = PostgresEngine(workload.catalog)
+    options = FAST_OPTIONS.ablated(
+        seed=seed, workers=workers, executor=executor, budget=budget
+    )
+    engine = engine_cls(workload.catalog)
     if plan is not None:
         engine.install_faults(plan)
     return LambdaTune(engine, make_llm(plan), options)
@@ -85,13 +94,15 @@ def journaled_tune(workload, path, **kwargs):
     return session.run(list(workload.queries))
 
 
-def resume_tune(workload, path, *, plan=None):
+def resume_tune(workload, path, *, plan=None, engine_cls=PostgresEngine):
     """Continue ``path`` on a *fresh* engine and LLM client.
 
     The engine is created without the fault plan installed: resume must
     reinstall the journaled plan itself, and these tests rely on that.
+    Likewise the resource budget is *not* passed in here -- resume must
+    recover it from the journaled options.
     """
-    engine = PostgresEngine(workload.catalog)
+    engine = engine_cls(workload.catalog)
     return TuningSession.resume(path, engine=engine, llm=make_llm(plan))
 
 

@@ -196,6 +196,25 @@ class TestRegisteredTypes:
         )
         assert roundtrip(options) == options
 
+    def test_resource_budget(self):
+        from repro.db.resources import ResourceBudget
+
+        budget = ResourceBudget(
+            max_memory_bytes=8 * 1024**3, max_disk_bytes=100 * 1024**3
+        )
+        assert roundtrip(budget) == budget
+        assert roundtrip(ResourceBudget(max_memory_bytes=1)) == ResourceBudget(
+            max_memory_bytes=1
+        )
+
+    def test_options_with_budget(self):
+        from repro.db.resources import parse_budget
+
+        options = LambdaTuneOptions(seed=3, budget=parse_budget("ram=8GB"))
+        decoded = roundtrip(options)
+        assert decoded == options
+        assert decoded.budget.max_memory_bytes == 8 * 1024**3
+
 
 class TestVersioning:
     def test_current_version_accepted(self):

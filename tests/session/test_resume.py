@@ -19,6 +19,8 @@ import json
 
 import pytest
 
+from repro.db.columnar import ColumnarEngine
+from repro.db.resources import parse_budget
 from repro.faults import FaultPlan
 from repro.session import TuningJournal
 from tests.session.conftest import (
@@ -33,9 +35,23 @@ RESUME_SEEDS = list(range(8))
 EXECUTORS = ["serial", "thread", "process"]
 
 
-def boundary_sweep(workload, tmp_path, *, seed, workers, executor, plan=None):
+def boundary_sweep(
+    workload,
+    tmp_path,
+    *,
+    seed,
+    workers,
+    executor,
+    plan=None,
+    engine_cls=None,
+    budget=None,
+):
     """Truncate after every journal line; resume; compare fingerprints."""
     kwargs = dict(seed=seed, workers=workers, executor=executor, plan=plan)
+    if engine_cls is not None:
+        kwargs["engine_cls"] = engine_cls
+    if budget is not None:
+        kwargs["budget"] = budget
     reference = plain_tune(workload, **kwargs)
 
     path = tmp_path / "run.journal"
@@ -50,7 +66,10 @@ def boundary_sweep(workload, tmp_path, *, seed, workers, executor, plan=None):
     for boundary in range(1, len(lines) + 1):
         trunc = tmp_path / "crash.journal"
         trunc.write_text("".join(lines[:boundary]))
-        resumed = resume_tune(workload, trunc, plan=plan)
+        resume_kwargs = {"plan": plan}
+        if engine_cls is not None:
+            resume_kwargs["engine_cls"] = engine_cls
+        resumed = resume_tune(workload, trunc, **resume_kwargs)
         assert fingerprint(resumed) == fingerprint(reference), (
             f"resume diverged at boundary {boundary}/{len(lines)} "
             f"(after {kinds[boundary - 1]!r}; seed={seed}, "
@@ -130,6 +149,89 @@ class TestChaosBoundarySweep:
         assert reference.extras["failed_configs"] or reference.extras[
             "dropped_samples"
         ], "plan injected no faults; chaos sweep is vacuous"
+
+
+class TestBudgetBoundarySweep:
+    """The sweep with the resource-budget objective active.
+
+    ``resume_tune`` never sees the budget -- resume must recover it
+    from the journaled options, or the resumed run would admit the
+    quarantined configs and diverge.
+    """
+
+    @pytest.mark.parametrize(
+        "seed,executor", [(9, "serial"), (9, "thread"), (9, "process")]
+    )
+    def test_resume_preserves_quarantine(
+        self, tiny_workload, tmp_path, seed, executor, no_rerun_guard
+    ):
+        budget = parse_budget("ram=32GB")
+        workers = 0 if executor == "serial" else 2
+        boundary_sweep(
+            tiny_workload,
+            tmp_path,
+            seed=seed,
+            workers=workers,
+            executor=executor,
+            budget=budget,
+        )
+        # The scenario must actually exercise the gate.
+        reference = plain_tune(tiny_workload, seed=seed, budget=budget)
+        assert reference.extras["failed_configs"], (
+            "budget quarantined nothing; sweep is vacuous"
+        )
+        assert all(
+            "infeasible under budget" in m.failure
+            for m in reference.extras["meta"].values()
+            if m.failed
+        )
+
+    def test_resume_preserves_fallback_under_budget(
+        self, tiny_workload, tmp_path
+    ):
+        # Every LLM sample is infeasible: the run must fall back to the
+        # default config, on resume exactly as uninterrupted.
+        budget = parse_budget("ram=16GB")
+        boundary_sweep(
+            tiny_workload, tmp_path, seed=9, workers=0, executor="serial",
+            budget=budget,
+        )
+        reference = plain_tune(tiny_workload, budget=budget)
+        assert reference.extras["fallback"] is True
+
+
+class TestColumnarBoundarySweep:
+    """The sweep on the third backend, with and without chaos."""
+
+    @pytest.mark.parametrize(
+        "seed,executor", [(0, "serial"), (3, "thread"), (6, "process")]
+    )
+    def test_resume_is_byte_identical(
+        self, tiny_workload, tmp_path, seed, executor, no_rerun_guard
+    ):
+        workers = 0 if executor == "serial" else 2
+        boundary_sweep(
+            tiny_workload,
+            tmp_path,
+            seed=seed,
+            workers=workers,
+            executor=executor,
+            engine_cls=ColumnarEngine,
+        )
+
+    def test_resume_under_faults_and_budget(
+        self, tiny_workload, tmp_path, no_rerun_guard
+    ):
+        boundary_sweep(
+            tiny_workload,
+            tmp_path,
+            seed=2,
+            workers=2,
+            executor="thread",
+            plan=FaultPlan(seed=2, density=0.15),
+            engine_cls=ColumnarEngine,
+            budget=parse_budget("ram=60GB,disk=200GB"),
+        )
 
 
 class TestNoReexecution:
