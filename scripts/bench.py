@@ -67,16 +67,34 @@ implementations and verifies bit-identical results:
     (the gate is transparent when it never fires), and the
     unconstrained ``best_time`` must stay within 2% of the committed
     ``BENCH_8.json`` value.
-13. Optionally consumes ``pytest-benchmark`` stats from
+13. Process scale-out (``scaling``): ``tune_many`` over K CPU-bound
+    TPC-H jobs at 1 / 2 / 4 / 8 workers, ``executor="process"`` vs
+    ``executor="thread"``.  Every point's fingerprints must be
+    byte-identical to the 1-worker serial reference (with and without
+    a shared on-disk cache), a pool worker must *attach* the published
+    shared-memory catalog stats (``owndata=False``, read-only) rather
+    than copy or rebuild them, and the seed-9 job's ``best_time`` must
+    stay within 2% of the committed ``BENCH_9.json`` value.  On hosts
+    with ≥4 usable cores the 4-process-worker point must be ≥2.5x
+    faster than 1 worker; on smaller hosts the curve is recorded as
+    informational (a 1-core host cannot express CPU-bound speedup).
+14. Optionally consumes ``pytest-benchmark`` stats from
     ``benchmarks/test_perf_scheduler.py`` via ``--benchmark-json``.
 
-Regression gate: if a committed ``BENCH_8.json`` (or, failing that,
-``BENCH_7.json`` / ``BENCH_6.json`` / ``BENCH_5.json`` /
-``BENCH_4.json`` / ``BENCH_3.json`` / ``BENCH_2.json`` /
-``BENCH_1.json``) exists, the tuned TPC-H/JOB ``best_time`` must not
-be worse than recorded there; the script exits non-zero otherwise.
+Regression gate: if a committed ``BENCH_9.json`` (or, failing that,
+``BENCH_8.json`` / ``BENCH_7.json`` / ``BENCH_6.json`` /
+``BENCH_5.json`` / ``BENCH_4.json`` / ``BENCH_3.json`` /
+``BENCH_2.json`` / ``BENCH_1.json``) exists, the tuned TPC-H/JOB
+``best_time`` must not be worse than recorded there; the script exits
+non-zero otherwise.
 
-Writes the combined report to ``BENCH_9.json`` (or ``--output``):
+``--sections`` runs a comma-separated subset by name (see
+``SECTIONS``; e.g. ``--sections scaling``); sections whose gates need
+the full-tune report pull ``full_tune`` in automatically, and a
+subset run skips writing the report file unless ``--output`` is
+given explicitly.
+
+Writes the combined report to ``BENCH_10.json`` (or ``--output``):
 
     PYTHONPATH=src python scripts/bench.py
     PYTHONPATH=src python scripts/bench.py --skip-pytest --quick --workers 2
@@ -350,6 +368,7 @@ def compile_cache_benchmark(repeats: int) -> dict:
 def _newest_baseline() -> Path:
     """The most recent committed benchmark report, newest first."""
     for name in (
+        "BENCH_9.json",
         "BENCH_8.json",
         "BENCH_7.json",
         "BENCH_6.json",
@@ -367,7 +386,7 @@ def _newest_baseline() -> Path:
 
 def regression_gate(tune_report: dict) -> dict:
     """Fail (exit non-zero) if tuned best_time regressed vs the newest
-    committed baseline (BENCH_8.json, else BENCH_7.json, ... BENCH_1.json)."""
+    committed baseline (BENCH_9.json, else BENCH_8.json, ... BENCH_1.json)."""
     baseline_path = _newest_baseline()
     gate: dict = {"baseline": baseline_path.name, "checked": False}
     if not baseline_path.is_file():
@@ -1256,6 +1275,146 @@ def evaluator_throughput_benchmark(tune_report: dict, repeats: int) -> dict:
 # -- pytest-benchmark consumption ---------------------------------------------
 
 
+# -- process scale-out (multiprocess tune_many + shared-memory catalogs) ------
+
+
+def scaling_benchmark(jobs: int = 8) -> dict:
+    """Process-pool ``tune_many`` scaling curve with shared-memory catalogs.
+
+    K CPU-bound TPC-H jobs (distinct seeds, ``realtime_factor=0`` so
+    there is nothing for threads to overlap but pure Python/numpy
+    work) through ``tune_many`` at 1 / 2 / 4 / 8 workers, thread vs
+    process executors.  Hard gates:
+
+    - every curve point's fingerprints must be byte-identical to the
+      1-worker serial reference, and a re-run over a shared on-disk
+      artifact cache must not perturb them;
+    - a pool worker must *attach* the published shared-memory catalog
+      stats -- ``shared=True``, ``owndata=False``, read-only views --
+      rather than rebuild or copy them;
+    - the seed-9 job's ``best_time`` must stay within 2% of the
+      committed ``BENCH_9.json`` full-tune value (expected
+      bit-identical);
+    - with ≥4 usable cores, 4 process workers must be ≥2.5x faster
+      than 1 (CPU-bound work scales only across real cores, so on
+      smaller hosts the curve is informational, like the
+      ``speedup_gate`` idiom in the planning section).
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.core.parallel import ensure_pool_env, preferred_mp_context
+    from repro.db.shared_stats import (
+        attachment_probe,
+        publish_catalog_stats,
+        register_shared_refs,
+    )
+
+    workload = tpch_workload()
+    batch = [
+        BatchJob(workload=workload, options=TUNE_OPTIONS.ablated(seed=9 + i))
+        for i in range(jobs)
+    ]
+
+    start = time.perf_counter()
+    reference = tune_many(batch, max_workers=1)
+    serial_s = time.perf_counter() - start
+    reference_prints = [_fingerprint(result) for result in reference]
+
+    try:
+        usable_cores = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        usable_cores = os.cpu_count() or 1
+    gated = usable_cores >= 4
+
+    curve: dict = {}
+    for executor in ("thread", "process"):
+        for workers in (1, 2, 4, 8):
+            start = time.perf_counter()
+            results = tune_many(batch, executor=executor, max_workers=workers)
+            wall = time.perf_counter() - start
+            prints = [_fingerprint(result) for result in results]
+            if prints != reference_prints:
+                raise SystemExit(
+                    f"scaling: {executor} executor at {workers} workers "
+                    "diverged from the serial reference"
+                )
+            curve[f"{executor}_x{workers}"] = {
+                "wall_s": round(wall, 4),
+                "speedup": round(serial_s / wall, 2),
+                "result_identical": True,
+            }
+
+    # Shared on-disk cache across process workers: same fingerprints.
+    with tempfile.TemporaryDirectory() as tmp:
+        cached = tune_many(
+            batch, executor="process", max_workers=2, cache_dir=tmp
+        )
+    if [_fingerprint(result) for result in cached] != reference_prints:
+        raise SystemExit(
+            "scaling: a shared disk cache perturbed process-worker results"
+        )
+
+    # Zero-copy proof: a worker process must attach, not rebuild.
+    publication = publish_catalog_stats([workload.catalog])
+    try:
+        ensure_pool_env()
+        with ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=preferred_mp_context(),
+            initializer=register_shared_refs,
+            initargs=(publication.refs,),
+        ) as pool:
+            probe = pool.submit(attachment_probe, workload.catalog).result()
+    finally:
+        publication.close()
+    if not probe["shared"] or probe["owndata"] or probe["writeable"]:
+        raise SystemExit(
+            f"scaling: worker did not attach shared catalog stats: {probe}"
+        )
+
+    process_x4 = curve["process_x4"]["speedup"]
+    if gated and process_x4 < 2.5:
+        raise SystemExit(
+            f"scaling: 4 process workers gained only {process_x4}x over "
+            f"serial on {usable_cores} cores; ≥2.5x gate failed"
+        )
+
+    baseline_path = REPO / "BENCH_9.json"
+    gate: dict = {"baseline": baseline_path.name, "checked": False}
+    if baseline_path.is_file():
+        previous_tune = json.loads(baseline_path.read_text()).get(
+            "full_tune", {}
+        )
+        old = previous_tune.get("tpch", {}).get("best_time")
+        if old is not None:
+            gate["checked"] = True
+            new = reference_prints[0]["best_time"]
+            ratio = float(new) / float(old)
+            if ratio > 1.02:
+                raise SystemExit(
+                    f"scaling: seed-9 best_time is {(ratio - 1) * 100:.2f}% "
+                    f"worse than {baseline_path.name} ({old} -> {new}); "
+                    "2% gate exceeded"
+                )
+            gate["bench9_best_time"] = old
+            gate["best_time"] = new
+            gate["slowdown_pct"] = round((ratio - 1) * 100, 4)
+    else:
+        gate["note"] = "no committed BENCH_9.json; gate skipped"
+
+    return {
+        "jobs": jobs,
+        "workload": f"tpch (seeds 9..{9 + jobs - 1})",
+        "usable_cores": usable_cores,
+        "serial_s": round(serial_s, 4),
+        "curve": curve,
+        "shared_cache_identical": True,
+        "attachment_probe": probe,
+        "speedup_gate": "≥2.5x at process_x4" if gated else "informational",
+        "selection_gate": gate,
+    }
+
+
 def pytest_benchmarks() -> dict | None:
     """Run the perf suite with --benchmark-json and summarize its stats."""
     with tempfile.TemporaryDirectory() as tmp:
@@ -1291,12 +1450,55 @@ def pytest_benchmarks() -> dict | None:
 
 # -- entry point --------------------------------------------------------------
 
+#: Section name -> implementing benchmark function.  ``--sections``
+#: validates against this registry, and the tier-1 smoke test imports
+#: it to assert every section is a live callable.
+SECTIONS = {
+    "dp_microbench": dp_microbench,
+    "full_tune": tune_benchmark,
+    "regression_gate": regression_gate,
+    "parallel_selection": parallel_benchmark,
+    "compile_cache": compile_cache_benchmark,
+    "fault_injection": fault_overhead_benchmark,
+    "sessions": session_benchmark,
+    "artifact_cache": artifact_cache_benchmark,
+    "batched_tuning": batched_tuning_benchmark,
+    "service_throughput": service_throughput_benchmark,
+    "multi_objective": multi_objective_benchmark,
+    "planning_throughput": planning_throughput_benchmark,
+    "evaluator_throughput": evaluator_throughput_benchmark,
+    "scaling": scaling_benchmark,
+    "pytest": pytest_benchmarks,
+}
+
+#: Sections whose gates consume the full-tune report; requesting any of
+#: them via ``--sections`` pulls ``full_tune`` in automatically.
+NEEDS_FULL_TUNE = frozenset(
+    ("regression_gate", "fault_injection", "evaluator_throughput",
+     "multi_objective")
+)
+
+
+def _parse_sections(text: str) -> set[str]:
+    names = {name.strip() for name in text.split(",") if name.strip()}
+    unknown = names - set(SECTIONS)
+    if unknown:
+        raise SystemExit(
+            f"unknown section(s) {sorted(unknown)}; "
+            f"choose from {sorted(SECTIONS)}"
+        )
+    if names & NEEDS_FULL_TUNE:
+        names.add("full_tune")
+    return names
+
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--output", type=Path, default=REPO / "BENCH_9.json",
-        help="report destination (default: BENCH_9.json at the repo root)",
+        "--output", type=Path, default=None,
+        help="report destination (default: BENCH_10.json at the repo "
+             "root for a full run; subset runs write no file unless "
+             "--output is given)",
     )
     parser.add_argument(
         "--workers", type=int, default=4,
@@ -1310,166 +1512,214 @@ def main() -> None:
         "--skip-pytest", action="store_true",
         help="skip the pytest-benchmark suite (microbench + tune only)",
     )
+    parser.add_argument(
+        "--sections", type=_parse_sections, default=None,
+        metavar="NAME[,NAME...]",
+        help="run only the named sections (e.g. --sections scaling); "
+             f"known: {', '.join(sorted(SECTIONS))}",
+    )
     args = parser.parse_args()
 
-    if not args.output.parent.is_dir():
-        parser.error(f"output directory does not exist: {args.output.parent}")
+    selected = args.sections if args.sections is not None else set(SECTIONS)
+    output = args.output
+    if output is None and args.sections is None:
+        output = REPO / "BENCH_10.json"
+    if output is not None and not output.parent.is_dir():
+        parser.error(f"output directory does not exist: {output.parent}")
 
     dp_repeats = 5 if args.quick else 30
     tune_rounds = 1 if args.quick else 3
     compile_repeats = 5 if args.quick else 20
     realtime_factor = 0.003 if args.quick else 0.01
 
-    print("== DP microbench (bitmask vs reference) ==")
-    dp_report = dp_microbench(dp_repeats)
-    for label, row in dp_report.items():
-        print(
-            f"  {label}: {row['reference_ms']:.2f} ms -> "
-            f"{row['bitmask_ms']:.2f} ms ({row['speedup']}x)"
-        )
+    report: dict = {}
+
+    if "dp_microbench" in selected:
+        print("== DP microbench (bitmask vs reference) ==")
+        dp_report = dp_microbench(dp_repeats)
+        for label, row in dp_report.items():
+            print(
+                f"  {label}: {row['reference_ms']:.2f} ms -> "
+                f"{row['bitmask_ms']:.2f} ms ({row['speedup']}x)"
+            )
+        report["dp_microbench"] = dp_report
 
     tune_report = {}
-    for workload_name in ("tpch", "job"):
-        print(f"== full tune() on {workload_name} ==")
-        tune_report[workload_name] = tune_benchmark(workload_name, tune_rounds)
-        row = tune_report[workload_name]
-        print(
-            f"  {row['reference_s']:.2f} s -> {row['optimized_s']:.2f} s "
-            f"({row['speedup']}x), identical={row['result_identical']}"
-        )
-
-    gate_report = regression_gate(tune_report)
-    print(f"== regression gate vs {gate_report['baseline']} ==")
-    print(f"  checked={gate_report['checked']}, no regressions")
-
-    print(f"== parallel selection (tpch, k=16, --workers {args.workers}) ==")
-    parallel_report = parallel_benchmark(args.workers, realtime_factor)
-    for label, row in parallel_report.items():
-        if isinstance(row, dict):
-            print(
-                f"  {label}: {parallel_report['serial_s']:.2f} s -> "
-                f"{row['wall_s']:.2f} s ({row['speedup']}x), "
-                f"identical={row['result_identical']}"
+    if "full_tune" in selected:
+        for workload_name in ("tpch", "job"):
+            print(f"== full tune() on {workload_name} ==")
+            tune_report[workload_name] = tune_benchmark(
+                workload_name, tune_rounds
             )
+            row = tune_report[workload_name]
+            print(
+                f"  {row['reference_s']:.2f} s -> {row['optimized_s']:.2f} s "
+                f"({row['speedup']}x), identical={row['result_identical']}"
+            )
+        report["full_tune"] = tune_report
 
-    print("== workload compile cache ==")
-    compile_report = compile_cache_benchmark(compile_repeats)
-    print(
-        f"  {compile_report['uncached_ms']:.2f} ms -> "
-        f"{compile_report['cached_ms']:.4f} ms "
-        f"({compile_report['speedup']}x)"
-    )
+    if "regression_gate" in selected:
+        gate_report = regression_gate(tune_report)
+        print(f"== regression gate vs {gate_report['baseline']} ==")
+        print(f"  checked={gate_report['checked']}, no regressions")
+        report["regression_gate"] = gate_report
 
-    print("== fault-injection overhead + chaos quarantine ==")
-    fault_report = fault_overhead_benchmark(
-        tune_report, args.workers, compile_repeats
-    )
-    hot = fault_report["execute_hot_path"]
-    print(
-        f"  execute hot path: {hot['plan_none_ms']:.3f} ms (no plan) vs "
-        f"{hot['inert_plan_ms']:.3f} ms (inert plan), "
-        f"{hot['inert_plan_overhead_pct']:+.2f}%"
-    )
-    chaos = fault_report["chaos_quarantine"]
-    print(
-        f"  chaos: quarantined {chaos['failed_configs']}, best survivor "
-        f"{chaos['best_config']}, serial==workers-{chaos['workers']}: "
-        f"{chaos['serial_parallel_identical']}"
-    )
-
-    print("== crash-safe sessions (journal overhead + resume) ==")
-    session_report = session_benchmark(compile_repeats)
-    print(
-        f"  journaled tune: identical={session_report['result_identical']}, "
-        f"wall overhead {session_report['journal_wall_overhead_pct']:+.2f}% "
-        f"({session_report['journal_events']} events); resume from boundary "
-        f"{session_report['resume_boundary']}: "
-        f"identical={session_report['resume_identical']}"
-    )
-
-    print("== persistent artifact cache (cold vs warm full tune) ==")
-    cache_report = artifact_cache_benchmark(compile_repeats)
-    print(
-        f"  cold {cache_report['cold_s']:.3f} s -> warm "
-        f"{cache_report['warm_s']:.3f} s "
-        f"({cache_report['warm_speedup_vs_cold']}x, "
-        f"{cache_report['warm_disk_hits']} disk hits), "
-        f"identical={cache_report['result_identical']}"
-    )
-
-    print("== batched multi-workload tuning (shared vs isolated cache) ==")
-    batch_report = batched_tuning_benchmark(realtime_factor)
-    print(
-        f"  3 isolated cold runs {batch_report['isolated_cold_s']:.2f} s -> "
-        f"shared cache {batch_report['shared_cache_s']:.2f} s "
-        f"({batch_report['speedup']}x), "
-        f"identical={batch_report['result_identical']}"
-    )
-
-    print("== service throughput (K jobs via TuningServer vs sequential) ==")
-    service_report = service_throughput_benchmark(realtime_factor)
-    print(
-        f"  {service_report['jobs']} sequential tune() calls "
-        f"{service_report['sequential_s']:.2f} s -> served "
-        f"{service_report['served_s']:.2f} s "
-        f"({service_report['speedup']}x), "
-        f"identical={service_report['result_identical']}"
-    )
-
-    print("== multi-objective tuning (resource budget vs latency-only) ==")
-    objective_report = multi_objective_benchmark(tune_report)
-    print(
-        f"  budget {objective_report['budget']}: quarantined "
-        f"{objective_report['quarantined']}, winner "
-        f"{objective_report['best_config']} "
-        f"({objective_report['winner_peak_memory_gb']} GB peak, tier "
-        f"{objective_report['cheapest_tier']}), latency cost "
-        f"{objective_report['latency_cost_of_budget_pct']:+.2f}%"
-    )
-
-    print("== planning throughput (batched numpy planner vs scalar) ==")
-    planning_report = planning_throughput_benchmark(compile_repeats)
-    for label, row in planning_report.items():
+    if "parallel_selection" in selected:
         print(
-            f"  {label}: {row['queries']} queries, "
-            f"{row['reference_s']:.3f} s -> {row['batched_s']:.3f} s "
-            f"({row['speedup']}x, gate {row['speedup_gate']})"
+            f"== parallel selection (tpch, k=16, --workers {args.workers}) =="
         )
+        parallel_report = parallel_benchmark(args.workers, realtime_factor)
+        for label, row in parallel_report.items():
+            if isinstance(row, dict):
+                print(
+                    f"  {label}: {parallel_report['serial_s']:.2f} s -> "
+                    f"{row['wall_s']:.2f} s ({row['speedup']}x), "
+                    f"identical={row['result_identical']}"
+                )
+        report["parallel_selection"] = parallel_report
 
-    print("== evaluator throughput (segment-batched evaluate vs scalar) ==")
-    evaluator_report = evaluator_throughput_benchmark(
-        tune_report, compile_repeats
-    )
-    for label, row in evaluator_report.items():
-        if "queries" in row:
+    if "compile_cache" in selected:
+        print("== workload compile cache ==")
+        compile_report = compile_cache_benchmark(compile_repeats)
+        print(
+            f"  {compile_report['uncached_ms']:.2f} ms -> "
+            f"{compile_report['cached_ms']:.4f} ms "
+            f"({compile_report['speedup']}x)"
+        )
+        report["compile_cache"] = compile_report
+
+    if "fault_injection" in selected:
+        print("== fault-injection overhead + chaos quarantine ==")
+        fault_report = fault_overhead_benchmark(
+            tune_report, args.workers, compile_repeats
+        )
+        hot = fault_report["execute_hot_path"]
+        print(
+            f"  execute hot path: {hot['plan_none_ms']:.3f} ms (no plan) vs "
+            f"{hot['inert_plan_ms']:.3f} ms (inert plan), "
+            f"{hot['inert_plan_overhead_pct']:+.2f}%"
+        )
+        chaos = fault_report["chaos_quarantine"]
+        print(
+            f"  chaos: quarantined {chaos['failed_configs']}, best survivor "
+            f"{chaos['best_config']}, serial==workers-{chaos['workers']}: "
+            f"{chaos['serial_parallel_identical']}"
+        )
+        report["fault_injection"] = fault_report
+
+    if "sessions" in selected:
+        print("== crash-safe sessions (journal overhead + resume) ==")
+        session_report = session_benchmark(compile_repeats)
+        print(
+            f"  journaled tune: "
+            f"identical={session_report['result_identical']}, "
+            f"wall overhead "
+            f"{session_report['journal_wall_overhead_pct']:+.2f}% "
+            f"({session_report['journal_events']} events); resume from "
+            f"boundary {session_report['resume_boundary']}: "
+            f"identical={session_report['resume_identical']}"
+        )
+        report["sessions"] = session_report
+
+    if "artifact_cache" in selected:
+        print("== persistent artifact cache (cold vs warm full tune) ==")
+        cache_report = artifact_cache_benchmark(compile_repeats)
+        print(
+            f"  cold {cache_report['cold_s']:.3f} s -> warm "
+            f"{cache_report['warm_s']:.3f} s "
+            f"({cache_report['warm_speedup_vs_cold']}x, "
+            f"{cache_report['warm_disk_hits']} disk hits), "
+            f"identical={cache_report['result_identical']}"
+        )
+        report["artifact_cache"] = cache_report
+
+    if "batched_tuning" in selected:
+        print("== batched multi-workload tuning (shared vs isolated cache) ==")
+        batch_report = batched_tuning_benchmark(realtime_factor)
+        print(
+            f"  3 isolated cold runs {batch_report['isolated_cold_s']:.2f} s "
+            f"-> shared cache {batch_report['shared_cache_s']:.2f} s "
+            f"({batch_report['speedup']}x), "
+            f"identical={batch_report['result_identical']}"
+        )
+        report["batched_tuning"] = batch_report
+
+    if "service_throughput" in selected:
+        print("== service throughput (K jobs via TuningServer vs sequential) ==")
+        service_report = service_throughput_benchmark(realtime_factor)
+        print(
+            f"  {service_report['jobs']} sequential tune() calls "
+            f"{service_report['sequential_s']:.2f} s -> served "
+            f"{service_report['served_s']:.2f} s "
+            f"({service_report['speedup']}x), "
+            f"identical={service_report['result_identical']}"
+        )
+        report["service_throughput"] = service_report
+
+    if "multi_objective" in selected:
+        print("== multi-objective tuning (resource budget vs latency-only) ==")
+        objective_report = multi_objective_benchmark(tune_report)
+        print(
+            f"  budget {objective_report['budget']}: quarantined "
+            f"{objective_report['quarantined']}, winner "
+            f"{objective_report['best_config']} "
+            f"({objective_report['winner_peak_memory_gb']} GB peak, tier "
+            f"{objective_report['cheapest_tier']}), latency cost "
+            f"{objective_report['latency_cost_of_budget_pct']:+.2f}%"
+        )
+        report["multi_objective"] = objective_report
+
+    if "planning_throughput" in selected:
+        print("== planning throughput (batched numpy planner vs scalar) ==")
+        planning_report = planning_throughput_benchmark(compile_repeats)
+        for label, row in planning_report.items():
             print(
                 f"  {label}: {row['queries']} queries, "
-                f"{row['scalar_s']:.3f} s -> {row['batched_s']:.3f} s "
+                f"{row['reference_s']:.3f} s -> {row['batched_s']:.3f} s "
                 f"({row['speedup']}x, gate {row['speedup_gate']})"
             )
+        report["planning_throughput"] = planning_report
 
-    report = {
-        "dp_microbench": dp_report,
-        "full_tune": tune_report,
-        "planning_throughput": planning_report,
-        "evaluator_throughput": evaluator_report,
-        "regression_gate": gate_report,
-        "parallel_selection": parallel_report,
-        "compile_cache": compile_report,
-        "fault_injection": fault_report,
-        "sessions": session_report,
-        "artifact_cache": cache_report,
-        "batched_tuning": batch_report,
-        "service_throughput": service_report,
-        "multi_objective": objective_report,
-        "python": sys.version.split()[0],
-    }
-    if not args.skip_pytest:
+    if "evaluator_throughput" in selected:
+        print("== evaluator throughput (segment-batched evaluate vs scalar) ==")
+        evaluator_report = evaluator_throughput_benchmark(
+            tune_report, compile_repeats
+        )
+        for label, row in evaluator_report.items():
+            if "queries" in row:
+                print(
+                    f"  {label}: {row['queries']} queries, "
+                    f"{row['scalar_s']:.3f} s -> {row['batched_s']:.3f} s "
+                    f"({row['speedup']}x, gate {row['speedup_gate']})"
+                )
+        report["evaluator_throughput"] = evaluator_report
+
+    if "scaling" in selected:
+        print("== process scale-out (tune_many workers curve) ==")
+        scaling_report = scaling_benchmark()
+        for label, row in scaling_report["curve"].items():
+            print(
+                f"  {label}: {row['wall_s']:.2f} s ({row['speedup']}x), "
+                f"identical={row['result_identical']}"
+            )
+        probe = scaling_report["attachment_probe"]
+        print(
+            f"  worker attach: shared={probe['shared']}, "
+            f"owndata={probe['owndata']}, writeable={probe['writeable']} "
+            f"({probe['tables']} tables / {probe['columns']} columns); "
+            f"gate {scaling_report['speedup_gate']} "
+            f"on {scaling_report['usable_cores']} cores"
+        )
+        report["scaling"] = scaling_report
+
+    report["python"] = sys.version.split()[0]
+    if "pytest" in selected and not args.skip_pytest:
         print("== pytest-benchmark suite ==")
         report["pytest_benchmarks"] = pytest_benchmarks()
 
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"report written to {args.output}")
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report written to {output}")
 
 
 if __name__ == "__main__":

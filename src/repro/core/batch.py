@@ -10,13 +10,19 @@ any queries, plans, and prompts they have in common) warm each other's
 artifacts mid-batch, and the disk tier carries the warmth to the next
 invocation.
 
-Threads, not processes, drive the jobs: a tune's wall-clock cost under a
-positive ``realtime_factor`` is dominated by engine waits (sleeps), which
-release the GIL -- the same property the PR-2 parallel selector exploits
--- and within one process all jobs see the same cache object without any
-serialization.  Each job can still fan its own candidate evaluation over
-worker processes via ``LambdaTuneOptions(workers=..., executor=...)``;
-the round-based control flow inside each job is the unchanged PR-4
+Two batch executors drive the jobs.  ``executor="thread"`` (default)
+fits wall-clock dominated by engine waits under a positive
+``realtime_factor`` -- sleeps release the GIL, the same property the
+PR-2 parallel selector exploits -- and all jobs see the same cache
+object without serialization.  ``executor="process"`` fits CPU-bound
+batches (``realtime_factor=0``): worker processes rebuild each job's
+engine/LLM from the pickled :class:`BatchJob` spec, share the on-disk
+artifact cache via the pool initializer, and attach the parent's
+published shared-memory :class:`~repro.db.catalog_stats.CatalogStats`
+instead of rebuilding them (:mod:`repro.db.shared_stats`).  Either way
+each job can still fan its own candidate evaluation over worker
+processes via ``LambdaTuneOptions(workers=..., executor=...)``; the
+round-based control flow inside each job is the unchanged PR-4
 ``RoundDriver`` machinery.
 
 :class:`BatchJob` doubles as the execution recipe for the service layer
@@ -32,18 +38,29 @@ job carries a ``journal_path``, plain otherwise.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.cache import ArtifactCache, active_cache, install_cache
+from repro.cache import (
+    CACHE_DIR_ENV,
+    ArtifactCache,
+    active_cache,
+    install_cache,
+)
+from repro.core.parallel import ensure_pool_env, preferred_mp_context
 from repro.core.result import TuningResult
 from repro.core.tuner import LambdaTune, LambdaTuneOptions
+from repro.db import engine as engine_module
 from repro.db.engine import DatabaseEngine
 from repro.errors import ConfigurationError
 from repro.llm.client import LLMClient
 from repro.workloads.base import Workload
 from repro.workloads.compile import make_engine
+
+#: Batch-level executors: how *jobs* are distributed (distinct from the
+#: per-job candidate-evaluation executor in ``LambdaTuneOptions``).
+BATCH_EXECUTORS = ("thread", "process")
 
 
 @dataclass(slots=True)
@@ -162,22 +179,122 @@ def _run_job(job: BatchJob) -> TuningResult:
     return run_job(job)
 
 
+# -- process-pool plumbing ----------------------------------------------------
+
+
+@dataclass(slots=True)
+class _BatchWorkerContext:
+    """Picklable per-worker setup, shipped once via the pool initializer.
+
+    Mirrors ``core/parallel.py``'s :class:`WorkerContext` discipline:
+    the initializer payload carries everything a worker process needs to
+    mirror the parent's environment -- the shared on-disk artifact cache
+    root, the zero-copy catalog refs, and the cache regime flag.
+    """
+
+    cache_root: str | None = None
+    shared_refs: dict = field(default_factory=dict)
+    caches_enabled: bool = True
+
+
+def _init_batch_worker(ctx: _BatchWorkerContext) -> None:
+    """Process-pool initializer: cache + shared catalogs, once per worker."""
+    engine_module.CACHES_ENABLED = ctx.caches_enabled
+    if ctx.cache_root is not None:
+        # Both channels on purpose: install_cache for this interpreter,
+        # the env var so any grandchild pool a job spawns (per-job
+        # candidate workers) initializes from LAMBDA_TUNE_CACHE_DIR too.
+        os.environ[CACHE_DIR_ENV] = ctx.cache_root
+        install_cache(ArtifactCache(ctx.cache_root))
+    if ctx.shared_refs:
+        from repro.db.shared_stats import register_shared_refs
+
+        register_shared_refs(ctx.shared_refs)
+
+
+def _check_process_portable(job: BatchJob) -> None:
+    """Process workers rebuild collaborators from the spec; an explicit
+    engine or LLM client cannot cross the process boundary (it is both
+    unpicklable in general and, per the :class:`BatchJob` contract,
+    owned by the caller)."""
+    if job.engine is not None or job.llm is not None:
+        raise ConfigurationError(
+            "executor='process' requires jobs that build their own "
+            "engine and LLM (leave BatchJob.engine / BatchJob.llm unset)"
+        )
+
+
+def _publish_job_catalogs(jobs: list[BatchJob]):
+    """Publish each distinct job catalog's stats to shared memory."""
+    from repro.db.shared_stats import publish_catalog_stats
+
+    catalogs, seen = [], set()
+    for job in jobs:
+        catalog = job.workload.catalog
+        if id(catalog) not in seen:
+            seen.add(id(catalog))
+            catalogs.append(catalog)
+    return publish_catalog_stats(catalogs)
+
+
+def _default_max_workers(n_jobs: int, executor: str) -> int:
+    """The ``max_workers=None`` heuristic, executor-aware.
+
+    A process worker burns a whole core; oversubscribing past the
+    *usable* core count (affinity/cgroup-aware, and never above
+    ``os.cpu_count()``) adds fork and pickling overhead without
+    parallelism, no matter how many jobs are queued.  Thread workers
+    mostly wait on engine sleeps (``realtime_factor``) and keep the
+    pre-PR-10 default unchanged.
+    """
+    cpus = os.cpu_count() or 1
+    if executor == "process":
+        try:
+            usable = len(os.sched_getaffinity(0)) or 1
+        except (AttributeError, OSError):  # platforms without affinity
+            usable = cpus
+        return max(1, min(n_jobs, usable, cpus))
+    return max(1, min(n_jobs, cpus))
+
+
 def tune_many(
     jobs: list[BatchJob],
     *,
     max_workers: int | None = None,
+    executor: str = "thread",
     cache_dir: str | os.PathLike[str] | None = None,
 ) -> list[TuningResult]:
     """Tune every job, concurrently, returning results in job order.
 
+    ``executor`` picks the scale-out mechanism.  ``"thread"`` (the
+    default, unchanged semantics) runs jobs on a thread pool -- right
+    when wall-clock is dominated by engine waits (``realtime_factor``),
+    which release the GIL.  ``"process"`` runs each job in a worker
+    process: jobs are pickled to workers that rebuild engine/LLM from
+    the :class:`BatchJob` spec, install the shared on-disk artifact
+    cache via the pool initializer, and attach zero-copy shared-memory
+    views of every job catalog's :class:`CatalogStats`
+    (:mod:`repro.db.shared_stats`) -- right when jobs are CPU-bound
+    simulation work that a thread pool would serialize on the GIL.
+    Results are byte-identical across serial, thread, and process
+    paths: each job owns its engine, virtual clock, and LLM client, so
+    only wall-clock time changes.
+
     ``cache_dir`` installs a shared persistent artifact cache for the
     duration of the batch (restoring the previously active cache after);
     omit it to use whatever cache is already active -- including none.
+    Process workers inherit the same cache directory through their
+    initializer, so the batch still shares one warm disk tier.
     """
     if not jobs:
         raise ConfigurationError("tune_many needs at least one job")
+    if executor not in BATCH_EXECUTORS:
+        raise ConfigurationError(
+            f"unknown batch executor {executor!r}; "
+            f"expected one of {BATCH_EXECUTORS}"
+        )
     if max_workers is None:
-        max_workers = min(len(jobs), os.cpu_count() or 1)
+        max_workers = _default_max_workers(len(jobs), executor)
     max_workers = max(1, min(max_workers, len(jobs)))
 
     previous = active_cache()
@@ -186,8 +303,53 @@ def tune_many(
     try:
         if max_workers == 1:
             return [_run_job(job) for job in jobs]
+        if executor == "process":
+            return _tune_many_process(jobs, max_workers, cache_dir)
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             return list(pool.map(_run_job, jobs))
     finally:
         if cache_dir is not None:
             install_cache(previous)
+
+
+def _tune_many_process(
+    jobs: list[BatchJob],
+    max_workers: int,
+    cache_dir: str | os.PathLike[str] | None,
+) -> list[TuningResult]:
+    """The ``executor="process"`` body of :func:`tune_many`.
+
+    The active cache at this point is the batch cache (installed by the
+    caller); its *root* travels to workers so every process shares the
+    same disk tier (the memory tiers are process-local, which is
+    exactly the cross-process cache-race scenario the store's atomic
+    ``os.replace`` publishes are built for).  Journaled jobs write
+    their journals directly from the worker process -- the journal
+    file on the shared filesystem is the result/event stream back to
+    the parent, same as the service layer reads it.
+    """
+    for job in jobs:
+        _check_process_portable(job)
+    cache = active_cache()
+    cache_root = None
+    if cache_dir is not None:
+        cache_root = os.fspath(cache_dir)
+    elif cache is not None and cache.root is not None:
+        cache_root = cache.root
+    publication = _publish_job_catalogs(jobs)
+    ensure_pool_env()
+    ctx = _BatchWorkerContext(
+        cache_root=cache_root,
+        shared_refs=publication.refs,
+        caches_enabled=engine_module.CACHES_ENABLED,
+    )
+    try:
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            mp_context=preferred_mp_context(),
+            initializer=_init_batch_worker,
+            initargs=(ctx,),
+        ) as pool:
+            return list(pool.map(_run_job, jobs))
+    finally:
+        publication.close()

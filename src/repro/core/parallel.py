@@ -241,15 +241,25 @@ def ensure_pool_env() -> None:
         os.environ["PYTHONHASHSEED"] = "0"
 
 
-def _preferred_mp_context(requested: str | None):
+def preferred_mp_context(requested: str | None = None):
+    """The multiprocessing context process pools should use.
+
+    ``fork`` when available (shares the already-imported interpreter
+    state: no re-import, no context pickling, much cheaper worker
+    start-up), else ``spawn``.  Shared by the selection pool here, the
+    batch-level ``tune_many(executor="process")`` pool, and the
+    service's process workers.
+    """
     import multiprocessing
 
     if requested is not None:
         return multiprocessing.get_context(requested)
     methods = multiprocessing.get_all_start_methods()
-    # fork shares the already-imported interpreter state: no re-import,
-    # no context pickling, much cheaper worker start-up.
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+#: Backwards-compatible private alias (pre-PR-10 spelling).
+_preferred_mp_context = preferred_mp_context
 
 
 class TaskRunner:

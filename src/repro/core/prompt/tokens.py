@@ -11,12 +11,21 @@ accounting needs.
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 
 _WORD_RE = re.compile(r"[A-Za-z0-9_]+|[^\sA-Za-z0-9_]")
 
+#: Bounded memo size.  The compressor re-counts the same column names
+#: and snippet fragments on every knapsack evaluation; a schema has at
+#: most a few thousand distinct strings, so 16k entries covers every
+#: workload with room to spare while capping memory for adversarial
+#: callers (the counted strings themselves are the dominant cost).
+_MEMO_SIZE = 16384
 
+
+@lru_cache(maxsize=_MEMO_SIZE)
 def count_tokens(text: str) -> int:
-    """Approximate GPT token count of ``text``."""
+    """Approximate GPT token count of ``text`` (memoized, bounded)."""
     total = 0
     for piece in _WORD_RE.findall(text):
         if piece.isalnum() or "_" in piece:
@@ -26,10 +35,13 @@ def count_tokens(text: str) -> int:
     return total
 
 
+@lru_cache(maxsize=_MEMO_SIZE)
 def column_tokens(qualified_column: str) -> int:
     """Tokens needed to render one ``table.column`` in the prompt.
 
     Includes the separator punctuation charged to each snippet entry
-    (colon or comma plus whitespace).
+    (colon or comma plus whitespace).  Memoized like
+    :func:`count_tokens`; a pure function of its argument, so the memo
+    is invisible to callers.
     """
     return count_tokens(qualified_column) + 1

@@ -12,7 +12,7 @@ the next ``run``.
     python scripts/serve.py --root /tmp/svc submit --workload tpch-sf1 \\
         --tenant acme --priority 5 --seed 9
     python scripts/serve.py --root /tmp/svc run --workers 4 \\
-        --cache-dir /tmp/svc/cache
+        --executor process --cache-dir /tmp/svc/cache
     python scripts/serve.py --root /tmp/svc status job-0000
     python scripts/serve.py --root /tmp/svc result job-0000
 """
@@ -177,6 +177,7 @@ def cmd_run(root: ServiceRoot, args: argparse.Namespace) -> int:
     server = TuningServer(
         root.root,
         workers=args.workers,
+        executor=args.executor,
         quotas=quotas,
         cache_dir=args.cache_dir,
         aging=args.aging,
@@ -253,6 +254,12 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="start a server over the root and drain the queue"
     )
     run.add_argument("--workers", type=int, default=2)
+    run.add_argument("--executor", choices=("thread", "process"),
+                     default="thread",
+                     help="job execution: worker threads (default; best "
+                          "with realtime waits) or a process pool with "
+                          "shared-memory catalog stats (best for "
+                          "CPU-bound jobs)")
     run.add_argument("--cache-dir", default=None,
                      help="shared cross-tenant artifact cache directory")
     run.add_argument("--aging", type=int, default=1,

@@ -36,12 +36,26 @@ from __future__ import annotations
 import itertools
 import os
 import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.cache import ArtifactCache, active_cache, install_cache
-from repro.core.batch import resume_job, run_job
+from repro.core.batch import (
+    BATCH_EXECUTORS,
+    BatchJob,
+    _BatchWorkerContext,
+    _check_process_portable,
+    _init_batch_worker,
+    resume_job,
+    run_job,
+)
+from repro.core.parallel import ensure_pool_env, preferred_mp_context
 from repro.core.result import TuningResult
+from repro.db import engine as engine_module
 from repro.errors import (
+    ConfigurationError,
     JobCancelledError,
     ServerKilledError,
     ServiceError,
@@ -100,6 +114,60 @@ class _ServiceJournal(TuningJournal):
         return super().append(kind, payload, sync=sync)
 
 
+@dataclass(slots=True)
+class _ProcessJobPayload:
+    """Everything a worker *process* needs to run one service job.
+
+    The parent keeps the lease, the record, and the queue; the child
+    gets the picklable execution recipe.  Cancellation crosses the
+    boundary through the durable cancel marker file (``cancel()``
+    writes it before flipping the in-memory event, precisely so a
+    child can poll it), and the chaos ``probe`` rides along when it is
+    picklable (module-level functions; closures stay thread-only).
+    """
+
+    job: BatchJob
+    resumed: bool
+    cancel_path: str
+    job_id: str
+    probe: object | None = None
+
+
+class _MarkerControl:
+    """Child-side twin of :class:`_JobControl`: polls the cancel file."""
+
+    def __init__(self, payload: _ProcessJobPayload) -> None:
+        self._payload = payload
+        self.appends = 0
+
+    def before_append(self) -> None:
+        if os.path.exists(self._payload.cancel_path):
+            raise JobCancelledError(
+                f"job {self._payload.job_id} cancelled by tenant"
+            )
+        self.appends += 1
+        if self._payload.probe is not None:
+            self._payload.probe(self._payload.job_id, self.appends)
+
+
+def _service_process_job(payload: _ProcessJobPayload) -> TuningResult:
+    """Run one service job inside a pool worker process.
+
+    ``JobCancelledError`` / ``ServerKilledError`` raised here propagate
+    to the parent through the future (``concurrent.futures`` process
+    workers forward ``BaseException``), where ``_run_record``'s
+    existing handlers classify them exactly as in thread mode.
+    """
+    control = _MarkerControl(payload)
+
+    def factory(path, *, append: bool = False):
+        return _ServiceJournal(path, append=append, control=control)
+
+    if payload.resumed:
+        return resume_job(payload.job, journal_factory=factory)
+    return run_job(payload.job, journal_factory=factory)
+
+
 class TuningServer:
     """A restartable multi-tenant tuning service over one root directory.
 
@@ -111,6 +179,19 @@ class TuningServer:
     workers:
         Worker threads.  Each runs one job at a time; per-job
         parallelism still comes from ``LambdaTuneOptions(workers=...)``.
+    executor:
+        ``"thread"`` (default) runs job bodies on the worker threads
+        themselves.  ``"process"`` keeps the threads for queueing,
+        leases, and state, but dispatches each job body to a process
+        pool: the child rebuilds engine/LLM from the job spec, installs
+        the shared on-disk cache, and attaches the shared-memory
+        catalog stats published from the workload resolver at
+        :meth:`start`.  Right for CPU-bound jobs
+        (``realtime_factor=0``) that worker threads would serialize on
+        the GIL; results stay byte-identical either way.  Cache-counter
+        deltas (:meth:`tenant_cache_stats`) accrue in the children and
+        read as zero from the parent.  A ``crash_probe`` must be
+        picklable (a module-level function) to cross into the pool.
     quotas / default_quota / aging:
         Scheduling policy, passed to :class:`JobQueue`.
     cache_dir:
@@ -132,6 +213,7 @@ class TuningServer:
         root: str | os.PathLike[str],
         *,
         workers: int = 2,
+        executor: str = "thread",
         quotas: dict[str, TenantQuota] | None = None,
         default_quota: TenantQuota | None = None,
         aging: int = 1,
@@ -147,6 +229,14 @@ class TuningServer:
             default_quota=default_quota or TenantQuota(),
             aging=aging,
         )
+        if executor not in BATCH_EXECUTORS:
+            raise ConfigurationError(
+                f"unknown service executor {executor!r}; "
+                f"expected one of {BATCH_EXECUTORS}"
+            )
+        self.executor = executor
+        self._pool: ProcessPoolExecutor | None = None
+        self._publication = None
         self._workers_wanted = max(1, workers)
         self._cache_dir = cache_dir
         self._previous_cache: ArtifactCache | None = None
@@ -175,6 +265,8 @@ class TuningServer:
             self._previous_cache = install_cache(ArtifactCache(self._cache_dir))
             self._cache_installed = True
         self._recover()
+        if self.executor == "process":
+            self._start_pool()
         for number in range(self._workers_wanted):
             thread = threading.Thread(
                 target=self._worker_loop,
@@ -184,6 +276,59 @@ class TuningServer:
             thread.start()
             self._threads.append(thread)
         return self
+
+    def _start_pool(self) -> None:
+        """Bring up the process pool (``executor="process"`` only).
+
+        Runs after the cache install so the children inherit the
+        server's cache root, and after ``_recover`` so the resolver
+        holds every workload the recovered jobs reference: their
+        catalog stats are published to shared memory here, once, and
+        every pool worker attaches the same read-only segments.
+        Workloads first seen in a later ``submit()`` still work -- the
+        child simply builds those stats locally (sharing is an
+        accelerator, never a correctness dependency).
+        """
+        from repro.db.shared_stats import publish_catalog_stats
+
+        catalogs, seen = [], set()
+        for workload in self._resolver.values():
+            if id(workload.catalog) not in seen:
+                seen.add(id(workload.catalog))
+                catalogs.append(workload.catalog)
+        self._publication = publish_catalog_stats(catalogs)
+        cache = active_cache()
+        cache_root = (
+            cache.root if cache is not None and cache.root is not None else None
+        )
+        ensure_pool_env()
+        ctx = _BatchWorkerContext(
+            cache_root=cache_root,
+            shared_refs=self._publication.refs,
+            caches_enabled=engine_module.CACHES_ENABLED,
+        )
+        self._pool = ProcessPoolExecutor(
+            max_workers=self._workers_wanted,
+            mp_context=preferred_mp_context(),
+            initializer=_init_batch_worker,
+            initargs=(ctx,),
+        )
+
+    def _teardown_pool(self, *, terminate: bool = False) -> None:
+        """Shut the pool down and unlink the shared-stats segments."""
+        if self._pool is not None:
+            if terminate:
+                # kill -9 fidelity: children die mid-write, leaving
+                # torn journal tails for the next server to recover.
+                for process in list(
+                    getattr(self._pool, "_processes", {}).values()
+                ):
+                    process.terminate()
+            self._pool.shutdown(wait=not terminate, cancel_futures=True)
+            self._pool = None
+        if self._publication is not None:
+            self._publication.close()
+            self._publication = None
 
     def _recover(self) -> None:
         """Rebuild queue state from the root's spec files and journals.
@@ -239,6 +384,7 @@ class TuningServer:
         self._queue.close()
         for thread in self._threads:
             thread.join(timeout=timeout)
+        self._teardown_pool()
         retire_owner(self.token)
         if self._cache_installed:
             install_cache(self._previous_cache)
@@ -254,6 +400,7 @@ class TuningServer:
         self._killed.set()
         self._stopping.set()
         self._queue.close()
+        self._teardown_pool(terminate=True)
         retire_owner(self.token)
         for thread in self._threads:
             thread.join(timeout=30.0)
@@ -431,7 +578,10 @@ class TuningServer:
             batch_job = record.spec.to_batch_job(
                 resolver=self._resolver, journal_path=journal_path
             )
-            if record.resumed or journal_path.exists():
+            resumed = record.resumed or journal_path.exists()
+            if self._pool is not None:
+                result = self._run_in_process(batch_job, job_id, resumed)
+            elif resumed:
                 result = resume_job(batch_job, journal_factory=factory)
             else:
                 result = run_job(batch_job, journal_factory=factory)
@@ -457,6 +607,37 @@ class TuningServer:
             self._terminal[job_id].set()
         finally:
             self._account(record.tenant, stats_before)
+
+    def _run_in_process(
+        self, batch_job: BatchJob, job_id: str, resumed: bool
+    ) -> TuningResult:
+        """Dispatch one job body to the process pool and await it.
+
+        The worker thread keeps the lease and the record; the child
+        does the tuning.  Child-side ``JobCancelledError`` /
+        ``ServerKilledError`` surface through the future unchanged; a
+        pool broken by :meth:`kill` (children terminated mid-write)
+        maps to :class:`ServerKilledError` so the caller's chaos
+        handling is identical to thread mode.
+        """
+        _check_process_portable(batch_job)
+        payload = _ProcessJobPayload(
+            job=batch_job,
+            resumed=resumed,
+            cancel_path=os.fspath(self.root.cancel_path(job_id)),
+            job_id=job_id,
+            probe=self.crash_probe,
+        )
+        pool = self._pool
+        try:
+            future = pool.submit(_service_process_job, payload)
+            return future.result()
+        except (BrokenProcessPool, RuntimeError) as error:
+            if self._killed.is_set():
+                raise ServerKilledError(
+                    f"server {self.token} is down (job {job_id})"
+                ) from error
+            raise
 
     def _account(self, tenant: str, before: dict[str, int] | None) -> None:
         after = self.cache_stats()

@@ -248,3 +248,81 @@ class TestObfuscator:
         )
         assert "users" not in prompt.text.split("Recommend")[1].split("memory")[0]
         assert prompt.obfuscator is not None
+
+
+class TestBatchedSnippetValues:
+    """PR 10: the compressor's value passes run through one ``plan_many``
+    call; values must be bit-identical to a per-query ``explain`` loop."""
+
+    @pytest.mark.parametrize("relation", ["co_occurrence", "column_usage"])
+    def test_batched_values_match_per_query_reference(
+        self, pg_engine, tiny_workload, relation
+    ):
+        queries = list(tiny_workload.queries)
+        batched = WorkloadCompressor(pg_engine, relation=relation)
+        values = batched.snippet_values(queries)
+
+        # Reference: the pre-batching formulation, one explain per query.
+        reference: dict = {}
+        if relation == "co_occurrence":
+            for query in queries:
+                cost = pg_engine.explain(query).estimated_cost
+                tables = sorted(pg_engine.query_info(query).tables)
+                for i, left in enumerate(tables):
+                    for right in tables[i + 1:]:
+                        condition = JoinCondition.make(
+                            f"{left}._table", f"{right}._table"
+                        )
+                        reference[condition] = (
+                            reference.get(condition, 0.0) + cost
+                        )
+        else:
+            for query in queries:
+                plan = pg_engine.explain(query)
+                scan_cost = {
+                    scan.table: scan.estimated_cost for scan in plan.scans
+                }
+                info = pg_engine.query_info(query)
+                for predicate in info.filters:
+                    condition = JoinCondition.make(
+                        f"{predicate.table}._filters",
+                        predicate.qualified_column,
+                    )
+                    reference[condition] = reference.get(
+                        condition, 0.0
+                    ) + scan_cost.get(predicate.table, 0.0)
+
+        assert set(values) == set(reference)
+        for condition, value in values.items():
+            assert repr(value) == repr(reference[condition]), condition
+
+    @pytest.mark.parametrize("relation", ["co_occurrence", "column_usage"])
+    def test_batched_values_on_tpch(self, tpch, relation):
+        engine = PostgresEngine(tpch.catalog)
+        queries = list(tpch.queries)
+        values = WorkloadCompressor(engine, relation=relation).snippet_values(
+            queries
+        )
+        assert values, f"{relation} produced no snippet values on tpch"
+
+
+class TestTokenMemoization:
+    """PR 10: ``count_tokens``/``column_tokens`` carry a bounded memo."""
+
+    def test_memo_hit_returns_same_value(self):
+        count_tokens.cache_clear()
+        cold = count_tokens("effective_cache_size = '16GB'")
+        info_after_miss = count_tokens.cache_info()
+        warm = count_tokens("effective_cache_size = '16GB'")
+        info_after_hit = count_tokens.cache_info()
+        assert warm == cold
+        assert info_after_hit.hits == info_after_miss.hits + 1
+
+    def test_cache_is_bounded(self):
+        assert count_tokens.cache_info().maxsize is not None
+        assert column_tokens.cache_info().maxsize is not None
+
+    def test_column_tokens_memoized_consistently(self):
+        column_tokens.cache_clear()
+        assert column_tokens("users.age") == count_tokens("users.age") + 1
+        assert column_tokens("users.age") == count_tokens("users.age") + 1

@@ -1,0 +1,149 @@
+"""Zero-copy shared-memory catalog stats (``repro.db.shared_stats``)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db import catalog_stats as catalog_stats_module
+from repro.db.catalog_stats import CatalogStats, catalog_stats
+from repro.db.shared_stats import (
+    ARRAY_FIELDS,
+    attach_shared_stats,
+    attachment_probe,
+    clear_shared_refs,
+    publish_catalog_stats,
+    register_shared_refs,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registrations():
+    clear_shared_refs()
+    yield
+    clear_shared_refs()
+
+
+@pytest.fixture()
+def fresh_catalog(tiny_catalog):
+    """The tiny catalog without a cached stats view (as a worker sees it)."""
+    tiny_catalog.__dict__.pop("_catalog_stats", None)
+    return tiny_catalog
+
+
+class TestPublishAttach:
+    def test_attached_arrays_are_bitwise_equal(self, fresh_catalog):
+        built = CatalogStats.build(fresh_catalog)
+        with publish_catalog_stats([fresh_catalog]) as publication:
+            register_shared_refs(publication.refs)
+            attached = attach_shared_stats(fresh_catalog)
+            assert attached is not None
+            for name in ARRAY_FIELDS:
+                np.testing.assert_array_equal(
+                    getattr(attached, name), getattr(built, name)
+                )
+            assert attached.names == built.names
+            assert attached.table_id == built.table_id
+            assert attached.column_id == built.column_id
+            assert attached.size_bytes_int == built.size_bytes_int
+
+    def test_attached_views_are_read_only_and_not_owned(self, fresh_catalog):
+        with publish_catalog_stats([fresh_catalog]) as publication:
+            register_shared_refs(publication.refs)
+            attached = attach_shared_stats(fresh_catalog)
+            for name in ARRAY_FIELDS:
+                view = getattr(attached, name)
+                assert view.flags["OWNDATA"] is False
+                assert view.flags["WRITEABLE"] is False
+                with pytest.raises(ValueError):
+                    view[...] = 0.0
+
+    def test_duplicate_catalogs_share_one_segment(self, fresh_catalog):
+        with publish_catalog_stats([fresh_catalog, fresh_catalog]) as pub:
+            assert len(pub.refs) == 1
+            assert len(pub._segments) == 1
+
+    def test_attach_is_keyed_on_content_fingerprint(self, fresh_catalog):
+        with publish_catalog_stats([fresh_catalog]) as publication:
+            register_shared_refs(publication.refs)
+            fresh_catalog.add_table("extra", 10)
+            # The mutated catalog no longer matches the published ref.
+            assert attach_shared_stats(fresh_catalog) is None
+
+    def test_late_attach_after_close_misses(self, fresh_catalog):
+        publication = publish_catalog_stats([fresh_catalog])
+        register_shared_refs(publication.refs)
+        publication.close()
+        clear_shared_refs()
+        register_shared_refs(publication.refs)
+        assert attach_shared_stats(fresh_catalog) is None
+
+    def test_close_is_idempotent(self, fresh_catalog):
+        publication = publish_catalog_stats([fresh_catalog])
+        publication.close()
+        publication.close()
+
+
+class TestHookIntegration:
+    def test_catalog_stats_prefers_shared_attach(self, fresh_catalog):
+        with publish_catalog_stats([fresh_catalog]) as publication:
+            # Publishing builds (and caches) local stats; a worker's
+            # unpickled catalog arrives without that cache.
+            fresh_catalog.__dict__.pop("_catalog_stats", None)
+            register_shared_refs(publication.refs)
+            stats = catalog_stats(fresh_catalog)
+            assert stats.shared is True
+            assert stats.generation == fresh_catalog.generation
+            # Cached on the catalog: same object on re-query.
+            assert catalog_stats(fresh_catalog) is stats
+
+    def test_probe_reports_shared_attach(self, fresh_catalog):
+        with publish_catalog_stats([fresh_catalog]) as publication:
+            fresh_catalog.__dict__.pop("_catalog_stats", None)
+            register_shared_refs(publication.refs)
+            probe = attachment_probe(fresh_catalog)
+        assert probe["shared"] is True
+        assert probe["owndata"] is False
+        assert probe["writeable"] is False
+
+    def test_local_build_without_registration(self, fresh_catalog):
+        stats = catalog_stats(fresh_catalog)
+        assert stats.shared is False
+        assert stats.rows.flags["OWNDATA"] or stats.rows.base is not None
+
+    def test_clear_refs_disarms_hook(self, fresh_catalog):
+        with publish_catalog_stats([fresh_catalog]) as publication:
+            register_shared_refs(publication.refs)
+            assert catalog_stats_module.SHARED_ATTACH_HOOK is not None
+        clear_shared_refs()
+        assert catalog_stats_module.SHARED_ATTACH_HOOK is None
+
+    def test_planner_results_identical_via_shared_stats(self, fresh_catalog):
+        """An attached view is indistinguishable to the planning engine."""
+        from repro.db.postgres import PostgresEngine
+        from repro.workloads.base import Query
+
+        query = Query.from_sql(
+            "q",
+            "SELECT count(*) FROM users WHERE country = 'US'",
+            fresh_catalog,
+        )
+        local_plan = repr(PostgresEngine(fresh_catalog).explain(query))
+        fresh_catalog.__dict__.pop("_catalog_stats", None)
+        with publish_catalog_stats([fresh_catalog]) as publication:
+            fresh_catalog.__dict__.pop("_catalog_stats", None)
+            register_shared_refs(publication.refs)
+            shared_plan = repr(PostgresEngine(fresh_catalog).explain(query))
+            assert catalog_stats(fresh_catalog).shared is True
+        assert shared_plan == local_plan
+
+
+class TestPickling:
+    def test_catalog_pickle_drops_stats_view(self, fresh_catalog):
+        import pickle
+
+        catalog_stats(fresh_catalog)
+        assert "_catalog_stats" in fresh_catalog.__dict__
+        clone = pickle.loads(pickle.dumps(fresh_catalog))
+        assert "_catalog_stats" not in clone.__dict__
+        assert clone.content_fingerprint() == fresh_catalog.content_fingerprint()

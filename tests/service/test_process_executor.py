@@ -1,0 +1,235 @@
+"""The server's ``executor="process"`` path (PR 10).
+
+Process-served jobs must be byte-identical to thread-served jobs and
+to the bare ``run_job`` reference -- with and without a fault plan --
+and the crash-restart machinery must span executors: a journal torn by
+a thread-mode crash resumes bit-exactly on a process-mode server, and
+a process worker killed mid-flight by the chaos probe leaves a journal
+the next server recovers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, ServerKilledError
+from repro.faults import FaultPlan
+from repro.service import JobClient, TuningServer
+from repro.service.jobs import JobSpec, ServiceRoot
+from tests.service.conftest import (
+    fingerprint,
+    job_options,
+    make_server,
+    reference_result,
+)
+from tests.service.test_restart import wait_for_workers
+
+SEEDS = list(range(8))
+
+
+def _serve_all(root, workload, options_list, *, executor, fault_plan=None):
+    with make_server(
+        root,
+        workers=2,
+        executor=executor,
+        workload_resolver={workload.name: workload},
+    ) as server:
+        client = JobClient(server)
+        job_ids = [
+            client.submit(workload, options=options, fault_plan=fault_plan)
+            for options in options_list
+        ]
+        return [
+            fingerprint(server.result(job_id, timeout=300.0))
+            for job_id in job_ids
+        ]
+
+
+class TestProcessServedIdentity:
+    def test_eight_seeds_match_thread_and_reference(
+        self, tiny_workload, tmp_path
+    ):
+        options = [job_options(seed) for seed in SEEDS]
+        references = [
+            fingerprint(reference_result(tiny_workload, options=opts))
+            for opts in options
+        ]
+        served_process = _serve_all(
+            tmp_path / "process", tiny_workload, options, executor="process"
+        )
+        served_thread = _serve_all(
+            tmp_path / "thread", tiny_workload, options, executor="thread"
+        )
+        assert served_process == references
+        assert served_thread == references
+
+    def test_fault_plan_rides_into_the_worker_process(
+        self, tiny_workload, tmp_path
+    ):
+        plan = FaultPlan(seed=2, density=0.4)
+        options = [job_options(2)]
+        reference = fingerprint(
+            reference_result(tiny_workload, options=options[0], fault_plan=plan)
+        )
+        served = _serve_all(
+            tmp_path / "chaos",
+            tiny_workload,
+            options,
+            executor="process",
+            fault_plan=plan,
+        )
+        assert served == [reference]
+
+    def test_shared_cache_dir_is_transparent(self, tiny_workload, tmp_path):
+        options = [job_options(seed) for seed in (0, 1)]
+        references = [
+            fingerprint(reference_result(tiny_workload, options=opts))
+            for opts in options
+        ]
+        with make_server(
+            tmp_path / "svc",
+            workers=2,
+            executor="process",
+            cache_dir=tmp_path / "cache",
+            workload_resolver={"tiny": tiny_workload},
+        ) as server:
+            client = JobClient(server)
+            job_ids = [
+                client.submit(tiny_workload, options=opts) for opts in options
+            ]
+            served = [
+                fingerprint(server.result(job_id, timeout=300.0))
+                for job_id in job_ids
+            ]
+        assert served == references
+
+
+class TestProcessCancellation:
+    def test_live_cancel_crosses_via_durable_marker(
+        self, tiny_workload, tmp_path
+    ):
+        """The child polls the on-disk cancel marker, not parent memory.
+
+        The job runs with realtime engine waits so it is reliably still
+        in flight when ``cancel`` lands; the parent writes the marker
+        file, and the worker *process* unwinds at its next journal
+        append, leaving a resumable journal behind.
+        """
+        import time
+
+        with make_server(
+            tmp_path / "svc",
+            executor="process",
+            workload_resolver={"tiny": tiny_workload},
+        ) as server:
+            job_id = server.submit(
+                JobSpec(
+                    job_id=server.allocate_job_id(),
+                    workload=tiny_workload,
+                    tenant="t",
+                    options=job_options(0),
+                    realtime_factor=0.05,
+                )
+            )
+            deadline = time.monotonic() + 60.0
+            while server.status(job_id)["state"] == "queued":
+                assert time.monotonic() < deadline, "job never started"
+                time.sleep(0.01)
+            server.cancel(job_id)
+            assert server.wait_all(timeout=120.0)
+            assert server.status(job_id)["state"] == "cancelled"
+            journal = tmp_path / "svc" / "journals" / f"{job_id}.journal"
+            assert journal.exists(), "cancel should leave a resumable journal"
+
+    def test_pre_cancelled_spec_never_runs(self, tiny_workload, tmp_path):
+        """Recovery classifies marker-without-journal as cancelled."""
+        from repro.service.jobs import durable_spec
+
+        root = ServiceRoot(tmp_path / "svc")
+        root.ensure()
+        spec = JobSpec(
+            job_id=root.allocate_job_id(),
+            workload="tiny",
+            tenant="t",
+            options=job_options(0),
+        )
+        root.write_spec(durable_spec(spec))
+        root.mark_cancelled(spec.job_id)
+        with make_server(
+            tmp_path / "svc",
+            executor="process",
+            workload_resolver={"tiny": tiny_workload},
+        ) as server:
+            assert server.wait_all(timeout=120.0)
+            assert server.status(spec.job_id)["state"] == "cancelled"
+
+
+def _chaos_kill_at_five(job_id, appends):
+    """Module-level (hence picklable) crash probe for process workers."""
+    if appends >= 5:
+        raise ServerKilledError(f"chaos kill at append {appends}")
+
+
+class TestProcessCrashRestart:
+    def test_thread_crash_resumes_on_process_server(
+        self, tiny_workload, tmp_path, no_rerun_guard
+    ):
+        """Cross-executor recovery: torn by threads, finished by processes."""
+        options = job_options(6)
+        reference = reference_result(tiny_workload, options=options)
+
+        def probe(job_id, appends):
+            if appends >= 5:
+                raise ServerKilledError("chaos")
+
+        server = make_server(tmp_path / "svc", crash_probe=probe)
+        server.start()
+        job_id = JobClient(server).submit(tiny_workload, options=options)
+        wait_for_workers(server)
+        server.kill()
+
+        with make_server(
+            tmp_path / "svc",
+            executor="process",
+            workload_resolver={"tiny": tiny_workload},
+        ) as restarted:
+            result = restarted.result(job_id, timeout=300.0)
+            assert restarted.status(job_id)["resumed"]
+        assert fingerprint(result) == fingerprint(reference)
+
+    def test_process_crash_resumes_on_process_server(
+        self, tiny_workload, tmp_path, no_rerun_guard
+    ):
+        """The probe fires *inside* the worker process; the abandoned
+        journal resumes bit-exactly on a fresh process-mode server."""
+        options = job_options(6)
+        reference = reference_result(tiny_workload, options=options)
+
+        server = make_server(
+            tmp_path / "svc",
+            executor="process",
+            crash_probe=_chaos_kill_at_five,
+            workload_resolver={"tiny": tiny_workload},
+        )
+        server.start()
+        job_id = JobClient(server).submit(tiny_workload, options=options)
+        wait_for_workers(server)
+        server.kill()
+        assert server.status(job_id)["state"] == "running"
+        lock = tmp_path / "svc" / "journals" / f"{job_id}.journal.lock"
+        assert lock.exists(), "kill must abandon the lease, not release it"
+
+        with make_server(
+            tmp_path / "svc",
+            executor="process",
+            workload_resolver={"tiny": tiny_workload},
+        ) as restarted:
+            result = restarted.result(job_id, timeout=300.0)
+            assert restarted.status(job_id)["resumed"]
+        assert fingerprint(result) == fingerprint(reference)
+
+
+class TestValidation:
+    def test_unknown_executor_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="unknown service executor"):
+            TuningServer(tmp_path / "svc", executor="fiber")
